@@ -1,0 +1,67 @@
+//! Application workloads of the paper's evaluation (Section 5):
+//!
+//! * [`bootstrap_app`] — **PackBootstrap**: one fully packed bootstrap,
+//!   time normalized per effective level.
+//! * [`helr`] — **HELR**: homomorphic logistic-regression training on
+//!   14×14 images (one iteration of the 1024-image batch), plus a real,
+//!   runnable reduced-degree implementation that trains on encrypted
+//!   synthetic data.
+//! * [`conv`] — a runnable encrypted 2-D convolution (the per-layer
+//!   primitive the ResNet traces count), lowered onto slot linear
+//!   transforms.
+//! * [`resnet`] — **ResNet-20/32/56** CKKS inference following the
+//!   multiplexed-convolution construction of Lee et al. \[32\]: exact
+//!   operation traces per residual block.
+//!
+//! Full-size workloads are expressed as [`AppTrace`]s — sequences of
+//! `(operation, level, count)` — priced by the device model; the data the
+//! paper runs on (MNIST/CIFAR) is replaced by synthetic tensors of the
+//! same shape, which does not affect FHE cost (cost depends only on the
+//! operation sequence).
+
+pub mod conv;
+pub mod helr;
+pub mod resnet;
+pub mod workload;
+
+pub use workload::{bootstrap_app, AppKind, AppTrace};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_ckks::cost::CostConfig;
+    use neo_ckks::ParamSet;
+    use neo_gpu_sim::DeviceModel;
+
+    #[test]
+    fn resnet_times_scale_with_depth() {
+        let dev = DeviceModel::a100();
+        let p = ParamSet::C.params();
+        let cfg = CostConfig::neo();
+        let t20 = resnet::trace(&p, resnet::ResNetDepth::D20).time_s(&dev, &p, &cfg);
+        let t32 = resnet::trace(&p, resnet::ResNetDepth::D32).time_s(&dev, &p, &cfg);
+        let t56 = resnet::trace(&p, resnet::ResNetDepth::D56).time_s(&dev, &p, &cfg);
+        assert!(t20 < t32 && t32 < t56);
+        // Depth ratios should roughly track block counts (9 : 15 : 27).
+        let r = t56 / t20;
+        assert!(r > 2.0 && r < 4.0, "56/20 ratio {r:.2}");
+    }
+
+    #[test]
+    fn bootstrap_app_positive() {
+        let dev = DeviceModel::a100();
+        let p = ParamSet::C.params();
+        let t = bootstrap_app(&p).time_s(&dev, &p, &CostConfig::neo());
+        assert!(t > 0.0 && t < 10.0, "bootstrap time {t}");
+    }
+
+    #[test]
+    fn helr_iteration_heavier_than_bootstrap_alone() {
+        let dev = DeviceModel::a100();
+        let p = ParamSet::C.params();
+        let cfg = CostConfig::neo();
+        let tb = bootstrap_app(&p).time_s(&dev, &p, &cfg);
+        let th = helr::trace(&p).time_s(&dev, &p, &cfg);
+        assert!(th > tb * 0.5, "HELR {th} vs bootstrap {tb}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Workload traces: sequences of `(operation, level, count)` priced by the
+//! device model.
+
+use neo_ckks::bootstrap::{BootstrapPlan, TraceStep};
+use neo_ckks::cost::{op_time_us, CostConfig, Operation};
+use neo_ckks::CkksParams;
+use neo_gpu_sim::DeviceModel;
+
+/// Which application a trace describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Fully packed bootstrapping.
+    PackBootstrap,
+    /// Logistic-regression training iteration.
+    Helr,
+    /// ResNet-20 inference.
+    ResNet20,
+    /// ResNet-32 inference.
+    ResNet32,
+    /// ResNet-56 inference.
+    ResNet56,
+}
+
+impl std::fmt::Display for AppKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AppKind::PackBootstrap => "PackBootstrap",
+            AppKind::Helr => "HELR",
+            AppKind::ResNet20 => "ResNet-20",
+            AppKind::ResNet32 => "ResNet-32",
+            AppKind::ResNet56 => "ResNet-56",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl AppKind {
+    /// All applications of Table 5, in column order.
+    pub const ALL: [AppKind; 5] = [
+        AppKind::PackBootstrap,
+        AppKind::Helr,
+        AppKind::ResNet20,
+        AppKind::ResNet32,
+        AppKind::ResNet56,
+    ];
+}
+
+/// An application workload as an operation trace.
+#[derive(Debug, Clone)]
+pub struct AppTrace {
+    /// Which app.
+    pub kind: AppKind,
+    /// The operation sequence.
+    pub steps: Vec<TraceStep>,
+}
+
+impl AppTrace {
+    /// Total count of one operation across the trace.
+    pub fn count_of(&self, op: Operation) -> usize {
+        self.steps.iter().filter(|s| s.op == op).map(|s| s.count).sum()
+    }
+
+    /// Prices the trace on a device under a strategy (batch-amortized
+    /// per-ciphertext-stream seconds, matching the paper's convention).
+    pub fn time_s(&self, dev: &DeviceModel, p: &CkksParams, cfg: &CostConfig) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| s.count as f64 * op_time_us(dev, p, s.level.clamp(1, p.max_level), s.op, cfg) * 1e-6)
+            .sum()
+    }
+}
+
+/// The PackBootstrap workload: one fully packed bootstrap.
+pub fn bootstrap_app(p: &CkksParams) -> AppTrace {
+    let plan = BootstrapPlan::standard(p);
+    AppTrace { kind: AppKind::PackBootstrap, steps: plan.trace() }
+}
+
+/// Appends a bootstrap to an existing trace and returns the level the
+/// computation resumes at.
+pub(crate) fn push_bootstrap(steps: &mut Vec<TraceStep>, p: &CkksParams) -> usize {
+    let plan = BootstrapPlan::standard(p);
+    steps.extend(plan.trace());
+    plan.remaining_levels().max(2)
+}

@@ -1,0 +1,82 @@
+//! Invariants across the comparator models that mirror the paper's
+//! qualitative claims.
+
+use neo_apps::AppKind;
+use neo_baselines::{ablation_ladder, SchemeModel};
+use neo_ckks::cost::{CostConfig, Operation};
+use neo_ckks::ParamSet;
+
+#[test]
+fn single_scaling_rows_are_faster() {
+    // Table 5: the SS configurations (Set-F/G, L = 23, no DS) run ahead of
+    // their full-scaling counterparts (Set-A/C, L = 35 with DS).
+    let tf_ss = SchemeModel::tensorfhe(ParamSet::F);
+    let tf = SchemeModel::tensorfhe(ParamSet::A);
+    let neo_ss = SchemeModel::neo(ParamSet::G);
+    let neo = SchemeModel::neo(ParamSet::C);
+    for app in AppKind::ALL {
+        assert!(
+            tf_ss.app_time_s(app) < tf.app_time_s(app),
+            "{app}: TensorFHE_SS should beat TensorFHE"
+        );
+        assert!(neo_ss.app_time_s(app) < neo.app_time_s(app), "{app}: Neo_SS should beat Neo");
+    }
+}
+
+#[test]
+fn neo_ss_beats_tensorfhe_ss() {
+    // The Neo_SS vs TensorFHE_SS comparison (paper: 0.17 s vs 0.53 s on
+    // PackBootstrap).
+    let tf_ss = SchemeModel::tensorfhe(ParamSet::F);
+    let neo_ss = SchemeModel::neo(ParamSet::G);
+    for app in AppKind::ALL {
+        let r = tf_ss.app_time_s(app) / neo_ss.app_time_s(app);
+        assert!(r > 2.0, "{app}: SS speedup only {r:.2}");
+    }
+}
+
+#[test]
+fn ablation_ends_at_neo() {
+    let ladder = ablation_ladder();
+    assert_eq!(ladder.len(), 5);
+    assert_eq!(ladder.last().unwrap().cfg, CostConfig::neo());
+    assert_eq!(ladder[0].label, "TensorFHE");
+}
+
+#[test]
+fn app_traces_are_well_formed() {
+    let neo = SchemeModel::neo(ParamSet::C);
+    for app in AppKind::ALL {
+        let trace = neo.app_trace(app);
+        assert!(!trace.steps.is_empty(), "{app}: empty trace");
+        for s in &trace.steps {
+            assert!(s.level <= neo.params.max_level, "{app}: level {} too high", s.level);
+            assert!(s.count > 0, "{app}: zero-count step");
+        }
+        // Every app bootstraps at least once (they are all deep workloads).
+        assert!(trace.count_of(Operation::HMult) > 0, "{app}: no multiplications");
+    }
+}
+
+#[test]
+fn cpu_operation_magnitudes_match_table6_sources() {
+    // 100x reports HMult ≈ 2.6 s on CPU at Set-H; our model must land in
+    // the same decade.
+    let cpu = SchemeModel::cpu();
+    let hmult_s = cpu.op_time_us(35, Operation::HMult) * 1e-6;
+    assert!(hmult_s > 0.5 && hmult_s < 15.0, "CPU HMult {hmult_s:.2} s out of range");
+    // Cheap ops stay in the millisecond range (paper: 26-46 ms).
+    let pmult_ms = cpu.op_time_us(35, Operation::PMult) * 1e-3;
+    assert!(pmult_ms > 1.0 && pmult_ms < 300.0, "CPU PMult {pmult_ms:.1} ms out of range");
+}
+
+#[test]
+fn resnet_depth_ratios_track_block_counts() {
+    let neo = SchemeModel::neo(ParamSet::C);
+    let t20 = neo.app_time_s(AppKind::ResNet20);
+    let t32 = neo.app_time_s(AppKind::ResNet32);
+    let t56 = neo.app_time_s(AppKind::ResNet56);
+    // Paper ratios: 19.68/12.03 = 1.64, 34.98/12.03 = 2.91.
+    assert!((t32 / t20 - 1.64).abs() < 0.35, "32/20 ratio {:.2}", t32 / t20);
+    assert!((t56 / t20 - 2.91).abs() < 0.60, "56/20 ratio {:.2}", t56 / t20);
+}

@@ -1,0 +1,62 @@
+//! Measured CPU time of the functional CKKS operations at reduced degree,
+//! Hybrid vs KLSS key switching — the KLSS complexity reduction is
+//! visible in real execution, not only in the device model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neo_ckks::encoding::Complex64;
+use neo_ckks::keys::{KeyChest, PublicKey, SecretKey};
+use neo_ckks::{ops, CkksContext, CkksParams, Ciphertext, Encoder, KsMethod};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+struct Rig {
+    ctx: Arc<CkksContext>,
+    chest: KeyChest,
+    ct: Ciphertext,
+}
+
+fn rig() -> Rig {
+    let ctx = Arc::new(CkksContext::new(CkksParams::test_tiny()).unwrap());
+    let mut rng = StdRng::seed_from_u64(1);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+    let chest = KeyChest::new(ctx.clone(), sk, 2);
+    let enc = Encoder::new(ctx.degree());
+    let vals: Vec<Complex64> =
+        (0..enc.slots()).map(|i| Complex64::new((i as f64 * 0.1).sin(), 0.0)).collect();
+    let pt = enc.encode(&ctx, &vals, ctx.params().scale(), 4);
+    let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
+    // Warm the key caches so the benches time steady-state switching.
+    let _ = ops::hmult(&chest, &ct, &ct, KsMethod::Hybrid);
+    let _ = ops::hmult(&chest, &ct, &ct, KsMethod::Klss);
+    let _ = ops::hrotate(&chest, &ct, 1, KsMethod::Hybrid);
+    let _ = ops::hrotate(&chest, &ct, 1, KsMethod::Klss);
+    Rig { ctx, chest, ct }
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let r = rig();
+    let mut group = c.benchmark_group("ckks_ops_n256");
+    group.bench_function("hadd", |b| b.iter(|| ops::hadd(&r.ctx, &r.ct, &r.ct)));
+    group.bench_function("hmult_hybrid", |b| {
+        b.iter(|| ops::hmult(&r.chest, &r.ct, &r.ct, KsMethod::Hybrid))
+    });
+    group.bench_function("hmult_klss", |b| {
+        b.iter(|| ops::hmult(&r.chest, &r.ct, &r.ct, KsMethod::Klss))
+    });
+    group.bench_function("hrotate_hybrid", |b| {
+        b.iter(|| ops::hrotate(&r.chest, &r.ct, 1, KsMethod::Hybrid))
+    });
+    group.bench_function("hrotate_klss", |b| {
+        b.iter(|| ops::hrotate(&r.chest, &r.ct, 1, KsMethod::Klss))
+    });
+    group.bench_function("rescale", |b| {
+        let prod = ops::hmult(&r.chest, &r.ct, &r.ct, KsMethod::Klss);
+        b.iter(|| ops::rescale(&r.ctx, &prod))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

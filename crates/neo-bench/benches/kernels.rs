@@ -1,0 +1,66 @@
+//! Measured CPU time of the BConv and IP kernels, original vs matrix form
+//! — the data-reuse transformation is visible as real cache behavior.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neo_kernels::{bconv, ip, MatmulTarget};
+use neo_math::{BconvTable, Modulus, RnsBasis};
+use rand::{Rng, SeedableRng};
+
+fn bench_bconv(c: &mut Criterion) {
+    let src = RnsBasis::new(&neo_math::primes::ntt_primes(36, 256, 4).unwrap()).unwrap();
+    let dst = RnsBasis::new(&neo_math::primes::ntt_primes(48, 256, 8).unwrap()).unwrap();
+    let table = BconvTable::new(&src, &dst).unwrap();
+    let n = 4096usize;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let input: Vec<Vec<u64>> = src
+        .moduli()
+        .iter()
+        .map(|m| (0..n).map(|_| rng.gen_range(0..m.value())).collect())
+        .collect();
+    let mut group = c.benchmark_group("bconv_4to8_4096");
+    group.bench_function("original", |b| b.iter(|| bconv::bconv_original(&table, &input)));
+    group.bench_function("matrix_scalar", |b| b.iter(|| bconv::bconv_matrix_scalar(&table, &input)));
+    group.bench_function("matrix_fp64_emulated", |b| {
+        b.iter(|| bconv::bconv_matrix_fp64(&table, &input))
+    });
+    group.finish();
+}
+
+fn bench_ip(c: &mut Criterion) {
+    let moduli: Vec<Modulus> = neo_math::primes::ntt_primes(48, 64, 4)
+        .unwrap()
+        .into_iter()
+        .map(|q| Modulus::new(q).unwrap())
+        .collect();
+    let (beta, beta_t, batch, n) = (3usize, 4usize, 4usize, 256usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let cdata: Vec<Vec<Vec<u64>>> = (0..beta)
+        .map(|_| {
+            moduli
+                .iter()
+                .map(|m| (0..batch * n).map(|_| rng.gen_range(0..m.value())).collect())
+                .collect()
+        })
+        .collect();
+    let evk: Vec<Vec<Vec<Vec<u64>>>> = (0..beta_t)
+        .map(|_| {
+            (0..beta)
+                .map(|_| {
+                    moduli
+                        .iter()
+                        .map(|m| (0..n).map(|_| rng.gen_range(0..m.value())).collect())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let mut group = c.benchmark_group("ip_b3_bt4");
+    group.bench_function("original", |b| b.iter(|| ip::ip_original(&moduli, batch, &cdata, &evk)));
+    group.bench_function("matrix_cuda", |b| {
+        b.iter(|| ip::ip_matrix(&moduli, batch, &cdata, &evk, MatmulTarget::Cuda))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bconv, bench_ip);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Shared plumbing for the table/figure binaries.
+//!
+//! Every binary regenerates one artifact of the paper's evaluation
+//! (`cargo run -p neo-bench --bin table5`, `--bin fig14`, …), printing a
+//! formatted table to stdout and writing machine-readable JSON under
+//! `results/`.
+
+use serde_json::Value;
+use std::fs;
+use std::path::PathBuf;
+
+/// Prints the human-readable table and writes `results/<id>.json`.
+pub fn emit(id: &str, human: &str, json: Value) {
+    println!("{human}");
+    let dir = PathBuf::from("results");
+    if fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{id}.json"));
+        match serde_json::to_string_pretty(&json) {
+            Ok(s) => {
+                if let Err(e) = fs::write(&path, s) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                } else {
+                    eprintln!("[wrote {}]", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialize {id}: {e}"),
+        }
+    }
+}
+
+/// Formats a ratio row entry, guarding divide-by-zero.
+pub fn ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        f64::NAN
+    } else {
+        a / b
+    }
+}
+
+/// Pretty seconds: "12.03 s" / "243.40 ms" / "81.7 us".
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.2} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.1} us", seconds * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(12.034), "12.03 s");
+        assert_eq!(fmt_time(0.2434), "243.40 ms");
+        assert_eq!(fmt_time(81.7e-6), "81.7 us");
+    }
+
+    #[test]
+    fn ratio_guards_zero() {
+        assert!(ratio(1.0, 0.0).is_nan());
+        assert_eq!(ratio(6.0, 2.0), 3.0);
+    }
+}

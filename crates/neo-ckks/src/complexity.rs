@@ -1,0 +1,94 @@
+//! Table 2 — kernel complexity of the Hybrid and KLSS methods, in units of
+//! "limb operations" (one operation touching all `N` coefficients of one
+//! limb), exactly as the paper states them.
+
+use crate::params::CkksParams;
+
+/// Per-step complexity of one KeySwitch (limb-operation counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeySwitchComplexity {
+    /// Mod Up BConv work.
+    pub mod_up: u64,
+    /// Forward NTT count.
+    pub ntt: u64,
+    /// Inner-product multiply-accumulate work.
+    pub inner_product: u64,
+    /// Inverse NTT count.
+    pub intt: u64,
+    /// Recover Limbs work (KLSS only; 0 for Hybrid).
+    pub recover_limbs: u64,
+    /// Mod Down work.
+    pub mod_down: u64,
+}
+
+impl KeySwitchComplexity {
+    /// Sum of all steps.
+    pub fn total(&self) -> u64 {
+        self.mod_up + self.ntt + self.inner_product + self.intt + self.recover_limbs + self.mod_down
+    }
+}
+
+/// Table 2, Hybrid column, at level `l`.
+pub fn hybrid(p: &CkksParams, l: usize) -> KeySwitchComplexity {
+    let alpha = p.alpha() as u64;
+    let beta = p.beta(l) as u64;
+    let lv = l as u64;
+    KeySwitchComplexity {
+        mod_up: beta * lv * alpha,
+        ntt: beta * (lv + alpha),
+        inner_product: 2 * beta * (lv + alpha),
+        intt: 2 * beta * (lv + alpha),
+        recover_limbs: 0,
+        mod_down: 2 * (lv * alpha + lv),
+    }
+}
+
+/// Table 2, KLSS column, at level `l`.
+///
+/// # Panics
+///
+/// Panics without a KLSS configuration.
+pub fn klss(p: &CkksParams, l: usize) -> KeySwitchComplexity {
+    let alpha = p.alpha() as u64;
+    let beta = p.beta(l) as u64;
+    let alpha_p = p.alpha_prime() as u64;
+    let beta_t = p.beta_tilde(l) as u64;
+    let lv = l as u64;
+    KeySwitchComplexity {
+        mod_up: beta * alpha * alpha_p,
+        ntt: beta_t * alpha_p,
+        inner_product: beta * beta_t * alpha_p,
+        intt: 2 * beta_t * alpha_p,
+        recover_limbs: 2 * alpha_p * (lv + alpha),
+        mod_down: 2 * (lv * alpha + lv),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamSet;
+
+    #[test]
+    fn klss_beats_hybrid_at_set_c() {
+        // The premise of Section 3.2: with judicious parameters the KLSS
+        // total complexity is below Hybrid's at full level.
+        let p = ParamSet::C.params();
+        let h = hybrid(&p, 35);
+        let k = klss(&p, 35);
+        assert!(k.total() < h.total(), "KLSS {} !< Hybrid {}", k.total(), h.total());
+    }
+
+    #[test]
+    fn klss_ntt_count_is_much_smaller() {
+        let p = ParamSet::C.params();
+        assert!(klss(&p, 35).ntt * 4 < hybrid(&p, 35).ntt * 3);
+    }
+
+    #[test]
+    fn complexity_shrinks_with_level() {
+        let p = ParamSet::C.params();
+        assert!(klss(&p, 10).total() < klss(&p, 35).total());
+        assert!(hybrid(&p, 10).total() < hybrid(&p, 35).total());
+    }
+}

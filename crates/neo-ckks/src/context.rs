@@ -1,0 +1,326 @@
+//! The CKKS context: prime chains, NTT plans, samplers, and cached base-
+//! conversion tables.
+
+use crate::params::CkksParams;
+use neo_math::{primes, BconvTable, Domain, MathError, Modulus, RnsBasis, RnsPoly};
+use neo_ntt::{radix2, NttPlan};
+use parking_lot::RwLock;
+use rand::Rng;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything derived from a [`CkksParams`]: the modulus chains
+/// (`q_0..q_L`, special `p_0..p_{K-1}`, and the KLSS auxiliary
+/// `t_0..t_{α'-1}`), per-prime NTT plans, and table caches.
+pub struct CkksContext {
+    params: CkksParams,
+    q_primes: Vec<u64>,
+    p_primes: Vec<u64>,
+    t_primes: Vec<u64>,
+    q_moduli: Vec<Modulus>,
+    p_moduli: Vec<Modulus>,
+    t_moduli: Vec<Modulus>,
+    plans: HashMap<u64, NttPlan>,
+    /// `P mod q_i` and `P⁻¹ mod q_i` for Mod Down.
+    p_mod_q: Vec<u64>,
+    p_inv_mod_q: Vec<u64>,
+    bconv_cache: RwLock<HashMap<(Vec<u64>, Vec<u64>), Arc<BconvTable>>>,
+}
+
+impl std::fmt::Debug for CkksContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CkksContext")
+            .field("n", &self.params.n())
+            .field("levels", &self.q_primes.len())
+            .field("special", &self.p_primes.len())
+            .field("klss_limbs", &self.t_primes.len())
+            .finish()
+    }
+}
+
+impl CkksContext {
+    /// Builds the context: generates prime chains and NTT plans.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-generation and plan-construction failures; also
+    /// fails when a KLSS `WordSize_T` exceeds 61 bits (word-arithmetic
+    /// limit of this implementation — e.g. Table 4 Set-D, which this
+    /// reproduction supports in the performance model only).
+    pub fn new(params: CkksParams) -> Result<Self, MathError> {
+        params.validate()?;
+        let n = params.n();
+        let count = params.max_level + 1;
+        let (q_primes, p_primes) =
+            primes::ckks_prime_chain(params.word_size, params.word_size, n, count, params.special)?;
+        let t_primes = if let Some(k) = params.klss {
+            if k.word_size_t > 61 {
+                return Err(MathError::InvalidModulus(1u64 << 62));
+            }
+            let alpha_p = params.alpha_prime();
+            if k.word_size_t == params.word_size {
+                // Must avoid colliding with q/p: draw a longer run and skip.
+                let all = primes::ntt_primes(k.word_size_t, n, count + params.special + alpha_p)?;
+                all[count + params.special..].to_vec()
+            } else {
+                primes::ntt_primes(k.word_size_t, n, alpha_p)?
+            }
+        } else {
+            Vec::new()
+        };
+        let to_moduli = |ps: &[u64]| -> Result<Vec<Modulus>, MathError> {
+            ps.iter().map(|&q| Modulus::new(q)).collect()
+        };
+        let q_moduli = to_moduli(&q_primes)?;
+        let p_moduli = to_moduli(&p_primes)?;
+        let t_moduli = to_moduli(&t_primes)?;
+        let mut plans = HashMap::new();
+        for &q in q_primes.iter().chain(&p_primes).chain(&t_primes) {
+            plans.insert(q, NttPlan::new(q, n)?);
+        }
+        let mut p_mod_q = Vec::with_capacity(q_moduli.len());
+        let mut p_inv_mod_q = Vec::with_capacity(q_moduli.len());
+        for m in &q_moduli {
+            let mut acc = 1u64;
+            for &p in &p_primes {
+                acc = m.mul(acc, m.reduce(p));
+            }
+            p_mod_q.push(acc);
+            p_inv_mod_q.push(m.inv(acc)?);
+        }
+        Ok(Self {
+            params,
+            q_primes,
+            p_primes,
+            t_primes,
+            q_moduli,
+            p_moduli,
+            t_moduli,
+            plans,
+            p_mod_q,
+            p_inv_mod_q,
+            bconv_cache: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The static parameters.
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// Ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.params.n()
+    }
+
+    /// Data primes `q_0..q_L`.
+    pub fn q_primes(&self) -> &[u64] {
+        &self.q_primes
+    }
+
+    /// Special primes `p_0..p_{K-1}`.
+    pub fn p_primes(&self) -> &[u64] {
+        &self.p_primes
+    }
+
+    /// KLSS auxiliary primes `t_0..t_{α'-1}` (empty without KLSS).
+    pub fn t_primes(&self) -> &[u64] {
+        &self.t_primes
+    }
+
+    /// Data moduli up to level `l` inclusive.
+    pub fn q_moduli(&self, level: usize) -> &[Modulus] {
+        &self.q_moduli[..=level]
+    }
+
+    /// Special-prime moduli.
+    pub fn p_moduli(&self) -> &[Modulus] {
+        &self.p_moduli
+    }
+
+    /// KLSS auxiliary moduli.
+    pub fn t_moduli(&self) -> &[Modulus] {
+        &self.t_moduli
+    }
+
+    /// Concatenated `q_0..q_l, p_0..p_{K-1}` moduli (the `R_PQ` basis at
+    /// level `l`).
+    pub fn qp_moduli(&self, level: usize) -> Vec<Modulus> {
+        let mut v = self.q_moduli[..=level].to_vec();
+        v.extend_from_slice(&self.p_moduli);
+        v
+    }
+
+    /// Concatenated `q` and `p` prime values at level `l`.
+    pub fn qp_primes(&self, level: usize) -> Vec<u64> {
+        let mut v = self.q_primes[..=level].to_vec();
+        v.extend_from_slice(&self.p_primes);
+        v
+    }
+
+    /// `P mod q_i`.
+    pub fn p_mod_q(&self, i: usize) -> u64 {
+        self.p_mod_q[i]
+    }
+
+    /// `P⁻¹ mod q_i`.
+    pub fn p_inv_mod_q(&self, i: usize) -> u64 {
+        self.p_inv_mod_q[i]
+    }
+
+    /// The NTT plan for one prime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prime is not part of any chain in this context.
+    pub fn plan(&self, prime: u64) -> &NttPlan {
+        self.plans.get(&prime).expect("prime not managed by this context")
+    }
+
+    /// Forward-NTTs a polynomial in place (per-limb plans chosen by the
+    /// modulus list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the poly is already in NTT domain or moduli are unknown.
+    pub fn ntt_forward(&self, poly: &mut RnsPoly, moduli: &[Modulus]) {
+        assert_eq!(poly.domain(), Domain::Coeff, "already in NTT domain");
+        assert_eq!(poly.limb_count(), moduli.len());
+        poly.limbs_mut().par_iter_mut().zip(moduli.par_iter()).for_each(|(limb, m)| {
+            radix2::forward(self.plan(m.value()), limb);
+        });
+        poly.set_domain(Domain::Ntt);
+    }
+
+    /// Inverse-NTTs a polynomial in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the poly is already in coefficient domain.
+    pub fn ntt_inverse(&self, poly: &mut RnsPoly, moduli: &[Modulus]) {
+        assert_eq!(poly.domain(), Domain::Ntt, "already in coefficient domain");
+        assert_eq!(poly.limb_count(), moduli.len());
+        poly.limbs_mut().par_iter_mut().zip(moduli.par_iter()).for_each(|(limb, m)| {
+            radix2::inverse(self.plan(m.value()), limb);
+        });
+        poly.set_domain(Domain::Coeff);
+    }
+
+    /// Samples a ternary secret with values in `{-1, 0, 1}`.
+    pub fn sample_ternary<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<i64> {
+        (0..self.degree()).map(|_| rng.gen_range(-1i64..=1)).collect()
+    }
+
+    /// Samples a rounded Gaussian error vector (σ from the params,
+    /// truncated at 6σ).
+    pub fn sample_gaussian<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<i64> {
+        let sigma = self.params.error_std;
+        (0..self.degree())
+            .map(|_| {
+                // Box–Muller.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen::<f64>();
+                let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (g * sigma).round().clamp(-6.0 * sigma, 6.0 * sigma) as i64
+            })
+            .collect()
+    }
+
+    /// Uniformly random polynomial over the given moduli (NTT domain —
+    /// uniform in either domain, and keys are used in NTT form).
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R, moduli: &[Modulus]) -> RnsPoly {
+        RnsPoly::random_uniform(rng, self.degree(), moduli, Domain::Ntt)
+    }
+
+    /// A cached base-conversion table between two prime lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a basis cannot be constructed (shared primes etc. — a
+    /// context-internal invariant violation).
+    pub fn bconv_table(&self, src: &[u64], dst: &[u64]) -> Arc<BconvTable> {
+        let key = (src.to_vec(), dst.to_vec());
+        if let Some(t) = self.bconv_cache.read().get(&key) {
+            return t.clone();
+        }
+        let src_basis = RnsBasis::new(src).expect("valid source basis");
+        let dst_basis = RnsBasis::new(dst).expect("valid target basis");
+        let table = Arc::new(BconvTable::new(&src_basis, &dst_basis).expect("coprime bases"));
+        self.bconv_cache.write().insert(key, table.clone());
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{CkksParams, ParamSet};
+
+    #[test]
+    fn builds_test_context() {
+        let ctx = CkksContext::new(CkksParams::test_tiny()).unwrap();
+        assert_eq!(ctx.q_primes().len(), 6);
+        assert_eq!(ctx.p_primes().len(), 2);
+        assert!(!ctx.t_primes().is_empty());
+        // All primes distinct.
+        let mut all: Vec<u64> = ctx
+            .q_primes()
+            .iter()
+            .chain(ctx.p_primes())
+            .chain(ctx.t_primes())
+            .copied()
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+
+    #[test]
+    fn set_d_rejected_functionally() {
+        // WordSize_T = 64 exceeds the 61-bit word arithmetic limit: the
+        // performance model covers Set-D, the functional context does not.
+        assert!(CkksContext::new(ParamSet::D.params()).is_err());
+    }
+
+    #[test]
+    fn ntt_roundtrip_via_context() {
+        let ctx = CkksContext::new(CkksParams::test_tiny()).unwrap();
+        let moduli = ctx.qp_moduli(2);
+        let mut rng = rand::thread_rng();
+        let mut poly = RnsPoly::random_uniform(&mut rng, ctx.degree(), &moduli, Domain::Coeff);
+        let orig = poly.clone();
+        ctx.ntt_forward(&mut poly, &moduli);
+        assert_ne!(poly, orig);
+        ctx.ntt_inverse(&mut poly, &moduli);
+        assert_eq!(poly, orig);
+    }
+
+    #[test]
+    fn p_inverse_identity() {
+        let ctx = CkksContext::new(CkksParams::test_tiny()).unwrap();
+        for (i, m) in ctx.q_moduli(5).iter().enumerate() {
+            assert_eq!(m.mul(ctx.p_mod_q(i), ctx.p_inv_mod_q(i)), 1);
+        }
+    }
+
+    #[test]
+    fn bconv_table_cache_hits() {
+        let ctx = CkksContext::new(CkksParams::test_tiny()).unwrap();
+        let t1 = ctx.bconv_table(&ctx.q_primes()[..2].to_vec(), ctx.t_primes());
+        let t2 = ctx.bconv_table(&ctx.q_primes()[..2].to_vec(), ctx.t_primes());
+        assert!(Arc::ptr_eq(&t1, &t2));
+    }
+
+    #[test]
+    fn gaussian_is_small_and_centered() {
+        let ctx = CkksContext::new(CkksParams::test_tiny()).unwrap();
+        let mut rng = rand::thread_rng();
+        let e = ctx.sample_gaussian(&mut rng);
+        let max = e.iter().map(|v| v.abs()).max().unwrap();
+        assert!(max <= (6.0 * 3.2) as i64);
+        let mean: f64 = e.iter().map(|&v| v as f64).sum::<f64>() / e.len() as f64;
+        assert!(mean.abs() < 1.5, "gaussian mean {mean} too far from 0");
+    }
+}

@@ -1,0 +1,440 @@
+//! Key material: secret/public keys, Hybrid key-switching keys, and the
+//! KLSS decomposed keys (Section 2.2).
+//!
+//! Key-switching keys are *level-specific* (the gadget factors involve
+//! `Q_l`), so they are generated on demand per `(level, target)` and
+//! cached in a [`KeyChest`]. A production library would pregenerate a
+//! level-agnostic variant; for a reproduction, on-demand generation keeps
+//! the algebra transparent and testable.
+
+use crate::context::CkksContext;
+use crate::params::KsMethod;
+use neo_math::{Domain, Modulus, RnsBasis, RnsPoly};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A ternary secret key.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    coeffs: Vec<i64>,
+}
+
+impl SecretKey {
+    /// Samples a fresh ternary secret.
+    pub fn generate<R: Rng + ?Sized>(ctx: &CkksContext, rng: &mut R) -> Self {
+        Self { coeffs: ctx.sample_ternary(rng) }
+    }
+
+    /// The ternary coefficients.
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// The secret as an NTT-domain polynomial over the given moduli.
+    pub fn poly_ntt(&self, ctx: &CkksContext, moduli: &[Modulus]) -> RnsPoly {
+        let mut s = RnsPoly::from_signed(&self.coeffs, moduli);
+        ctx.ntt_forward(&mut s, moduli);
+        s
+    }
+}
+
+/// A public encryption key `(p0, p1) = (-a·s + e, a)` over the full data
+/// chain, stored in NTT domain.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    p0: RnsPoly,
+    p1: RnsPoly,
+}
+
+impl PublicKey {
+    /// Generates the public key for `sk`.
+    pub fn generate<R: Rng + ?Sized>(ctx: &CkksContext, sk: &SecretKey, rng: &mut R) -> Self {
+        let moduli = ctx.q_moduli(ctx.params().max_level).to_vec();
+        let s = sk.poly_ntt(ctx, &moduli);
+        let a = ctx.sample_uniform(rng, &moduli);
+        let mut e = RnsPoly::from_signed(&ctx.sample_gaussian(rng), &moduli);
+        ctx.ntt_forward(&mut e, &moduli);
+        let mut p0 = a.clone();
+        p0.mul_pointwise_assign(&s, &moduli);
+        p0.neg_assign(&moduli);
+        p0.add_assign(&e, &moduli);
+        Self { p0, p1: a }
+    }
+
+    /// `p0` truncated to `level + 1` limbs (NTT limbs are independent).
+    pub fn p0_at(&self, level: usize) -> RnsPoly {
+        let mut p = self.p0.clone();
+        p.truncate_limbs(level + 1);
+        p
+    }
+
+    /// `p1` truncated to `level + 1` limbs.
+    pub fn p1_at(&self, level: usize) -> RnsPoly {
+        let mut p = self.p1.clone();
+        p.truncate_limbs(level + 1);
+        p
+    }
+}
+
+/// What a key-switching key re-encrypts under `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyTarget {
+    /// `s²` — relinearization after HMULT.
+    Relin,
+    /// `τ_g(s)` for the Galois exponent `g` — HROTATE / conjugation.
+    Galois(usize),
+}
+
+/// A Hybrid key-switching key at one level: `β` digit keys over `R_PQ_l`
+/// in NTT domain.
+#[derive(Debug, Clone)]
+pub struct HybridKey {
+    /// `digits[j] = [evk_j0, evk_j1]`.
+    pub digits: Vec<[RnsPoly; 2]>,
+    /// The level this key was generated for.
+    pub level: usize,
+}
+
+/// A KLSS key-switching key at one level: `β × β̃` digit keys over `R_T`
+/// in NTT domain. (The gadget reconstitution factors `ẽ_ĵ` are 1 on each
+/// digit's own limbs and 0 elsewhere, so no factor table is needed —
+/// Recover Limbs writes each digit's limbs directly.)
+#[derive(Debug, Clone)]
+pub struct KlssKey {
+    /// `digits[j][ĵ] = [k0, k1]` over the `T` basis, NTT domain.
+    pub digits: Vec<Vec<[RnsPoly; 2]>>,
+    /// The level this key was generated for.
+    pub level: usize,
+}
+
+/// Gadget factors `g_j = D̂_j · [D̂_j⁻¹]_{D_j}` reduced mod every
+/// evaluation limb, for digits given as ranges over `gadget_primes`.
+///
+/// A single formula covers all limbs: `g_j mod m = (D̂_j mod m) · (V mod m)`
+/// with `V = [D̂_j⁻¹]_{D_j}` reconstructed exactly (CRT over the digit).
+pub(crate) fn gadget_factors(
+    gadget_primes: &[u64],
+    ranges: &[Range<usize>],
+    eval_moduli: &[Modulus],
+) -> Vec<Vec<u64>> {
+    ranges
+        .iter()
+        .map(|r| {
+            let digit: Vec<u64> = gadget_primes[r.clone()].to_vec();
+            let others: Vec<u64> = gadget_primes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !r.contains(i))
+                .map(|(_, &p)| p)
+                .collect();
+            // V = [D̂_j⁻¹ mod D_j] via CRT over the digit primes.
+            let digit_basis = RnsBasis::new(&digit).expect("digit basis");
+            let residues: Vec<u64> = digit
+                .iter()
+                .map(|&d| {
+                    let m = Modulus::new(d).expect("digit modulus");
+                    let dhat = others.iter().fold(1u64, |acc, &p| m.mul(acc, m.reduce(p)));
+                    m.inv(dhat).expect("coprime by construction")
+                })
+                .collect();
+            let v = digit_basis.reconstruct(&residues);
+            eval_moduli
+                .iter()
+                .map(|m| {
+                    let dhat = others.iter().fold(1u64, |acc, &p| m.mul(acc, m.reduce(p)));
+                    m.mul(dhat, v.rem_u64(m.value()))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The digit ranges of the ciphertext gadget at a level: `β` runs of `α`
+/// over the `l+1` data limbs.
+pub(crate) fn digit_ranges(alpha: usize, limbs: usize) -> Vec<Range<usize>> {
+    (0..limbs.div_ceil(alpha)).map(|j| (j * alpha)..((j + 1) * alpha).min(limbs)).collect()
+}
+
+/// Holds the secret key and caches per-level key-switching material.
+pub struct KeyChest {
+    ctx: Arc<CkksContext>,
+    sk: SecretKey,
+    rng: Mutex<StdRng>,
+    hybrid: RwLock<HashMap<(usize, KeyTarget), Arc<HybridKey>>>,
+    klss: RwLock<HashMap<(usize, KeyTarget), Arc<KlssKey>>>,
+}
+
+impl std::fmt::Debug for KeyChest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyChest").field("ctx", &self.ctx).finish()
+    }
+}
+
+impl KeyChest {
+    /// Wraps a secret key for on-demand evaluation-key generation.
+    pub fn new(ctx: Arc<CkksContext>, sk: SecretKey, seed: u64) -> Self {
+        Self {
+            ctx,
+            sk,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            hybrid: RwLock::new(HashMap::new()),
+            klss: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The managed context.
+    pub fn context(&self) -> &Arc<CkksContext> {
+        &self.ctx
+    }
+
+    /// The secret key (tests and decryption).
+    pub fn secret_key(&self) -> &SecretKey {
+        &self.sk
+    }
+
+    /// The key-switch target polynomial in NTT domain over `moduli`.
+    fn target_poly(&self, target: KeyTarget, moduli: &[Modulus]) -> RnsPoly {
+        match target {
+            KeyTarget::Relin => {
+                let mut s = self.sk.poly_ntt(&self.ctx, moduli);
+                let s2 = s.clone();
+                s.mul_pointwise_assign(&s2, moduli);
+                s
+            }
+            KeyTarget::Galois(g) => {
+                let s = RnsPoly::from_signed(self.sk.coeffs(), moduli);
+                let mut rot = s.automorphism(g, moduli);
+                self.ctx.ntt_forward(&mut rot, moduli);
+                rot
+            }
+        }
+    }
+
+    /// The Hybrid key for `(level, target)`, generated on first use.
+    pub fn hybrid_key(&self, level: usize, target: KeyTarget) -> Arc<HybridKey> {
+        if let Some(k) = self.hybrid.read().get(&(level, target)) {
+            return k.clone();
+        }
+        let key = Arc::new(self.gen_hybrid(level, target));
+        self.hybrid.write().insert((level, target), key.clone());
+        key
+    }
+
+    /// The KLSS key for `(level, target)`, generated on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter set has no KLSS configuration.
+    pub fn klss_key(&self, level: usize, target: KeyTarget) -> Arc<KlssKey> {
+        if let Some(k) = self.klss.read().get(&(level, target)) {
+            return k.clone();
+        }
+        let key = Arc::new(self.gen_klss(level, target));
+        self.klss.write().insert((level, target), key.clone());
+        key
+    }
+
+    /// Generates the raw digit key pairs `K_j` over `R_PQ_l` (NTT domain):
+    /// `K_j0 + K_j1·s = e_j + P·g_j·target`.
+    fn gen_digit_keys(&self, level: usize, target: KeyTarget) -> Vec<[RnsPoly; 2]> {
+        let ctx = &self.ctx;
+        let qp = ctx.qp_moduli(level);
+        let q_primes = &ctx.q_primes()[..=level];
+        let alpha = ctx.params().alpha();
+        let ranges = digit_ranges(alpha, level + 1);
+        let g = gadget_factors(q_primes, &ranges, &qp);
+        let s = self.sk.poly_ntt(ctx, &qp);
+        let tgt = self.target_poly(target, &qp);
+        let mut rng = self.rng.lock();
+        ranges
+            .iter()
+            .enumerate()
+            .map(|(j, _)| {
+                let a = ctx.sample_uniform(&mut *rng, &qp);
+                let mut e = RnsPoly::from_signed(&ctx.sample_gaussian(&mut *rng), &qp);
+                ctx.ntt_forward(&mut e, &qp);
+                // evk0 = -a*s + e + (P*g_j)·tgt
+                let mut k0 = a.clone();
+                k0.mul_pointwise_assign(&s, &qp);
+                k0.neg_assign(&qp);
+                k0.add_assign(&e, &qp);
+                // P mod q_i for data limbs; P ≡ 0 mod p limbs.
+                let scal: Vec<u64> = qp
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| {
+                        let p_mod = if i <= level { ctx.p_mod_q(i) } else { 0 };
+                        m.mul(p_mod, g[j][i])
+                    })
+                    .collect();
+                let mut pg_tgt = tgt.clone();
+                pg_tgt.mul_scalar_per_limb_assign(&scal, &qp);
+                k0.add_assign(&pg_tgt, &qp);
+                [k0, a]
+            })
+            .collect()
+    }
+
+    fn gen_hybrid(&self, level: usize, target: KeyTarget) -> HybridKey {
+        HybridKey { digits: self.gen_digit_keys(level, target), level }
+    }
+
+    fn gen_klss(&self, level: usize, target: KeyTarget) -> KlssKey {
+        let ctx = &self.ctx;
+        let params = ctx.params();
+        let kcfg = params.klss.expect("KLSS configuration required");
+        let qp = ctx.qp_moduli(level);
+        let qp_primes = ctx.qp_primes(level);
+        let t_primes = ctx.t_primes().to_vec();
+        let t_moduli = ctx.t_moduli().to_vec();
+        // Raw digit keys, moved to coefficient domain for decomposition.
+        let mut raw = self.gen_digit_keys(level, target);
+        for pair in raw.iter_mut() {
+            for k in pair.iter_mut() {
+                ctx.ntt_inverse(k, &qp);
+            }
+        }
+        // Key digits: α̃-limb runs over the full qp chain.
+        let key_ranges = digit_ranges(kcfg.alpha_tilde, level + 1 + params.special);
+        let digits = raw
+            .iter()
+            .map(|pair| {
+                key_ranges
+                    .iter()
+                    .map(|r| {
+                        let digit_primes = qp_primes[r.clone()].to_vec();
+                        let table = ctx.bconv_table(&digit_primes, &t_primes);
+                        let mut out: Vec<RnsPoly> = pair
+                            .iter()
+                            .map(|k| {
+                                let limbs: Vec<Vec<u64>> =
+                                    r.clone().map(|i| k.limb(i).to_vec()).collect();
+                                let conv = table.convert_exact(&limbs);
+                                let mut p =
+                                    RnsPoly::from_limbs(conv, Domain::Coeff).expect("valid limbs");
+                                ctx.ntt_forward(&mut p, &t_moduli);
+                                p
+                            })
+                            .collect();
+                        let k1 = out.pop().expect("two components");
+                        let k0 = out.pop().expect("two components");
+                        [k0, k1]
+                    })
+                    .collect()
+            })
+            .collect();
+        KlssKey { digits, level }
+    }
+
+    /// Drops cached keys for one method (memory control in long runs).
+    pub fn clear_cache(&self, method: KsMethod) {
+        match method {
+            KsMethod::Hybrid => self.hybrid.write().clear(),
+            KsMethod::Klss => self.klss.write().clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+
+    fn chest() -> KeyChest {
+        let ctx = Arc::new(CkksContext::new(CkksParams::test_tiny()).unwrap());
+        let mut rng = StdRng::seed_from_u64(1);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        KeyChest::new(ctx, sk, 2)
+    }
+
+    #[test]
+    fn gadget_identity_reconstructs() {
+        // sum_j [x]_{D_j} * g_j ≡ x (mod Q) for the digit decomposition.
+        let chest = chest();
+        let ctx = chest.context();
+        let level = 5;
+        let q_primes = &ctx.q_primes()[..=level];
+        let moduli = ctx.q_moduli(level).to_vec();
+        let ranges = digit_ranges(ctx.params().alpha(), level + 1);
+        let g = gadget_factors(q_primes, &ranges, &moduli);
+        // Pick x via residues of a moderate integer.
+        let x: Vec<u64> = moduli.iter().map(|m| m.reduce(0xDEAD_BEEF_CAFE)).collect();
+        for (i, m) in moduli.iter().enumerate() {
+            let mut acc = 0u64;
+            for (j, r) in ranges.iter().enumerate() {
+                // Digit value mod q_i: [x]_{D_j} ≡ x mod q_i only if i in digit;
+                // reconstruct digit integer and reduce.
+                let digit_primes: Vec<u64> = q_primes[r.clone()].to_vec();
+                let digit_basis = RnsBasis::new(&digit_primes).unwrap();
+                let digit_res: Vec<u64> = r
+                    .clone()
+                    .map(|t| Modulus::new(q_primes[t]).unwrap().reduce(0xDEAD_BEEF_CAFE))
+                    .collect();
+                let digit_val = digit_basis.reconstruct(&digit_res);
+                acc = m.add(acc, m.mul(m.reduce(digit_val.rem_u64(m.value())), g[j][i]));
+            }
+            assert_eq!(acc, x[i], "limb {i}");
+        }
+    }
+
+    #[test]
+    fn hybrid_key_phase_identity() {
+        // evk_j0 + evk_j1 * s = e_j + P*g_j*s^2 — check smallness after
+        // subtracting the structured part is impossible without e_j, but we
+        // can check the *digit-0 own-limb* structure: on limb 0 (inside
+        // digit 0) g_0 = 1, so phase ≈ P*s² + e.
+        let chest = chest();
+        let ctx = chest.context();
+        let level = 3;
+        let key = chest.hybrid_key(level, KeyTarget::Relin);
+        assert_eq!(key.digits.len(), ctx.params().beta(level));
+        let qp = ctx.qp_moduli(level);
+        let s = chest.secret_key().poly_ntt(ctx, &qp);
+        let mut s2 = s.clone();
+        s2.mul_pointwise_assign(&s, &qp);
+        // phase = k0 + k1*s
+        let mut phase = key.digits[0][1].clone();
+        phase.mul_pointwise_assign(&s, &qp);
+        phase.add_assign(&key.digits[0][0], &qp);
+        // subtract P*g_0*s² on limb 0: g_0 = 1 there.
+        let scal: Vec<u64> = qp
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { ctx.p_mod_q(0) } else { 0 })
+            .collect();
+        let mut ps2 = s2.clone();
+        ps2.mul_scalar_per_limb_assign(&scal, &qp);
+        phase.sub_assign(&ps2, &qp);
+        ctx.ntt_inverse(&mut phase, &qp);
+        // Limb 0 should now hold just the error e_0 (small).
+        let norm = phase.centered_inf_norm_limb0(&qp[0]);
+        assert!(norm < 64, "residual error too large: {norm}");
+    }
+
+    #[test]
+    fn klss_key_shapes() {
+        let chest = chest();
+        let ctx = chest.context();
+        let level = 4;
+        let key = chest.klss_key(level, KeyTarget::Relin);
+        let p = ctx.params();
+        assert_eq!(key.digits.len(), p.beta(level));
+        assert_eq!(key.digits[0].len(), p.beta_tilde(level));
+        assert_eq!(key.digits[0][0][0].limb_count(), p.alpha_prime());
+    }
+
+    #[test]
+    fn key_cache_returns_same_arc() {
+        let chest = chest();
+        let a = chest.hybrid_key(2, KeyTarget::Relin);
+        let b = chest.hybrid_key(2, KeyTarget::Relin);
+        assert!(Arc::ptr_eq(&a, &b));
+        chest.clear_cache(KsMethod::Hybrid);
+        let c = chest.hybrid_key(2, KeyTarget::Relin);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

@@ -1,0 +1,109 @@
+//! The Hybrid key-switching method (the pre-KLSS state of the art).
+
+use super::mod_down;
+use crate::context::CkksContext;
+use crate::keys::{digit_ranges, HybridKey};
+use neo_math::{Domain, RnsPoly};
+
+/// Switches `d` (coefficient domain, `level + 1` limbs) using a Hybrid
+/// key: returns `(u0, u1)` in coefficient domain with
+/// `u0 + u1·s ≈ d · target`.
+///
+/// # Panics
+///
+/// Panics if `d` is in NTT domain or its level disagrees with the key.
+pub fn keyswitch_hybrid(
+    ctx: &CkksContext,
+    key: &HybridKey,
+    d: &RnsPoly,
+) -> (RnsPoly, RnsPoly) {
+    assert_eq!(d.domain(), Domain::Coeff, "keyswitch input must be in coefficient domain");
+    let level = key.level;
+    assert_eq!(d.limb_count(), level + 1, "level mismatch with key");
+    let qp = ctx.qp_moduli(level);
+    let qp_primes = ctx.qp_primes(level);
+    let q_primes = &ctx.q_primes()[..=level];
+    let ranges = digit_ranges(ctx.params().alpha(), level + 1);
+    let n = d.degree();
+    let mut acc0 = RnsPoly::zero(n, qp.len(), Domain::Ntt);
+    let mut acc1 = RnsPoly::zero(n, qp.len(), Domain::Ntt);
+    for (j, r) in ranges.iter().enumerate() {
+        // Digit limbs straight from d.
+        let digit: Vec<Vec<u64>> = r.clone().map(|i| d.limb(i).to_vec()).collect();
+        // Mod Up: approximate BConv into the complement of the digit.
+        let digit_primes: Vec<u64> = q_primes[r.clone()].to_vec();
+        let complement: Vec<u64> = qp_primes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !r.contains(i))
+            .map(|(_, &p)| p)
+            .collect();
+        let table = ctx.bconv_table(&digit_primes, &complement);
+        let conv = table.convert_approx(&digit);
+        // Reassemble in qp order.
+        let mut limbs: Vec<Vec<u64>> = Vec::with_capacity(qp.len());
+        let mut conv_iter = conv.into_iter();
+        let mut digit_iter = digit.into_iter();
+        for i in 0..qp.len() {
+            if r.contains(&i) {
+                limbs.push(digit_iter.next().expect("digit limb"));
+            } else {
+                limbs.push(conv_iter.next().expect("converted limb"));
+            }
+        }
+        let mut x = RnsPoly::from_limbs(limbs, Domain::Coeff).expect("valid limbs");
+        ctx.ntt_forward(&mut x, &qp);
+        // Inner product with the digit key.
+        acc0.mul_acc_assign(&x, &key.digits[j][0], &qp);
+        acc1.mul_acc_assign(&x, &key.digits[j][1], &qp);
+    }
+    ctx.ntt_inverse(&mut acc0, &qp);
+    ctx.ntt_inverse(&mut acc1, &qp);
+    (mod_down(ctx, &acc0, level), mod_down(ctx, &acc1, level))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::{KeyChest, KeyTarget, SecretKey};
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    /// Full algebraic check: keyswitch(d) under target s² must satisfy
+    /// u0 + u1·s ≈ d·s² with small error (relative to the modulus).
+    #[test]
+    fn hybrid_keyswitch_phase_is_d_times_target() {
+        let ctx = Arc::new(CkksContext::new(CkksParams::test_tiny()).unwrap());
+        let mut rng = StdRng::seed_from_u64(7);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let chest = KeyChest::new(ctx.clone(), sk, 8);
+        let level = 3;
+        let q = ctx.q_moduli(level).to_vec();
+        // A *small* input d keeps the keyswitch error small relative to q0.
+        let d_coeffs: Vec<i64> = (0..ctx.degree() as i64).map(|i| (i % 17) - 8).collect();
+        let d = RnsPoly::from_signed(&d_coeffs, &q);
+        let key = chest.hybrid_key(level, KeyTarget::Relin);
+        let (u0, u1) = keyswitch_hybrid(&ctx, &key, &d);
+        // phase = u0 + u1*s  (computed in NTT domain).
+        let s = chest.secret_key().poly_ntt(&ctx, &q);
+        let mut u1n = u1.clone();
+        ctx.ntt_forward(&mut u1n, &q);
+        u1n.mul_pointwise_assign(&s, &q);
+        let mut phase = u0.clone();
+        ctx.ntt_forward(&mut phase, &q);
+        phase.add_assign(&u1n, &q);
+        // expected = d * s².
+        let mut s2 = s.clone();
+        s2.mul_pointwise_assign(&s, &q);
+        let mut dn = d.clone();
+        ctx.ntt_forward(&mut dn, &q);
+        dn.mul_pointwise_assign(&s2, &q);
+        phase.sub_assign(&dn, &q);
+        ctx.ntt_inverse(&mut phase, &q);
+        // Residual must be small (keyswitch noise ~ N * B_err * digits / P).
+        let norm = phase.centered_inf_norm_limb0(&q[0]);
+        assert!(norm < 1 << 20, "keyswitch error too large: {norm}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Key switching — the operation the whole paper optimizes.
+//!
+//! Both methods take a polynomial `d` at level `l` (coefficient domain)
+//! and a key re-encrypting `target` under `s`, and return a ciphertext
+//! pair `(u0, u1)` with `u0 + u1·s ≈ d · target`:
+//!
+//! * [`hybrid::keyswitch_hybrid`] — digit decomposition, Mod Up to
+//!   `R_PQ_l`, inner product with the digit keys, Mod Down by `P`;
+//! * [`klss::keyswitch_klss`] — the KLSS method: exact Mod Up into the
+//!   small auxiliary basis `R_T`, the `β × β̃` inner product over `R_T`,
+//!   *Recover Limbs* back into `R_PQ_l`, Mod Down (Fig. 5).
+
+pub mod hybrid;
+pub mod klss;
+
+use crate::context::CkksContext;
+use neo_math::RnsPoly;
+
+/// Mod Down by `P`: takes a coefficient-domain polynomial over the
+/// `R_PQ_l` basis (`l+1` data limbs then `K` special limbs) and returns
+/// `round(x / P)` over the data limbs.
+///
+/// # Panics
+///
+/// Panics if the limb count is not `level + 1 + K`.
+pub(crate) fn mod_down(ctx: &CkksContext, poly: &RnsPoly, level: usize) -> RnsPoly {
+    let k = ctx.p_primes().len();
+    assert_eq!(poly.limb_count(), level + 1 + k, "expected R_PQ limbs");
+    let p_part: Vec<Vec<u64>> =
+        (level + 1..level + 1 + k).map(|i| poly.limb(i).to_vec()).collect();
+    let table = ctx.bconv_table(&ctx.p_primes().to_vec(), &ctx.q_primes()[..=level].to_vec());
+    let conv = table.convert_approx(&p_part);
+    let q_moduli = ctx.q_moduli(level);
+    let mut out = RnsPoly::zero(poly.degree(), level + 1, neo_math::Domain::Coeff);
+    for (i, m) in q_moduli.iter().enumerate() {
+        let inv = ctx.p_inv_mod_q(i);
+        let dst = out.limb_mut(i);
+        for (c, d) in dst.iter_mut().enumerate() {
+            let diff = m.sub(poly.limb(i)[c], conv[i][c]);
+            *d = m.mul(diff, inv);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+    use neo_math::{BigUint, Domain};
+
+    #[test]
+    fn mod_down_divides_by_p() {
+        let ctx = CkksContext::new(CkksParams::test_tiny()).unwrap();
+        let level = 2;
+        let qp = ctx.qp_moduli(level);
+        // Build x = P * v for a small v: mod_down must return exactly v.
+        let p_big = BigUint::product(ctx.p_primes());
+        let v = 12_345u64;
+        let x_int = p_big.mul_u64(v);
+        let limbs: Vec<Vec<u64>> = qp
+            .iter()
+            .map(|m| vec![x_int.rem_u64(m.value()); ctx.degree()])
+            .collect();
+        let poly = RnsPoly::from_limbs(limbs, Domain::Coeff).unwrap();
+        let out = mod_down(&ctx, &poly, level);
+        for (i, m) in ctx.q_moduli(level).iter().enumerate() {
+            assert!(out.limb(i).iter().all(|&c| c == m.reduce(v)), "limb {i}");
+        }
+    }
+
+    #[test]
+    fn mod_down_rounds_small_remainder() {
+        // x = P*v + r with small r: result should be v or v±1 (rounding
+        // noise), never off by more.
+        let ctx = CkksContext::new(CkksParams::test_tiny()).unwrap();
+        let level = 1;
+        let qp = ctx.qp_moduli(level);
+        let p_big = BigUint::product(ctx.p_primes());
+        let v = 999u64;
+        let x_int = p_big.mul_u64(v).add_u64(12_345);
+        let limbs: Vec<Vec<u64>> =
+            qp.iter().map(|m| vec![x_int.rem_u64(m.value()); ctx.degree()]).collect();
+        let poly = RnsPoly::from_limbs(limbs, Domain::Coeff).unwrap();
+        let out = mod_down(&ctx, &poly, level);
+        let m0 = &ctx.q_moduli(level)[0];
+        let got = out.limb(0)[0];
+        let diff = m0.to_signed(m0.sub(got, m0.reduce(v))).abs();
+        assert!(diff <= ctx.p_primes().len() as i64 + 1, "diff {diff}");
+    }
+}

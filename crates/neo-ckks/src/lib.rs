@@ -1,0 +1,52 @@
+//! RNS-CKKS for the Neo reproduction: encoding, key generation, the
+//! primitive homomorphic operations, and both key-switching methods the
+//! paper contrasts (Hybrid and KLSS), plus the cost models that drive the
+//! paper's tables and figures.
+//!
+//! # Quick start
+//!
+//! ```rust
+//! use neo_ckks::{CkksContext, CkksParams, Encoder, KeyChest, KsMethod};
+//! use neo_ckks::encoding::Complex64;
+//! use neo_ckks::keys::{PublicKey, SecretKey};
+//! use neo_ckks::ops;
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), neo_math::MathError> {
+//! let ctx = Arc::new(CkksContext::new(CkksParams::test_tiny())?);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let sk = SecretKey::generate(&ctx, &mut rng);
+//! let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+//! let chest = KeyChest::new(ctx.clone(), sk, 2);
+//! let enc = Encoder::new(ctx.degree());
+//!
+//! let vals = vec![Complex64::new(1.5, 0.0), Complex64::new(-2.0, 0.25)];
+//! let pt = enc.encode(&ctx, &vals, ctx.params().scale(), 3);
+//! let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
+//! let ct2 = ops::hmult(&chest, &ct, &ct, KsMethod::Klss); // square it
+//! let ct2 = ops::rescale(&ctx, &ct2);
+//! let out = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &ct2));
+//! assert!((out[0].re - 2.25).abs() < 1e-2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bootstrap;
+pub mod ciphertext;
+pub mod complexity;
+pub mod context;
+pub mod cost;
+pub mod encoding;
+pub mod keys;
+pub mod keyswitch;
+pub mod linear;
+pub mod noise;
+pub mod ops;
+pub mod params;
+
+pub use ciphertext::{Ciphertext, Plaintext};
+pub use context::CkksContext;
+pub use encoding::Encoder;
+pub use keys::{KeyChest, KeyTarget, PublicKey, SecretKey};
+pub use params::{CkksParams, KlssConfig, KsMethod, ParamSet};

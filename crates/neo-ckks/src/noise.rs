@@ -1,0 +1,100 @@
+//! Noise/precision diagnostics: measure how many bits of slot precision a
+//! ciphertext retains against a known reference — the quantity the paper's
+//! precision arguments (WordSize ≥ 36, Double Rescale) are about.
+
+use crate::ciphertext::Ciphertext;
+use crate::context::CkksContext;
+use crate::encoding::{Complex64, Encoder};
+use crate::keys::SecretKey;
+use crate::ops;
+
+/// Largest absolute slot error of `ct` against the expected slot values.
+///
+/// # Panics
+///
+/// Panics if `expected.len()` exceeds the slot count.
+pub fn max_slot_error(
+    ctx: &CkksContext,
+    enc: &Encoder,
+    sk: &SecretKey,
+    ct: &Ciphertext,
+    expected: &[Complex64],
+) -> f64 {
+    assert!(expected.len() <= enc.slots());
+    let got = enc.decode(ctx, &ops::decrypt(ctx, sk, ct));
+    expected
+        .iter()
+        .zip(&got)
+        .map(|(w, g)| (*g - *w).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Remaining precision in bits: `-log2(max slot error)` (clamped at 0 for
+/// fully destroyed ciphertexts).
+pub fn precision_bits(
+    ctx: &CkksContext,
+    enc: &Encoder,
+    sk: &SecretKey,
+    ct: &Ciphertext,
+    expected: &[Complex64],
+) -> f64 {
+    let err = max_slot_error(ctx, enc, sk, ct, expected);
+    if err <= 0.0 {
+        f64::INFINITY
+    } else {
+        (-err.log2()).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::{KeyChest, PublicKey};
+    use crate::params::{CkksParams, KsMethod};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn precision_degrades_down_a_mult_chain() {
+        let ctx = Arc::new(CkksContext::new(CkksParams::test_tiny()).unwrap());
+        let mut rng = StdRng::seed_from_u64(21);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+        let chest = KeyChest::new(ctx.clone(), sk, 22);
+        let enc = Encoder::new(ctx.degree());
+        let vals: Vec<Complex64> =
+            (0..enc.slots()).map(|i| Complex64::new(0.8 + 1e-4 * i as f64, 0.0)).collect();
+        let pt = enc.encode(&ctx, &vals, ctx.params().scale(), 4);
+        let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
+        let fresh_bits = precision_bits(&ctx, &enc, chest.secret_key(), &ct, &vals);
+        assert!(fresh_bits > 20.0, "fresh ciphertext too noisy: {fresh_bits:.1} bits");
+        // Square twice.
+        let mut cur = ct;
+        let mut want = vals.clone();
+        for _ in 0..2 {
+            cur = ops::rescale(&ctx, &ops::hmult(&chest, &cur, &cur, KsMethod::Klss));
+            want = want.iter().map(|v| *v * *v).collect();
+        }
+        let deep_bits = precision_bits(&ctx, &enc, chest.secret_key(), &cur, &want);
+        assert!(deep_bits > 8.0, "depth-2 result unusable: {deep_bits:.1} bits");
+        assert!(deep_bits < fresh_bits, "noise must grow with depth");
+    }
+
+    #[test]
+    fn exact_match_reports_infinite_precision() {
+        // A contrived zero-error comparison hits the guard path.
+        let ctx = Arc::new(CkksContext::new(CkksParams::test_tiny()).unwrap());
+        let mut rng = StdRng::seed_from_u64(23);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+        let enc = Encoder::new(ctx.degree());
+        let vals = vec![Complex64::new(0.5, 0.0); 4];
+        let pt = enc.encode(&ctx, &vals, ctx.params().scale(), 2);
+        let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
+        // Compare against its own decryption: error exactly zero.
+        let own = enc.decode(&ctx, &ops::decrypt(&ctx, &sk, &ct));
+        let bits = precision_bits(&ctx, &enc, &sk, &ct, &own);
+        assert!(bits.is_infinite());
+    }
+}

@@ -1,0 +1,271 @@
+//! The CKKS primitive operations (Section 2.1): encryption, decryption,
+//! HADD/PADD, PMULT, HMULT (with relinearization), HROTATE, Rescale and
+//! Double Rescale.
+
+use crate::ciphertext::{Ciphertext, Plaintext};
+use crate::context::CkksContext;
+use crate::keys::{KeyChest, KeyTarget, PublicKey, SecretKey};
+use crate::keyswitch::{hybrid::keyswitch_hybrid, klss::keyswitch_klss};
+use crate::params::KsMethod;
+use neo_math::{Domain, RnsPoly};
+use rand::Rng;
+
+/// Encrypts a plaintext under the public key:
+/// `ct = (v·p0 + e0 + m, v·p1 + e1)`.
+pub fn encrypt<R: Rng + ?Sized>(
+    ctx: &CkksContext,
+    pk: &PublicKey,
+    pt: &Plaintext,
+    rng: &mut R,
+) -> Ciphertext {
+    let level = pt.level();
+    let moduli = ctx.q_moduli(level).to_vec();
+    let mut v = RnsPoly::from_signed(&ctx.sample_ternary(rng), &moduli);
+    ctx.ntt_forward(&mut v, &moduli);
+    let mut c0 = pk.p0_at(level);
+    c0.mul_pointwise_assign(&v, &moduli);
+    let mut c1 = pk.p1_at(level);
+    c1.mul_pointwise_assign(&v, &moduli);
+    ctx.ntt_inverse(&mut c0, &moduli);
+    ctx.ntt_inverse(&mut c1, &moduli);
+    let e0 = RnsPoly::from_signed(&ctx.sample_gaussian(rng), &moduli);
+    let e1 = RnsPoly::from_signed(&ctx.sample_gaussian(rng), &moduli);
+    c0.add_assign(&e0, &moduli);
+    c0.add_assign(pt.poly(), &moduli);
+    c1.add_assign(&e1, &moduli);
+    Ciphertext::new(c0, c1, pt.scale(), level)
+}
+
+/// Decrypts: `m = c0 + c1·s`.
+pub fn decrypt(ctx: &CkksContext, sk: &SecretKey, ct: &Ciphertext) -> Plaintext {
+    let moduli = ctx.q_moduli(ct.level()).to_vec();
+    let s = sk.poly_ntt(ctx, &moduli);
+    let mut c1 = ct.c1().clone();
+    ctx.ntt_forward(&mut c1, &moduli);
+    c1.mul_pointwise_assign(&s, &moduli);
+    ctx.ntt_inverse(&mut c1, &moduli);
+    let mut m = ct.c0().clone();
+    m.add_assign(&c1, &moduli);
+    Plaintext::new(m, ct.scale(), ct.level())
+}
+
+fn assert_compatible(a: &Ciphertext, b: &Ciphertext) {
+    assert_eq!(a.level(), b.level(), "level mismatch — call level_reduce first");
+    let ratio = a.scale() / b.scale();
+    // Rescaling divides by q_i ≈ 2^scale_bits, leaving a ~1e-6 relative
+    // drift between "one rescale deep" operands; anything larger is a
+    // genuine scale mismatch (e.g. Δ vs Δ²).
+    assert!((ratio - 1.0).abs() < 1e-4, "scale mismatch: {} vs {}", a.scale(), b.scale());
+}
+
+/// HADD: ciphertext + ciphertext.
+///
+/// # Panics
+///
+/// Panics on level or scale mismatch.
+pub fn hadd(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+    assert_compatible(a, b);
+    let moduli = ctx.q_moduli(a.level());
+    let mut out = a.clone();
+    let (c0, c1) = out.parts_mut();
+    c0.add_assign(b.c0(), moduli);
+    c1.add_assign(b.c1(), moduli);
+    out
+}
+
+/// HSUB: ciphertext − ciphertext.
+///
+/// # Panics
+///
+/// Panics on level or scale mismatch.
+pub fn hsub(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+    assert_compatible(a, b);
+    let moduli = ctx.q_moduli(a.level());
+    let mut out = a.clone();
+    let (c0, c1) = out.parts_mut();
+    c0.sub_assign(b.c0(), moduli);
+    c1.sub_assign(b.c1(), moduli);
+    out
+}
+
+/// PADD: ciphertext + plaintext (scales must match).
+///
+/// # Panics
+///
+/// Panics on level or scale mismatch.
+pub fn padd(ctx: &CkksContext, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+    assert_eq!(a.level(), pt.level(), "level mismatch");
+    assert!((a.scale() / pt.scale() - 1.0).abs() < 1e-4, "scale mismatch");
+    let moduli = ctx.q_moduli(a.level());
+    let mut out = a.clone();
+    out.parts_mut().0.add_assign(pt.poly(), moduli);
+    out
+}
+
+/// PMULT: ciphertext × plaintext. The result's scale is the product of the
+/// scales; rescale afterwards.
+///
+/// # Panics
+///
+/// Panics on level mismatch.
+pub fn pmult(ctx: &CkksContext, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+    assert_eq!(a.level(), pt.level(), "level mismatch");
+    let moduli = ctx.q_moduli(a.level()).to_vec();
+    let mut m = pt.poly().clone();
+    ctx.ntt_forward(&mut m, &moduli);
+    let mut c0 = a.c0().clone();
+    let mut c1 = a.c1().clone();
+    ctx.ntt_forward(&mut c0, &moduli);
+    ctx.ntt_forward(&mut c1, &moduli);
+    c0.mul_pointwise_assign(&m, &moduli);
+    c1.mul_pointwise_assign(&m, &moduli);
+    ctx.ntt_inverse(&mut c0, &moduli);
+    ctx.ntt_inverse(&mut c1, &moduli);
+    Ciphertext::new(c0, c1, a.scale() * pt.scale(), a.level())
+}
+
+/// HMULT: ciphertext × ciphertext with relinearization via the chest's
+/// key-switching method of choice. The result's scale is the product;
+/// rescale afterwards.
+///
+/// # Panics
+///
+/// Panics on level/scale mismatch.
+pub fn hmult(chest: &KeyChest, a: &Ciphertext, b: &Ciphertext, method: KsMethod) -> Ciphertext {
+    assert_eq!(a.level(), b.level(), "level mismatch");
+    let ctx = chest.context();
+    let level = a.level();
+    let moduli = ctx.q_moduli(level).to_vec();
+    // Tensor product in NTT domain.
+    let mut a0 = a.c0().clone();
+    let mut a1 = a.c1().clone();
+    let mut b0 = b.c0().clone();
+    let mut b1 = b.c1().clone();
+    ctx.ntt_forward(&mut a0, &moduli);
+    ctx.ntt_forward(&mut a1, &moduli);
+    ctx.ntt_forward(&mut b0, &moduli);
+    ctx.ntt_forward(&mut b1, &moduli);
+    let mut d0 = a0.clone();
+    d0.mul_pointwise_assign(&b0, &moduli);
+    let mut d1 = a0.clone();
+    d1.mul_pointwise_assign(&b1, &moduli);
+    let mut t = a1.clone();
+    t.mul_pointwise_assign(&b0, &moduli);
+    d1.add_assign(&t, &moduli);
+    let mut d2 = a1.clone();
+    d2.mul_pointwise_assign(&b1, &moduli);
+    ctx.ntt_inverse(&mut d0, &moduli);
+    ctx.ntt_inverse(&mut d1, &moduli);
+    ctx.ntt_inverse(&mut d2, &moduli);
+    // Relinearize d2.
+    let (u0, u1) = switch(chest, level, KeyTarget::Relin, &d2, method);
+    d0.add_assign(&u0, &moduli);
+    d1.add_assign(&u1, &moduli);
+    Ciphertext::new(d0, d1, a.scale() * b.scale(), level)
+}
+
+/// HROTATE: rotates slots left by `steps` via the automorphism
+/// `X ↦ X^{5^steps}` and a Galois key switch.
+pub fn hrotate(chest: &KeyChest, a: &Ciphertext, steps: usize, method: KsMethod) -> Ciphertext {
+    let ctx = chest.context();
+    let n = ctx.degree();
+    let two_n = 2 * n;
+    let mut g = 1usize;
+    for _ in 0..steps % (n / 2) {
+        g = (g * 5) % two_n;
+    }
+    apply_galois(chest, a, g, method)
+}
+
+/// Complex conjugation of all slots (`X ↦ X^{2N-1}`).
+pub fn hconjugate(chest: &KeyChest, a: &Ciphertext, method: KsMethod) -> Ciphertext {
+    let n = chest.context().degree();
+    apply_galois(chest, a, 2 * n - 1, method)
+}
+
+fn apply_galois(chest: &KeyChest, a: &Ciphertext, g: usize, method: KsMethod) -> Ciphertext {
+    let ctx = chest.context();
+    let level = a.level();
+    let moduli = ctx.q_moduli(level).to_vec();
+    let mut c0 = a.c0().automorphism(g, &moduli);
+    let c1 = a.c1().automorphism(g, &moduli);
+    let (u0, u1) = switch(chest, level, KeyTarget::Galois(g), &c1, method);
+    c0.add_assign(&u0, &moduli);
+    Ciphertext::new(c0, u1, a.scale(), level)
+}
+
+fn switch(
+    chest: &KeyChest,
+    level: usize,
+    target: KeyTarget,
+    d: &RnsPoly,
+    method: KsMethod,
+) -> (RnsPoly, RnsPoly) {
+    let ctx = chest.context();
+    match method {
+        KsMethod::Hybrid => {
+            let key = chest.hybrid_key(level, target);
+            keyswitch_hybrid(ctx, &key, d)
+        }
+        KsMethod::Klss => {
+            let key = chest.klss_key(level, target);
+            keyswitch_klss(ctx, &key, d)
+        }
+    }
+}
+
+/// Rescale: drops the last limb and divides by `q_l`, reducing noise and
+/// scale (Section 2.1).
+///
+/// # Panics
+///
+/// Panics at level 0 (no limb left to drop).
+pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Ciphertext {
+    let level = ct.level();
+    assert!(level >= 1, "cannot rescale at level 0");
+    let q_last = ctx.q_moduli(level)[level];
+    let moduli = ctx.q_moduli(level - 1).to_vec();
+    let rescale_poly = |p: &RnsPoly| -> RnsPoly {
+        let mut out = RnsPoly::zero(p.degree(), level, Domain::Coeff);
+        let last = p.limb(level);
+        for (i, m) in moduli.iter().enumerate() {
+            let inv = m.inv(m.reduce(q_last.value())).expect("coprime chain");
+            let dst = out.limb_mut(i);
+            for (c, d) in dst.iter_mut().enumerate() {
+                // Centered lift of the dropped limb keeps rounding noise
+                // at q_l/2 instead of q_l.
+                let centered = q_last.to_signed(last[c]);
+                let v = neo_math::signed_mod(centered, m.value());
+                *d = m.mul(m.sub(p.limb(i)[c], v), inv);
+            }
+        }
+        out
+    };
+    let c0 = rescale_poly(ct.c0());
+    let c1 = rescale_poly(ct.c1());
+    Ciphertext::new(c0, c1, ct.scale() / q_last.value() as f64, level - 1)
+}
+
+/// Double Rescale (DS): two consecutive rescales, consuming two levels —
+/// required for precision at small word sizes (SHARP / Section 2.1).
+///
+/// # Panics
+///
+/// Panics below level 2.
+pub fn double_rescale(ctx: &CkksContext, ct: &Ciphertext) -> Ciphertext {
+    rescale(ctx, &rescale(ctx, ct))
+}
+
+/// Drops limbs without scaling to bring `ct` down to `level` (modulus
+/// reduction, used for level alignment).
+///
+/// # Panics
+///
+/// Panics if `level` exceeds the ciphertext's current level.
+pub fn level_reduce(ct: &Ciphertext, level: usize) -> Ciphertext {
+    assert!(level <= ct.level(), "cannot raise level");
+    let (mut c0, mut c1) = (ct.c0().clone(), ct.c1().clone());
+    c0.truncate_limbs(level + 1);
+    c1.truncate_limbs(level + 1);
+    Ciphertext::new(c0, c1, ct.scale(), level)
+}

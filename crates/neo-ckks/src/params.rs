@@ -1,0 +1,306 @@
+//! CKKS parameter sets, including the paper's Table 4 presets and the KLSS
+//! parameter derivation (`α'` from the Eq. 4 security constraint, `β̃`).
+
+use neo_math::MathError;
+use serde::{Deserialize, Serialize};
+
+/// KLSS key-switching configuration (Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KlssConfig {
+    /// Bit width of the auxiliary `R_T` primes (`WordSize_T`).
+    pub word_size_t: u32,
+    /// Key digit size `α̃` (limbs per key digit).
+    pub alpha_tilde: usize,
+}
+
+/// Which key-switching method an evaluation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KsMethod {
+    /// The conventional Hybrid method.
+    Hybrid,
+    /// The KLSS method (CRYPTO'23) over the auxiliary basis `R_T`.
+    Klss,
+}
+
+/// Static CKKS parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CkksParams {
+    /// log2 of the ring degree `N`.
+    pub log_n: u32,
+    /// Maximum ciphertext level `L` (the chain has `L+1` data primes).
+    pub max_level: usize,
+    /// Bit width of the data primes (`WordSize`).
+    pub word_size: u32,
+    /// Number of special primes (`K`, equal to `α` in the paper's setup).
+    pub special: usize,
+    /// Gadget digit count `d_num`.
+    pub dnum: usize,
+    /// KLSS configuration, if the KLSS method is to be available.
+    pub klss: Option<KlssConfig>,
+    /// Ciphertexts batched per operation (performance model only).
+    pub batch_size: usize,
+    /// Standard deviation of the error distribution.
+    pub error_std: f64,
+    /// log2 of the encoding scale `Δ`.
+    pub scale_bits: u32,
+    /// Security level from the paper's Table 4 (reported, not re-derived).
+    pub lambda: u32,
+    /// Use single scaling (plain Rescale) in bootstrapping even at small
+    /// word sizes — the TensorFHE\_SS / Neo\_SS rows of Table 5.
+    pub single_scaling: bool,
+}
+
+impl CkksParams {
+    /// Ring degree `N`.
+    pub fn n(&self) -> usize {
+        1usize << self.log_n
+    }
+
+    /// Slot count `N/2`.
+    pub fn slots(&self) -> usize {
+        self.n() / 2
+    }
+
+    /// Encoding scale `Δ`.
+    pub fn scale(&self) -> f64 {
+        2f64.powi(self.scale_bits as i32)
+    }
+
+    /// `α = ⌈(L+1)/d_num⌉` — limbs per ciphertext digit.
+    pub fn alpha(&self) -> usize {
+        (self.max_level + 1).div_ceil(self.dnum)
+    }
+
+    /// `β(l) = ⌈(l+1)/α⌉` — digit count at level `l`.
+    pub fn beta(&self, level: usize) -> usize {
+        (level + 1).div_ceil(self.alpha())
+    }
+
+    /// `β̃(l) = ⌈(l+1+K)/α̃⌉` — KLSS output digit count at level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter set has no KLSS configuration.
+    pub fn beta_tilde(&self, level: usize) -> usize {
+        let k = self.klss.expect("beta_tilde requires a KLSS configuration");
+        (level + 1 + self.special).div_ceil(k.alpha_tilde)
+    }
+
+    /// `α'` — the `R_T` limb count from the Eq. 4 security/correctness
+    /// constraint, sized for the worst case (`l = L`):
+    ///
+    /// ```text
+    /// α' ≥ ⌈ log2(2 β N B B̃) / WordSize_T ⌉,
+    ///   B = 2^(α·w),  B̃ = 2^(α̃·w)
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter set has no KLSS configuration.
+    pub fn alpha_prime(&self) -> usize {
+        let k = self.klss.expect("alpha_prime requires a KLSS configuration");
+        let beta_max = self.beta(self.max_level) as f64;
+        let log_bound = 1.0
+            + beta_max.log2()
+            + self.log_n as f64
+            + (self.alpha() as f64) * self.word_size as f64
+            + (k.alpha_tilde as f64) * self.word_size as f64;
+        (log_bound / k.word_size_t as f64).ceil() as usize
+    }
+
+    /// Basic consistency checks.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::InvalidDegree`] for a degenerate configuration.
+    pub fn validate(&self) -> Result<(), MathError> {
+        if self.log_n < 3 || self.log_n > 17 {
+            return Err(MathError::InvalidDegree(self.log_n as usize));
+        }
+        if self.dnum == 0 || self.dnum > self.max_level + 1 {
+            return Err(MathError::InvalidDegree(self.dnum));
+        }
+        if self.word_size < 20 || self.word_size > 61 {
+            return Err(MathError::InvalidModulus(self.word_size as u64));
+        }
+        Ok(())
+    }
+
+    /// A small parameter set for functional tests: `N = 2^10`, `L = 5`,
+    /// 36-bit words, `d_num = 3`, KLSS with 48-bit `R_T` primes.
+    pub fn test_small() -> Self {
+        Self {
+            log_n: 10,
+            max_level: 5,
+            word_size: 36,
+            special: 2,
+            dnum: 3,
+            klss: Some(KlssConfig { word_size_t: 48, alpha_tilde: 2 }),
+            batch_size: 1,
+            error_std: 3.2,
+            scale_bits: 36,
+            lambda: 0,
+            single_scaling: false,
+        }
+    }
+
+    /// A tiny parameter set (`N = 2^8`) for fast unit tests.
+    pub fn test_tiny() -> Self {
+        Self { log_n: 8, ..Self::test_small() }
+    }
+}
+
+/// The paper's Table 4 parameter sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamSet {
+    /// `d_num = 1`, 36-bit words, Hybrid.
+    A,
+    /// `d_num = 3`, 36-bit words, Hybrid.
+    B,
+    /// `d_num = 9`, 36-bit words, KLSS with `WordSize_T = 48`, `α̃ = 5`.
+    C,
+    /// 60-bit words, `d_num = 36`, KLSS with `WordSize_T = 64`, `α̃ = 3`
+    /// (HEonGPU-comparable).
+    D,
+    /// 60-bit words, `d_num = 36`, Hybrid (HEonGPU's own setting).
+    E,
+    /// `L = 23`, 36-bit, `d_num = 1` (TensorFHE single-scaling setting).
+    F,
+    /// `L = 23`, 36-bit, `d_num = 6`, KLSS (Neo single-scaling setting).
+    G,
+    /// `L = 44`, 60-bit, `d_num = 45` (CPU/100x setting).
+    H,
+}
+
+impl ParamSet {
+    /// All sets in order.
+    pub const ALL: [ParamSet; 8] = [
+        ParamSet::A,
+        ParamSet::B,
+        ParamSet::C,
+        ParamSet::D,
+        ParamSet::E,
+        ParamSet::F,
+        ParamSet::G,
+        ParamSet::H,
+    ];
+
+    /// Materializes the Table 4 column.
+    pub fn params(self) -> CkksParams {
+        let base = CkksParams {
+            log_n: 16,
+            max_level: 35,
+            word_size: 36,
+            special: 0, // filled below as alpha
+            dnum: 1,
+            klss: None,
+            batch_size: 128,
+            error_std: 3.2,
+            scale_bits: 36,
+            lambda: 128,
+            single_scaling: false,
+        };
+        let mut p = match self {
+            ParamSet::A => CkksParams { dnum: 1, ..base },
+            ParamSet::B => CkksParams { dnum: 3, ..base },
+            ParamSet::C => CkksParams {
+                dnum: 9,
+                klss: Some(KlssConfig { word_size_t: 48, alpha_tilde: 5 }),
+                ..base
+            },
+            ParamSet::D => CkksParams {
+                word_size: 60,
+                scale_bits: 60,
+                dnum: 36,
+                klss: Some(KlssConfig { word_size_t: 64, alpha_tilde: 3 }),
+                ..base
+            },
+            ParamSet::E => CkksParams { word_size: 60, scale_bits: 60, dnum: 36, ..base },
+            ParamSet::F => CkksParams { max_level: 23, dnum: 1, single_scaling: true, ..base },
+            ParamSet::G => CkksParams {
+                max_level: 23,
+                dnum: 6,
+                klss: Some(KlssConfig { word_size_t: 48, alpha_tilde: 5 }),
+                single_scaling: true,
+                ..base
+            },
+            ParamSet::H => CkksParams {
+                max_level: 44,
+                word_size: 60,
+                scale_bits: 60,
+                dnum: 45,
+                lambda: 98,
+                ..base
+            },
+        };
+        p.special = p.alpha();
+        p
+    }
+}
+
+impl std::fmt::Display for ParamSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Set-{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_c_derives_paper_alpha_prime() {
+        // The paper's default: alpha = 4, alpha' = 8 (Fig. 11 caption).
+        let p = ParamSet::C.params();
+        assert_eq!(p.alpha(), 4);
+        assert_eq!(p.alpha_prime(), 8);
+        assert_eq!(p.beta(35), 9);
+        assert_eq!(p.beta_tilde(35), 8);
+    }
+
+    #[test]
+    fn set_d_alpha_prime() {
+        let p = ParamSet::D.params();
+        assert_eq!(p.alpha(), 1);
+        // log2(2*36*2^16*2^60*2^180) ≈ 262.2 -> ceil(262.2/64) = 5.
+        assert_eq!(p.alpha_prime(), 5);
+    }
+
+    #[test]
+    fn beta_shrinks_with_level() {
+        let p = ParamSet::C.params();
+        assert_eq!(p.beta(35), 9);
+        assert_eq!(p.beta(3), 1);
+        assert!(p.beta_tilde(3) < p.beta_tilde(35));
+    }
+
+    #[test]
+    fn all_sets_validate() {
+        for s in ParamSet::ALL {
+            s.params().validate().unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ParamSet::C.to_string(), "Set-C");
+    }
+
+    #[test]
+    fn test_set_klss_geometry_is_consistent() {
+        let p = CkksParams::test_small();
+        p.validate().unwrap();
+        assert_eq!(p.alpha(), 2);
+        assert_eq!(p.beta(5), 3);
+        // T must exceed 2*beta*N*B*B~ with margin (Eq. 4 satisfied by
+        // construction of alpha_prime).
+        let k = p.klss.unwrap();
+        let t_bits = p.alpha_prime() as f64 * k.word_size_t as f64;
+        let bound_bits = 1.0
+            + (p.beta(5) as f64).log2()
+            + p.log_n as f64
+            + (p.alpha() * p.word_size as usize) as f64
+            + (k.alpha_tilde * p.word_size as usize) as f64;
+        assert!(t_bits >= bound_bits, "{t_bits} < {bound_bits}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Analytic GPGPU performance model for the Neo reproduction.
+//!
+//! The paper's evaluation runs CUDA kernels on an NVIDIA A100. This crate
+//! is the hardware substitution: every functional kernel in `neo-kernels`
+//! reports an exact [`KernelProfile`] (operation counts per compute
+//! component plus global-memory bytes), and [`DeviceModel`] turns profiles
+//! into time with a roofline model:
+//!
+//! ```text
+//! t_kernel = launches · t_launch + max(t_mem, t_cuda + t_tcu)
+//! ```
+//!
+//! where each component time is `work / (peak · efficiency)`. Sequences of
+//! kernels can additionally model **kernel fusion** (launch amortization +
+//! intermediate-traffic elimination is reflected in the profiles
+//! themselves) and **multi-stream overlap** (CUDA-core phases of one
+//! stream hide TCU phases of another — Section 4.6).
+//!
+//! Efficiency factors are calibrated once against the paper's Table 7 and
+//! then frozen (see `EXPERIMENTS.md`); everything else the model outputs is
+//! a consequence of counted work.
+//!
+//! # Example
+//!
+//! ```rust
+//! use neo_gpu_sim::{DeviceModel, KernelProfile};
+//!
+//! let dev = DeviceModel::a100();
+//! let p = KernelProfile::new("ntt")
+//!     .tcu_fp64_macs(1.0e9)
+//!     .bytes(64.0e6, 64.0e6)
+//!     .launches(1.0);
+//! let t = dev.kernel_time_us(&p);
+//! assert!(t > 0.0);
+//! ```
+
+mod model;
+mod profile;
+mod spec;
+
+pub use model::{DeviceModel, ExecConfig};
+pub use profile::KernelProfile;
+pub use spec::{DeviceSpec, Efficiency};

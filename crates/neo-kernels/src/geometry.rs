@@ -1,0 +1,87 @@
+//! Kernel geometries — the parameter tuples cost profiles are functions of.
+
+/// Where a kernel's matrix multiplications execute (Section 4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulTarget {
+    /// Scalar modular arithmetic on CUDA cores.
+    Cuda,
+    /// FP64 fragments on tensor cores (Neo).
+    TcuFp64,
+    /// INT8 fragments on tensor cores (TensorFHE).
+    TcuInt8,
+}
+
+/// Which NTT algorithm a profile describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NttAlgorithm {
+    /// Radix-2 butterflies on CUDA cores (CPU/HEonGPU style).
+    Radix2,
+    /// Four-step NTT (`√N × √N` matmuls) — TensorFHE's structure.
+    FourStep,
+    /// Radix-16 / ten-step NTT — Neo's structure (SHARP-derived).
+    Radix16,
+}
+
+/// Geometry of one BConv invocation: `alpha` input limbs → `alpha_out`
+/// output limbs, over `batch` polynomials of degree `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BconvGeom {
+    /// Ring degree `N`.
+    pub n: usize,
+    /// Ciphertexts per batch (`BatchSize`).
+    pub batch: usize,
+    /// Source limb count (`α`).
+    pub alpha: usize,
+    /// Target limb count (`α'` for Mod Up; `l+α` for Recover Limbs, …).
+    pub alpha_out: usize,
+    /// Source word size in bits.
+    pub w_src: u32,
+    /// Target word size in bits.
+    pub w_dst: u32,
+}
+
+/// Geometry of one IP invocation (KLSS inner product, Algorithm 3/4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpGeom {
+    /// Ring degree `N`.
+    pub n: usize,
+    /// Ciphertexts per batch (`BatchSize`).
+    pub batch: usize,
+    /// Limbs per group in `R_T` (`α'`).
+    pub alpha_p: usize,
+    /// Input digit count (`β`) — the reduction (K) dimension.
+    pub beta: usize,
+    /// Output digit count (`β̃`) — the output (N) dimension.
+    pub beta_t: usize,
+    /// Evaluation-key components (2 for CKKS key switching).
+    pub components: usize,
+    /// Word size of the `R_T` primes in bits.
+    pub w: u32,
+}
+
+/// Geometry of a batched NTT: `count` limb transforms of degree `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NttGeom {
+    /// Ring degree `N`.
+    pub n: usize,
+    /// Number of limb transforms (e.g. `batch × limbs`).
+    pub count: usize,
+    /// Word size in bits.
+    pub w: u32,
+}
+
+/// Geometry of an element-wise kernel (ModMUL/ModADD/AUTO): total element
+/// count across limbs and batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElemGeom {
+    /// Total `u64` elements touched.
+    pub elems: usize,
+}
+
+impl ElemGeom {
+    /// Geometry for `limbs` limbs of degree `n` across `batch` ciphertext
+    /// polynomials.
+    pub fn poly(n: usize, limbs: usize, batch: usize) -> Self {
+        Self { elems: n * limbs * batch }
+    }
+}

@@ -1,0 +1,42 @@
+//! The six basic kernels of Neo (Fig. 4) — functional implementations plus
+//! exact cost profiles.
+//!
+//! Every FHE operation in the paper decomposes into six kernels: **BConv**,
+//! **IP** (inner product), **NTT/INTT**, **ModMUL**, **ModADD**, and
+//! **AUTO** (automorphism). This crate provides:
+//!
+//! * *functional* implementations that operate on real limb data — for
+//!   BConv and IP both the **original element-wise algorithms**
+//!   (Algorithms 1 and 3) and the **matrix-multiplication forms**
+//!   (Algorithms 2 and 4, with the data reordering of Figs. 6–8), proven
+//!   equivalent by tests; the matrix forms run on any TCU engine;
+//! * *profiles* ([`neo_gpu_sim::KernelProfile`]) — exact operation/byte
+//!   counts as pure functions of the kernel geometry, which the device
+//!   model turns into time. The original-vs-matrix profile difference is
+//!   precisely the data-reuse argument of Section 3.3 (Fig. 2, Fig. 15).
+//!
+//! # Example: BConv, element-wise vs matrix form
+//!
+//! ```rust
+//! use neo_math::{primes, BconvTable, RnsBasis};
+//! use neo_kernels::bconv;
+//!
+//! # fn main() -> Result<(), neo_math::MathError> {
+//! let src = RnsBasis::new(&primes::ntt_primes(36, 64, 2)?)?;
+//! let dst = RnsBasis::new(&primes::ntt_primes(40, 64, 3)?)?;
+//! let table = BconvTable::new(&src, &dst)?;
+//! let input = vec![vec![7u64; 16], vec![9u64; 16]];
+//! let a = bconv::bconv_original(&table, &input);
+//! let b = bconv::bconv_matrix_fp64(&table, &input);
+//! assert_eq!(a, b);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bconv;
+pub mod elementwise;
+pub mod geometry;
+pub mod ip;
+pub mod ntt;
+
+pub use geometry::{BconvGeom, ElemGeom, IpGeom, MatmulTarget, NttGeom, NttAlgorithm};

@@ -1,0 +1,153 @@
+//! NTT kernel profiles (the functional transforms live in `neo-ntt`).
+//!
+//! Three algorithm structures (radix-2, four-step, Radix-16) × three matmul
+//! targets, with Booth-split and merge overheads accounted on CUDA cores —
+//! this is the cost structure behind Fig. 3 (INT8 vs FP64 matmul time) and
+//! the "+ten-step NTT" / "+FP64 TCU" ablation steps of Fig. 14.
+
+use crate::geometry::{MatmulTarget, NttAlgorithm, NttGeom};
+use neo_gpu_sim::KernelProfile;
+use neo_ntt::complexity;
+use neo_tcu::{Fp64SplitScheme, Int8SplitScheme};
+
+const WORD_BYTES: f64 = 8.0;
+const SPLIT_COST: f64 = 0.25;
+const MERGE_COST: f64 = 0.5;
+const TRANSPOSE_COST: f64 = 0.25;
+
+/// Cost profile of a batched NTT (or INTT — identical structure).
+///
+/// # Panics
+///
+/// Panics on the unsupported combination of radix-2 with a TCU target
+/// (radix-2 butterflies are not matrix multiplications).
+pub fn profile(g: &NttGeom, alg: NttAlgorithm, target: MatmulTarget) -> KernelProfile {
+    let n = g.n as f64;
+    let count = g.count as f64;
+    match alg {
+        NttAlgorithm::Radix2 => {
+            assert_eq!(target, MatmulTarget::Cuda, "radix-2 NTT has no matmul to offload");
+            KernelProfile::new("ntt-radix2")
+                .cuda_modmacs(count * 1.5 * (n / 2.0) * (g.n.trailing_zeros() as f64))
+                .bytes(count * 2.0 * WORD_BYTES * n, count * 2.0 * WORD_BYTES * n)
+                .launches(1.0)
+        }
+        NttAlgorithm::FourStep => {
+            matmul_ntt_profile(
+                g,
+                "ntt-fourstep",
+                complexity::four_step_matmul_macs(g.n) as f64,
+                2, // two GEMM stages
+                target,
+            )
+        }
+        NttAlgorithm::Radix16 => {
+            matmul_ntt_profile(
+                g,
+                "ntt-radix16",
+                complexity::radix16_matmul_macs(g.n) as f64,
+                complexity::radix16_stages(g.n) as usize,
+                target,
+            )
+        }
+    }
+}
+
+fn matmul_ntt_profile(
+    g: &NttGeom,
+    name: &'static str,
+    matmul_macs_per_limb: f64,
+    stages: usize,
+    target: MatmulTarget,
+) -> KernelProfile {
+    let n = g.n as f64;
+    let count = g.count as f64;
+    let stages_f = stages as f64;
+    // Twist + per-stage twiddles and transposes (always CUDA cores).
+    let mut cuda = count * (n + stages_f * n + TRANSPOSE_COST * stages_f * n);
+    let mut tcu_fp64 = 0.0;
+    let mut tcu_int8 = 0.0;
+    match target {
+        MatmulTarget::Cuda => {
+            cuda += count * matmul_macs_per_limb;
+        }
+        MatmulTarget::TcuFp64 => {
+            let scheme = Fp64SplitScheme::for_word_size(g.w);
+            // GEMM dims divide the 8x8x4 fragment exactly for both the
+            // 16-wide radix-16 stages and the 256-wide four-step stages,
+            // so padded == plain MACs.
+            tcu_fp64 = count * scheme.partial_products() as f64 * matmul_macs_per_limb;
+            cuda += count
+                * (SPLIT_COST * scheme.a_planes() as f64 * stages_f * n
+                    + MERGE_COST * scheme.partial_products() as f64 * stages_f * n);
+        }
+        MatmulTarget::TcuInt8 => {
+            let scheme = Int8SplitScheme::for_word_size(g.w);
+            tcu_int8 = count * scheme.partial_products() as f64 * matmul_macs_per_limb;
+            cuda += count
+                * (SPLIT_COST * 2.0 * scheme.planes_a() as f64 * stages_f * n
+                    + MERGE_COST * scheme.partial_products() as f64 * stages_f * n);
+        }
+    }
+    // Fused stages still round-trip global memory between GEMM passes;
+    // Neo's fusion keeps roughly one read+write per pair of stages.
+    let passes = (stages_f / 2.0).max(1.0);
+    KernelProfile::new(name)
+        .cuda_modmacs(cuda)
+        .tcu_fp64_macs(tcu_fp64)
+        .tcu_int8_macs(tcu_int8)
+        .bytes(count * passes * WORD_BYTES * n, count * passes * WORD_BYTES * n)
+        .launches(stages_f.max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_gpu_sim::DeviceModel;
+
+    fn geom(w: u32) -> NttGeom {
+        NttGeom { n: 1 << 16, count: 1, w }
+    }
+
+    #[test]
+    fn radix16_does_8x_less_matmul_work() {
+        let four = profile(&geom(36), NttAlgorithm::FourStep, MatmulTarget::TcuFp64);
+        let r16 = profile(&geom(36), NttAlgorithm::Radix16, MatmulTarget::TcuFp64);
+        assert!((four.tcu_fp64_macs / r16.tcu_fp64_macs - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fp64_beats_int8_on_device_model() {
+        // The Fig. 3 claim at the kernel level: despite the higher INT8
+        // peak, Booth complexity (25 vs 3) and merge overhead make the
+        // FP64 mapping faster for 36-bit words.
+        let dev = DeviceModel::a100();
+        let g = NttGeom { n: 1 << 16, count: 128, w: 36 };
+        let fp64 = dev.kernel_time_us(&profile(&g, NttAlgorithm::Radix16, MatmulTarget::TcuFp64));
+        let int8 = dev.kernel_time_us(&profile(&g, NttAlgorithm::Radix16, MatmulTarget::TcuInt8));
+        assert!(fp64 < int8, "fp64 {fp64}us vs int8 {int8}us");
+    }
+
+    #[test]
+    fn tcu_beats_cuda_for_radix16() {
+        let dev = DeviceModel::a100();
+        let g = NttGeom { n: 1 << 16, count: 128, w: 36 };
+        let cuda = dev.kernel_time_us(&profile(&g, NttAlgorithm::Radix16, MatmulTarget::Cuda));
+        let fp64 = dev.kernel_time_us(&profile(&g, NttAlgorithm::Radix16, MatmulTarget::TcuFp64));
+        assert!(fp64 < cuda, "fp64 {fp64}us vs cuda {cuda}us");
+    }
+
+    #[test]
+    #[should_panic(expected = "no matmul")]
+    fn radix2_rejects_tcu() {
+        let _ = profile(&geom(36), NttAlgorithm::Radix2, MatmulTarget::TcuFp64);
+    }
+
+    #[test]
+    fn scales_linearly_with_count() {
+        let one = profile(&geom(36), NttAlgorithm::Radix16, MatmulTarget::TcuFp64);
+        let g128 = NttGeom { n: 1 << 16, count: 128, w: 36 };
+        let many = profile(&g128, NttAlgorithm::Radix16, MatmulTarget::TcuFp64);
+        assert!((many.tcu_fp64_macs / one.tcu_fp64_macs - 128.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,273 @@
+//! A deliberately tiny unsigned big-integer.
+//!
+//! CKKS needs multi-word integers in exactly three cold paths: CRT
+//! reconstruction when decoding, computing `Q/2` comparisons for centered
+//! lifts, and test oracles for base conversion. Pulling in a full bignum
+//! dependency for that would be overkill, so this is a little-endian
+//! `Vec<u64>` with the handful of operations those paths use.
+
+use std::cmp::Ordering;
+
+/// Arbitrary-precision unsigned integer, little-endian `u64` limbs.
+///
+/// ```rust
+/// use neo_math::BigUint;
+/// let q = BigUint::product(&[0xFFFF_FFFB, 0xFFFF_FFC5]); // two 32-bit primes
+/// assert_eq!(q.rem_u64(0xFFFF_FFFB), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>, // little-endian, no trailing zeros (canonical)
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Self::from_u64(1)
+    }
+
+    /// From a single word.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![v] }
+        }
+    }
+
+    /// The product of a list of words — e.g. an RNS modulus `Q = Π q_i`.
+    pub fn product(factors: &[u64]) -> Self {
+        let mut acc = Self::one();
+        for &f in factors {
+            acc = acc.mul_u64(f);
+        }
+        acc
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Bit length (0 for zero).
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(hi) => (self.limbs.len() as u32 - 1) * 64 + (64 - hi.leading_zeros()),
+        }
+    }
+
+    fn normalize(mut self) -> Self {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+        self
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u128;
+        for i in 0..n {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u128;
+            let b = *other.limbs.get(i).unwrap_or(&0) as u128;
+            let s = a + b + carry;
+            out.push(s as u64);
+            carry = s >> 64;
+        }
+        if carry > 0 {
+            out.push(carry as u64);
+        }
+        Self { limbs: out }.normalize()
+    }
+
+    /// `self + v` for a single word.
+    pub fn add_u64(&self, v: u64) -> Self {
+        self.add(&Self::from_u64(v))
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (this type is unsigned).
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(self.cmp_big(other) != Ordering::Less, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i128;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i128;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i128;
+            let mut d = a - b - borrow;
+            if d < 0 {
+                d += 1i128 << 64;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u64);
+        }
+        Self { limbs: out }.normalize()
+    }
+
+    /// `self * v` for a single word.
+    pub fn mul_u64(&self, v: u64) -> Self {
+        if v == 0 || self.is_zero() {
+            return Self::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let p = l as u128 * v as u128 + carry;
+            out.push(p as u64);
+            carry = p >> 64;
+        }
+        if carry > 0 {
+            out.push(carry as u64);
+        }
+        Self { limbs: out }.normalize()
+    }
+
+    /// `self mod m` for a single word modulus.
+    pub fn rem_u64(&self, m: u64) -> u64 {
+        let mut r = 0u128;
+        for &l in self.limbs.iter().rev() {
+            r = ((r << 64) | l as u128) % m as u128;
+        }
+        r as u64
+    }
+
+    /// `floor(self / 2)`.
+    pub fn half(&self) -> Self {
+        let mut out = self.limbs.clone();
+        let mut carry = 0u64;
+        for l in out.iter_mut().rev() {
+            let new_carry = *l & 1;
+            *l = (*l >> 1) | (carry << 63);
+            carry = new_carry;
+        }
+        Self { limbs: out }.normalize()
+    }
+
+    /// Three-way comparison (named to avoid clashing with `Ord::cmp`; the
+    /// trait impl defers to this).
+    pub fn cmp_big(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Lossy conversion to `f64` (correct to f64 precision).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            acc = acc * 1.8446744073709552e19 + l as f64; // 2^64
+        }
+        acc
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_big(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_big(other)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl std::fmt::Display for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Hex, most significant first; fine for diagnostics.
+        if self.is_zero() {
+            return write!(f, "0x0");
+        }
+        write!(f, "0x")?;
+        for (i, l) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{l:x}")?;
+            } else {
+                write!(f, "{l:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_and_rem() {
+        let factors = [0xFFFF_FFFBu64, 0xFFFF_FFC5, 0x1_0000_000F % 0xFFFFFFFF];
+        let q = BigUint::product(&factors);
+        for &f in &factors {
+            assert_eq!(q.rem_u64(f), 0);
+        }
+        assert_ne!(q.rem_u64(7), 0); // 7 divides none of these
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = BigUint::product(&[u64::MAX, u64::MAX - 58]);
+        let b = BigUint::from_u64(0xDEAD_BEEF);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.sub(&a), BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = BigUint::from_u64(1).sub(&BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn half_matches_shift() {
+        let a = BigUint::product(&[0x8000_0000_0000_0001, 3]);
+        let h = a.half();
+        assert_eq!(h.mul_u64(2).add_u64(1), a); // a was odd
+    }
+
+    #[test]
+    fn bits_counts() {
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::from_u64(1).bits(), 1);
+        assert_eq!(BigUint::from_u64(u64::MAX).bits(), 64);
+        assert_eq!(BigUint::from_u64(2).mul_u64(1 << 63).bits(), 65);
+    }
+
+    #[test]
+    fn to_f64_scale() {
+        let a = BigUint::from_u64(1u64 << 40).mul_u64(1u64 << 20);
+        assert_eq!(a.to_f64(), 2f64.powi(60));
+    }
+
+    #[test]
+    fn display_hex() {
+        assert_eq!(BigUint::zero().to_string(), "0x0");
+        assert_eq!(BigUint::from_u64(0xABC).to_string(), "0xabc");
+    }
+}

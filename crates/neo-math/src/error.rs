@@ -1,0 +1,40 @@
+use std::fmt;
+
+/// Error type for the numeric substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MathError {
+    /// The modulus is zero, one, or too large for the 62-bit arithmetic paths.
+    InvalidModulus(u64),
+    /// Not enough primes of the requested shape exist below the bit bound.
+    PrimeGeneration { bits: u32, order: u64, wanted: usize },
+    /// The element has no inverse modulo the target modulus.
+    NoInverse { value: u64, modulus: u64 },
+    /// Two operands live in different RNS bases or have different degrees.
+    BasisMismatch(String),
+    /// Polynomial operation called in the wrong domain (coeff vs NTT).
+    DomainMismatch { expected: &'static str },
+    /// Ring degree is not a power of two, or otherwise unsupported.
+    InvalidDegree(usize),
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::InvalidModulus(q) => write!(f, "invalid modulus {q} (need 2 <= q < 2^62)"),
+            MathError::PrimeGeneration { bits, order, wanted } => write!(
+                f,
+                "could not find {wanted} primes of {bits} bits congruent to 1 mod {order}"
+            ),
+            MathError::NoInverse { value, modulus } => {
+                write!(f, "{value} has no inverse modulo {modulus}")
+            }
+            MathError::BasisMismatch(what) => write!(f, "rns basis mismatch: {what}"),
+            MathError::DomainMismatch { expected } => {
+                write!(f, "polynomial is not in the {expected} domain")
+            }
+            MathError::InvalidDegree(n) => write!(f, "invalid ring degree {n}"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}

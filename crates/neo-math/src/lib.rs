@@ -1,0 +1,60 @@
+//! Modular-arithmetic and RNS (residue number system) substrate for the Neo
+//! CKKS reproduction.
+//!
+//! This crate provides the numeric foundation every other crate builds on:
+//!
+//! * [`Modulus`] — a word-size prime modulus with fast reduction and the
+//!   Shoup multiplication used inside NTT butterflies.
+//! * [`primes`] — deterministic Miller–Rabin testing and generation of
+//!   NTT-friendly primes (`q ≡ 1 mod 2N`).
+//! * [`RnsBasis`] — an ordered set of coprime moduli with the cached
+//!   constants (`q̂_i`, `q̂_i⁻¹ mod q_i`, …) that base conversion needs.
+//! * [`bconv`] — the *BConv* primitive of the paper: approximate (Mod Up
+//!   style) and exact (floating-point–corrected) RNS base conversion.
+//! * [`RnsPoly`] — polynomials in `Z_Q[X]/(X^N+1)` stored limb-major, the
+//!   ciphertext component representation, with automorphism support.
+//! * [`BigUint`] — a minimal unsigned big integer used for CRT
+//!   reconstruction in tests and in the CKKS decoder.
+//!
+//! # Example
+//!
+//! ```rust
+//! use neo_math::{primes, Modulus};
+//!
+//! # fn main() -> Result<(), neo_math::MathError> {
+//! let qs = primes::ntt_primes(36, 1 << 12, 3)?;
+//! let m = Modulus::new(qs[0])?;
+//! assert_eq!(m.mul(m.value() - 1, m.value() - 1), 1); // (-1)^2 = 1
+//! # Ok(())
+//! # }
+//! ```
+
+mod biguint;
+pub mod bconv;
+mod error;
+mod modulus;
+pub mod poly;
+pub mod primes;
+pub mod rns;
+
+pub use biguint::BigUint;
+pub use bconv::BconvTable;
+pub use error::MathError;
+pub use modulus::{Modulus, ShoupMul};
+pub use poly::{Domain, RnsPoly};
+pub use rns::RnsBasis;
+
+/// Reduces a signed value into `[0, q)`.
+///
+/// Useful when converting centered (two's-complement style) coefficients,
+/// e.g. encoder output or ternary secrets, into RNS residues.
+///
+/// ```rust
+/// assert_eq!(neo_math::signed_mod(-1, 17), 16);
+/// assert_eq!(neo_math::signed_mod(35, 17), 1);
+/// ```
+pub fn signed_mod(v: i64, q: u64) -> u64 {
+    let q = q as i128;
+    let r = (v as i128).rem_euclid(q);
+    r as u64
+}

@@ -1,0 +1,241 @@
+use crate::MathError;
+
+/// A word-size prime modulus `q < 2^62` with cached reduction constants.
+///
+/// All CKKS limb arithmetic in this repository runs through this type. The
+/// 62-bit bound leaves two bits of slack so that `a + b` of two reduced
+/// values never overflows `u64`, matching the lazy-reduction style of GPU
+/// FHE kernels.
+///
+/// ```rust
+/// # fn main() -> Result<(), neo_math::MathError> {
+/// let q = neo_math::Modulus::new(0x1000000000b4001)?; // a 60-bit NTT prime
+/// let x = q.pow(3, q.value() - 1); // Fermat: 3^(q-1) = 1
+/// assert_eq!(x, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus {
+    q: u64,
+    /// floor(2^128 / q) truncated to 64 bits: used by Barrett-style hints.
+    barrett_hi: u64,
+}
+
+impl Modulus {
+    /// Creates a modulus. `q` need not be prime for plain arithmetic, but
+    /// everything in `neo-ckks` assumes primality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidModulus`] unless `2 <= q < 2^62`.
+    pub fn new(q: u64) -> Result<Self, MathError> {
+        if q < 2 || q >= (1u64 << 62) {
+            return Err(MathError::InvalidModulus(q));
+        }
+        let barrett_hi = (u128::MAX / q as u128 >> 64) as u64;
+        Ok(Self { q, barrett_hi })
+    }
+
+    /// The raw modulus value.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.q
+    }
+
+    /// Number of bits in `q`.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        64 - self.q.leading_zeros()
+    }
+
+    /// `(a + b) mod q` for already-reduced operands.
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        let s = a + b;
+        if s >= self.q {
+            s - self.q
+        } else {
+            s
+        }
+    }
+
+    /// `(a - b) mod q` for already-reduced operands.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        if a >= b {
+            a - b
+        } else {
+            a + self.q - b
+        }
+    }
+
+    /// `-a mod q` for a reduced operand.
+    #[inline]
+    pub fn neg(&self, a: u64) -> u64 {
+        debug_assert!(a < self.q);
+        if a == 0 {
+            0
+        } else {
+            self.q - a
+        }
+    }
+
+    /// `(a * b) mod q` via 128-bit widening.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        ((a as u128 * b as u128) % self.q as u128) as u64
+    }
+
+    /// Reduces an arbitrary `u64` into `[0, q)`.
+    #[inline]
+    pub fn reduce(&self, a: u64) -> u64 {
+        a % self.q
+    }
+
+    /// Reduces an arbitrary `u128` into `[0, q)`.
+    #[inline]
+    pub fn reduce_u128(&self, a: u128) -> u64 {
+        (a % self.q as u128) as u64
+    }
+
+    /// Modular exponentiation `a^e mod q` (square and multiply).
+    pub fn pow(&self, a: u64, mut e: u64) -> u64 {
+        let mut base = self.reduce(a);
+        let mut acc = 1u64;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Modular inverse via Fermat's little theorem (assumes `q` prime).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NoInverse`] when `a ≡ 0 (mod q)`.
+    pub fn inv(&self, a: u64) -> Result<u64, MathError> {
+        let a = self.reduce(a);
+        if a == 0 {
+            return Err(MathError::NoInverse { value: a, modulus: self.q });
+        }
+        Ok(self.pow(a, self.q - 2))
+    }
+
+    /// Precomputes a Shoup multiplier for repeated `mul` by constant `w`.
+    #[inline]
+    pub fn shoup(&self, w: u64) -> ShoupMul {
+        debug_assert!(w < self.q);
+        ShoupMul { w, w_shoup: (((w as u128) << 64) / self.q as u128) as u64 }
+    }
+
+    /// `(a * w) mod q` using the precomputed Shoup constant — one mulhi, one
+    /// mullo and a conditional subtraction, the butterfly workhorse.
+    #[inline]
+    pub fn mul_shoup(&self, a: u64, s: ShoupMul) -> u64 {
+        let hi = ((a as u128 * s.w_shoup as u128) >> 64) as u64;
+        let r = (a.wrapping_mul(s.w)).wrapping_sub(hi.wrapping_mul(self.q));
+        if r >= self.q {
+            r - self.q
+        } else {
+            r
+        }
+    }
+
+    /// Converts a centered residue in `[0, q)` to a signed value in
+    /// `[-q/2, q/2)`.
+    #[inline]
+    pub fn to_signed(&self, a: u64) -> i64 {
+        debug_assert!(a < self.q);
+        if a >= self.q / 2 + (self.q & 1) {
+            -((self.q - a) as i64)
+        } else {
+            a as i64
+        }
+    }
+
+    /// Approximate Barrett hint `floor(2^128/q) >> 64`; exposed for
+    /// microbenchmarks of reduction strategies.
+    #[inline]
+    pub fn barrett_hint(&self) -> u64 {
+        self.barrett_hi
+    }
+}
+
+/// A constant prepared for Shoup multiplication against a fixed [`Modulus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShoupMul {
+    /// The constant itself, reduced mod q.
+    pub w: u64,
+    /// `floor(w * 2^64 / q)`.
+    pub w_shoup: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: u64 = 0x0FFF_FFFF_FFF4_0001; // 60-bit prime used by SEAL
+
+    #[test]
+    fn rejects_bad_moduli() {
+        assert!(Modulus::new(0).is_err());
+        assert!(Modulus::new(1).is_err());
+        assert!(Modulus::new(1 << 62).is_err());
+        assert!(Modulus::new(2).is_ok());
+    }
+
+    #[test]
+    fn add_sub_neg_roundtrip() {
+        let m = Modulus::new(Q).unwrap();
+        let a = Q - 3;
+        let b = 5;
+        assert_eq!(m.add(a, b), 2);
+        assert_eq!(m.sub(2, b), Q - 3);
+        assert_eq!(m.add(a, m.neg(a)), 0);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let m = Modulus::new(Q).unwrap();
+        let a = 0x0123_4567_89AB_CDEF % Q;
+        let b = 0x0FED_CBA9_8765_4321 % Q;
+        assert_eq!(m.mul(a, b), ((a as u128 * b as u128) % Q as u128) as u64);
+    }
+
+    #[test]
+    fn pow_and_inv() {
+        let q = crate::primes::ntt_primes(60, 1 << 12, 1).unwrap()[0];
+        let m = Modulus::new(q).unwrap();
+        let a = 123_456_789u64;
+        let inv = m.inv(a).unwrap();
+        assert_eq!(m.mul(a, inv), 1);
+        assert!(m.inv(0).is_err());
+    }
+
+    #[test]
+    fn shoup_matches_plain_mul() {
+        let m = Modulus::new(Q).unwrap();
+        let w = 0x0ABC_DEF0_1234_5678 % Q;
+        let s = m.shoup(w);
+        for a in [0u64, 1, 2, Q - 1, Q / 2, 0x1234_5678] {
+            assert_eq!(m.mul_shoup(a, s), m.mul(a, w), "a={a}");
+        }
+    }
+
+    #[test]
+    fn signed_conversion() {
+        let m = Modulus::new(17).unwrap();
+        assert_eq!(m.to_signed(16), -1);
+        assert_eq!(m.to_signed(8), 8);
+        assert_eq!(m.to_signed(9), -8);
+        assert_eq!(m.to_signed(0), 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Deterministic primality testing and NTT-friendly prime generation.
+//!
+//! CKKS limb moduli must satisfy `q ≡ 1 (mod 2N)` so that `Z_q` contains a
+//! primitive `2N`-th root of unity (negacyclic NTT support). This module
+//! generates such primes at a requested bit width, scanning downward from
+//! `2^bits` the way SEAL and Lattigo do.
+
+use crate::MathError;
+
+/// Deterministic Miller–Rabin for `u64` using the fixed witness set that is
+/// proven complete below `2^64`.
+///
+/// ```rust
+/// assert!(neo_math::primes::is_prime((1 << 61) - 1)); // Mersenne prime M61
+/// assert!(!neo_math::primes::is_prime((1 << 61) + 1)); // 3 * 768614...
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a % n, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[inline]
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul_mod(acc, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Generates `count` distinct primes of exactly `bits` bits with
+/// `p ≡ 1 (mod 2 * degree)`, scanning downward from `2^bits - 1`.
+///
+/// # Errors
+///
+/// [`MathError::PrimeGeneration`] if fewer than `count` such primes exist in
+/// the `bits`-bit range, and [`MathError::InvalidDegree`] if `degree` is not
+/// a power of two.
+pub fn ntt_primes(bits: u32, degree: usize, count: usize) -> Result<Vec<u64>, MathError> {
+    if !degree.is_power_of_two() || degree < 2 {
+        return Err(MathError::InvalidDegree(degree));
+    }
+    assert!((3..=61).contains(&bits), "bits must be in 3..=61, got {bits}");
+    let order = 2 * degree as u64;
+    let hi = (1u64 << bits) - 1;
+    let lo = 1u64 << (bits - 1);
+    // Largest candidate <= hi that is ≡ 1 mod order.
+    let mut cand = hi - (hi - 1) % order;
+    let mut out = Vec::with_capacity(count);
+    while cand > lo && out.len() < count {
+        if is_prime(cand) {
+            out.push(cand);
+        }
+        if cand < order {
+            break;
+        }
+        cand -= order;
+    }
+    if out.len() < count {
+        return Err(MathError::PrimeGeneration { bits, order, wanted: count });
+    }
+    Ok(out)
+}
+
+/// Generates the CKKS modulus chain: `count` "data" primes of `bits` bits and
+/// `special` special primes of `special_bits` bits, all distinct, all
+/// `≡ 1 mod 2*degree`. Returns `(q_chain, p_chain)`.
+///
+/// # Errors
+///
+/// Propagates [`MathError::PrimeGeneration`] when the ranges are exhausted.
+pub fn ckks_prime_chain(
+    bits: u32,
+    special_bits: u32,
+    degree: usize,
+    count: usize,
+    special: usize,
+) -> Result<(Vec<u64>, Vec<u64>), MathError> {
+    if bits == special_bits {
+        let all = ntt_primes(bits, degree, count + special)?;
+        let qs = all[..count].to_vec();
+        let ps = all[count..].to_vec();
+        Ok((qs, ps))
+    } else {
+        let qs = ntt_primes(bits, degree, count)?;
+        let ps = ntt_primes(special_bits, degree, special)?;
+        Ok((qs, ps))
+    }
+}
+
+/// Finds a generator of the full multiplicative group mod prime `p` and
+/// returns a primitive `order`-th root of unity (`order | p - 1`).
+///
+/// # Panics
+///
+/// Panics if `order` does not divide `p - 1`.
+pub fn primitive_root(p: u64, order: u64) -> u64 {
+    assert_eq!((p - 1) % order, 0, "order {order} must divide p-1 for p={p}");
+    // Factor p-1 (trial division is fine: p-1 has small smooth part + large
+    // factors, and this runs once per modulus at setup).
+    let mut factors = Vec::new();
+    let mut m = p - 1;
+    let mut d = 2u64;
+    while d * d <= m {
+        if m % d == 0 {
+            factors.push(d);
+            while m % d == 0 {
+                m /= d;
+            }
+        }
+        d += 1;
+    }
+    if m > 1 {
+        factors.push(m);
+    }
+    let mut g = 2u64;
+    'outer: loop {
+        for &f in &factors {
+            if pow_mod(g, (p - 1) / f, p) == 1 {
+                g += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    pow_mod(g, (p - 1) / order, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..50).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]);
+    }
+
+    #[test]
+    fn carmichael_rejected() {
+        for n in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841] {
+            assert!(!is_prime(n), "{n} is Carmichael, not prime");
+        }
+    }
+
+    #[test]
+    fn ntt_primes_have_right_shape() {
+        let ps = ntt_primes(36, 1 << 12, 5).unwrap();
+        assert_eq!(ps.len(), 5);
+        for &p in &ps {
+            assert!(is_prime(p));
+            assert_eq!(p % (2 << 12), 1);
+            assert_eq!(64 - p.leading_zeros(), 36);
+        }
+        // Distinct and descending.
+        for w in ps.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn chain_separates_special_primes() {
+        let (qs, ps) = ckks_prime_chain(36, 37, 1 << 10, 4, 2).unwrap();
+        assert_eq!(qs.len(), 4);
+        assert_eq!(ps.len(), 2);
+        for &p in &ps {
+            assert_eq!(64 - p.leading_zeros(), 37);
+        }
+    }
+
+    #[test]
+    fn same_width_chain_is_disjoint() {
+        let (qs, ps) = ckks_prime_chain(36, 36, 1 << 10, 4, 2).unwrap();
+        for q in &qs {
+            assert!(!ps.contains(q));
+        }
+    }
+
+    #[test]
+    fn primitive_root_has_exact_order() {
+        let p = ntt_primes(36, 1 << 10, 1).unwrap()[0];
+        let order = 2u64 << 10;
+        let w = primitive_root(p, order);
+        assert_eq!(pow_mod(w, order, p), 1);
+        assert_ne!(pow_mod(w, order / 2, p), 1);
+    }
+}

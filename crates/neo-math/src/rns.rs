@@ -1,0 +1,226 @@
+//! RNS (residue number system) bases.
+//!
+//! A basis is an ordered list of pairwise-coprime word-size primes
+//! `q_0, …, q_{k-1}` with the cached per-prime constants used by base
+//! conversion and CRT reconstruction: `q̂_i = Q / q_i` and
+//! `q̂_i⁻¹ mod q_i`.
+
+use crate::{BigUint, MathError, Modulus};
+
+/// An ordered RNS basis with cached CRT constants.
+///
+/// ```rust
+/// # fn main() -> Result<(), neo_math::MathError> {
+/// use neo_math::{primes, RnsBasis};
+/// let qs = primes::ntt_primes(36, 1 << 10, 3)?;
+/// let basis = RnsBasis::new(&qs)?;
+/// // Round-trip a value through CRT residues.
+/// let v = 0x1234_5678_9ABC_DEFu64;
+/// let residues: Vec<u64> = basis.moduli().iter().map(|m| m.reduce(v)).collect();
+/// assert_eq!(basis.reconstruct(&residues).rem_u64(1 << 61), v % (1 << 61));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RnsBasis {
+    moduli: Vec<Modulus>,
+    /// `q̂_i⁻¹ mod q_i` where `q̂_i = Q / q_i`.
+    qhat_inv: Vec<u64>,
+    /// `q̂_i mod q_j` for all pairs (row i, col j), used by in-basis CRT ops.
+    qhat_mod: Vec<Vec<u64>>,
+    /// `Q mod q_j` for each j.
+    big_q_mod: Vec<u64>,
+    big_q: BigUint,
+}
+
+impl RnsBasis {
+    /// Builds a basis from raw prime values.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::InvalidModulus`] for out-of-range primes, or
+    /// [`MathError::BasisMismatch`] if values repeat (they must be coprime).
+    pub fn new(primes: &[u64]) -> Result<Self, MathError> {
+        if primes.is_empty() {
+            return Err(MathError::BasisMismatch("empty basis".into()));
+        }
+        let mut sorted = primes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != primes.len() {
+            return Err(MathError::BasisMismatch("duplicate primes in basis".into()));
+        }
+        let moduli: Vec<Modulus> =
+            primes.iter().map(|&q| Modulus::new(q)).collect::<Result<_, _>>()?;
+        let big_q = BigUint::product(primes);
+        let k = primes.len();
+        let mut qhat_inv = Vec::with_capacity(k);
+        let mut qhat_mod = vec![vec![0u64; k]; k];
+        for i in 0..k {
+            // q̂_i mod q_j for every j, computed as running products to stay
+            // in word arithmetic.
+            for j in 0..k {
+                let mj = &moduli[j];
+                let mut acc = 1u64;
+                for (t, &q) in primes.iter().enumerate() {
+                    if t != i {
+                        acc = mj.mul(acc, mj.reduce(q));
+                    }
+                }
+                qhat_mod[i][j] = acc;
+            }
+            qhat_inv.push(moduli[i].inv(qhat_mod[i][i])?);
+        }
+        let big_q_mod = moduli.iter().map(|m| big_q.rem_u64(m.value())).collect();
+        Ok(Self { moduli, qhat_inv, qhat_mod, big_q_mod, big_q })
+    }
+
+    /// The moduli in order.
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+
+    /// Raw prime values in order.
+    pub fn primes(&self) -> Vec<u64> {
+        self.moduli.iter().map(|m| m.value()).collect()
+    }
+
+    /// Number of limbs `k`.
+    pub fn len(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// True iff the basis is empty (never constructible; kept for clippy).
+    pub fn is_empty(&self) -> bool {
+        self.moduli.is_empty()
+    }
+
+    /// `q̂_i⁻¹ mod q_i`.
+    pub fn qhat_inv(&self, i: usize) -> u64 {
+        self.qhat_inv[i]
+    }
+
+    /// `q̂_i mod q_j`.
+    pub fn qhat_mod(&self, i: usize, j: usize) -> u64 {
+        self.qhat_mod[i][j]
+    }
+
+    /// `Q mod q_j`.
+    pub fn big_q_mod(&self, j: usize) -> u64 {
+        self.big_q_mod[j]
+    }
+
+    /// The full product `Q` as a big integer.
+    pub fn big_q(&self) -> &BigUint {
+        &self.big_q
+    }
+
+    /// A sub-basis of the first `k` limbs (a lower ciphertext level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > len()`.
+    pub fn prefix(&self, k: usize) -> RnsBasis {
+        assert!(k >= 1 && k <= self.len(), "prefix length {k} out of range");
+        RnsBasis::new(&self.primes()[..k]).expect("prefix of valid basis is valid")
+    }
+
+    /// CRT-reconstructs the unsigned integer in `[0, Q)` with the given
+    /// residues (one per limb, in basis order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len() != self.len()`.
+    pub fn reconstruct(&self, residues: &[u64]) -> BigUint {
+        assert_eq!(residues.len(), self.len(), "residue count mismatch");
+        // v = Σ [x_i * q̂_i⁻¹]_{q_i} * q̂_i  (mod Q)
+        let mut acc = BigUint::zero();
+        for (i, (&x, m)) in residues.iter().zip(&self.moduli).enumerate() {
+            let y = m.mul(m.reduce(x), self.qhat_inv[i]);
+            // q̂_i as a BigUint: Q / q_i, computed by multiplying the others.
+            let mut qhat = BigUint::one();
+            for (t, mt) in self.moduli.iter().enumerate() {
+                if t != i {
+                    qhat = qhat.mul_u64(mt.value());
+                }
+            }
+            acc = acc.add(&qhat.mul_u64(y));
+        }
+        // Reduce mod Q (acc < k * Q so a few subtractions suffice).
+        while acc.cmp_big(&self.big_q) != std::cmp::Ordering::Less {
+            acc = acc.sub(&self.big_q);
+        }
+        acc
+    }
+
+    /// CRT-reconstructs into a *centered* f64 (value in `[-Q/2, Q/2)`),
+    /// used by the CKKS decoder.
+    pub fn reconstruct_centered_f64(&self, residues: &[u64]) -> f64 {
+        let v = self.reconstruct(residues);
+        if v.cmp_big(&self.big_q.half()) == std::cmp::Ordering::Greater {
+            -self.big_q.sub(&v).to_f64()
+        } else {
+            v.to_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes;
+
+    fn basis(k: usize) -> RnsBasis {
+        RnsBasis::new(&primes::ntt_primes(36, 1 << 10, k).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        assert!(RnsBasis::new(&[]).is_err());
+        assert!(RnsBasis::new(&[17, 17]).is_err());
+    }
+
+    #[test]
+    fn qhat_identities() {
+        let b = basis(4);
+        for i in 0..4 {
+            let m = &b.moduli()[i];
+            // q̂_i * q̂_i⁻¹ ≡ 1 mod q_i
+            assert_eq!(m.mul(b.qhat_mod(i, i), b.qhat_inv(i)), 1);
+            // q̂_i ≡ 0 mod q_j for j != i would be false; instead Q ≡ 0 mod q_j.
+            assert_eq!(b.big_q_mod(i), 0);
+        }
+    }
+
+    #[test]
+    fn reconstruct_roundtrip_small() {
+        let b = basis(3);
+        for v in [0u64, 1, 42, 0xFFFF_FFFF, u64::MAX / 3] {
+            let res: Vec<u64> = b.moduli().iter().map(|m| m.reduce(v)).collect();
+            let rec = b.reconstruct(&res);
+            assert_eq!(rec, BigUint::from_u64(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_centered_negative() {
+        let b = basis(3);
+        // Encode -5 as Q - 5.
+        let res: Vec<u64> = b.moduli().iter().map(|m| m.neg(m.reduce(5))).collect();
+        assert_eq!(b.reconstruct_centered_f64(&res), -5.0);
+    }
+
+    #[test]
+    fn prefix_is_consistent() {
+        let b = basis(4);
+        let p = b.prefix(2);
+        assert_eq!(p.primes(), b.primes()[..2].to_vec());
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn prefix_oob_panics() {
+        basis(2).prefix(3);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the arithmetic substrate.
+
+use neo_math::{primes, signed_mod, BigUint, Modulus, RnsBasis};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Modular arithmetic agrees with i128/u128 reference computations.
+    #[test]
+    fn modulus_ops_match_wide_arithmetic(a in any::<u64>(), b in any::<u64>()) {
+        let q = 0x0000_0FFF_FFFF_F441u64; // any odd modulus < 2^62 works here
+        let m = Modulus::new(q).unwrap();
+        let (a, b) = (a % q, b % q);
+        prop_assert_eq!(m.add(a, b) as u128, (a as u128 + b as u128) % q as u128);
+        prop_assert_eq!(m.sub(a, b) as u128, (a as u128 + q as u128 - b as u128) % q as u128);
+        prop_assert_eq!(m.mul(a, b) as u128, (a as u128 * b as u128) % q as u128);
+        prop_assert_eq!(m.add(a, m.neg(a)), 0);
+    }
+
+    /// Shoup multiplication equals plain modular multiplication.
+    #[test]
+    fn shoup_equals_plain(a in any::<u64>(), w in any::<u64>()) {
+        let q = primes::ntt_primes(48, 16, 1).unwrap()[0];
+        let m = Modulus::new(q).unwrap();
+        let (a, w) = (a % q, w % q);
+        prop_assert_eq!(m.mul_shoup(a, m.shoup(w)), m.mul(a, w));
+    }
+
+    /// signed_mod is the mathematical `rem_euclid`.
+    #[test]
+    fn signed_mod_is_euclidean(v in any::<i64>(), q in 2u64..(1 << 40)) {
+        let r = signed_mod(v, q);
+        prop_assert!(r < q);
+        prop_assert_eq!((r as i128 - v as i128).rem_euclid(q as i128), 0);
+    }
+
+    /// BigUint add/sub/mul against u128 reference in the u128 range.
+    #[test]
+    fn biguint_matches_u128(a in any::<u64>(), b in any::<u64>(), c in 1u64..1000) {
+        let ba = BigUint::from_u64(a);
+        let bb = BigUint::from_u64(b);
+        let sum = ba.add(&bb);
+        prop_assert_eq!(sum.rem_u64(u64::MAX), ((a as u128 + b as u128) % (u64::MAX as u128)) as u64);
+        let prod = ba.mul_u64(c);
+        prop_assert_eq!(prod.rem_u64(0xFFFF_FFFB), ((a as u128 * c as u128) % 0xFFFF_FFFB) as u64);
+        if a >= b {
+            prop_assert_eq!(ba.sub(&bb), BigUint::from_u64(a - b));
+        }
+    }
+
+    /// CRT reconstruction round-trips arbitrary residue vectors: taking
+    /// residues of the reconstruction returns the original vector.
+    #[test]
+    fn crt_reconstruction_roundtrip(r0 in any::<u64>(), r1 in any::<u64>(), r2 in any::<u64>()) {
+        let basis = RnsBasis::new(&primes::ntt_primes(32, 16, 3).unwrap()).unwrap();
+        let residues: Vec<u64> = basis
+            .moduli()
+            .iter()
+            .zip([r0, r1, r2])
+            .map(|(m, r)| m.reduce(r))
+            .collect();
+        let v = basis.reconstruct(&residues);
+        for (m, &want) in basis.moduli().iter().zip(&residues) {
+            prop_assert_eq!(v.rem_u64(m.value()), want);
+        }
+    }
+
+    /// The inf-norm of the centered lift after a negacyclic automorphism is
+    /// preserved (it only permutes and negates coefficients).
+    #[test]
+    fn automorphism_preserves_norm(seed in any::<u64>()) {
+        use neo_math::{Domain, RnsPoly};
+        use rand::SeedableRng;
+        let q = primes::ntt_primes(36, 16, 1).unwrap()[0];
+        let m = Modulus::new(q).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = RnsPoly::random_uniform(&mut rng, 16, std::slice::from_ref(&m), Domain::Coeff);
+        let rot = p.automorphism(5, std::slice::from_ref(&m));
+        let norm = |x: &RnsPoly| {
+            x.limb(0).iter().map(|&c| m.to_signed(c).unsigned_abs()).max().unwrap()
+        };
+        prop_assert_eq!(norm(&p), norm(&rot));
+    }
+}

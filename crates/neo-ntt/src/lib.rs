@@ -1,0 +1,85 @@
+//! Negacyclic number-theoretic transforms (NTTs) for `Z_q[X]/(X^N + 1)`.
+//!
+//! Three algorithms, all with identical input/output conventions (natural
+//! coefficient order in, natural evaluation order out):
+//!
+//! * [`radix2`] — the classic in-place radix-2 transform; the correctness
+//!   oracle and the "CPU-style" baseline.
+//! * [`matrix::forward_four_step`] — the four-step NTT used by earlier GPU
+//!   work: two `√N × √N` matrix multiplications with a twiddle/transpose in
+//!   between (Fig. 9, left).
+//! * [`matrix::forward_radix16`] — Neo's Radix-16 (*ten-step* for
+//!   `N = 2^16`) NTT from SHARP: the DFT factors into chains of 16-point
+//!   stages, each a `16×16` matrix multiplication mapped onto the TCU
+//!   (Fig. 9 right, Fig. 10). Total matmul work drops from
+//!   `N·2√N = 2^25` to `N·16·log_16(N) = 2^22` for `N = 2^16`.
+//!
+//! The matrix variants take any [`neo_tcu::GemmEngine`], so the same code
+//! runs on the scalar reference, the FP64-TCU emulation, or the INT8-TCU
+//! emulation — and produces bit-identical results on each (see the
+//! cross-engine tests).
+//!
+//! # Example
+//!
+//! ```rust
+//! use neo_ntt::NttPlan;
+//! use neo_tcu::ScalarGemm;
+//!
+//! # fn main() -> Result<(), neo_math::MathError> {
+//! let q = neo_math::primes::ntt_primes(36, 256, 1)?[0];
+//! let plan = NttPlan::new(q, 256)?;
+//! let mut a: Vec<u64> = (0..256u64).collect();
+//! let orig = a.clone();
+//! neo_ntt::matrix::forward_radix16(&plan, &mut a, &neo_tcu::ScalarGemm);
+//! neo_ntt::matrix::inverse_radix16(&plan, &mut a, &ScalarGemm);
+//! assert_eq!(a, orig);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod complexity;
+pub mod matrix;
+mod plan;
+pub mod radix2;
+
+pub use plan::NttPlan;
+
+use neo_math::Modulus;
+
+/// Multiplies two polynomials in `Z_q[X]/(X^N+1)` via the radix-2 NTT —
+/// a convenience oracle used throughout the test suites.
+///
+/// # Panics
+///
+/// Panics if operand lengths differ from the plan's degree.
+pub fn negacyclic_mul(plan: &NttPlan, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut fa = a.to_vec();
+    let mut fb = b.to_vec();
+    radix2::forward(plan, &mut fa);
+    radix2::forward(plan, &mut fb);
+    let m = plan.modulus();
+    for (x, &y) in fa.iter_mut().zip(&fb) {
+        *x = m.mul(*x, y);
+    }
+    radix2::inverse(plan, &mut fa);
+    fa
+}
+
+/// Schoolbook negacyclic multiplication — `O(N²)` oracle for small tests.
+pub fn negacyclic_mul_schoolbook(m: &Modulus, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(b.len(), n);
+    let mut out = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let p = m.mul(ai, bj);
+            let k = i + j;
+            if k < n {
+                out[k] = m.add(out[k], p);
+            } else {
+                out[k - n] = m.sub(out[k - n], p);
+            }
+        }
+    }
+    out
+}

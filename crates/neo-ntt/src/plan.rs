@@ -1,0 +1,134 @@
+use neo_math::{primes, MathError, Modulus};
+
+/// Precomputed tables for NTTs of degree `n` modulo one prime.
+///
+/// Holds the primitive `2n`-th root `ψ` (for the negacyclic twist), the
+/// `n`-th root `ω = ψ²`, their full power tables, and `n⁻¹`.
+#[derive(Debug, Clone)]
+pub struct NttPlan {
+    n: usize,
+    m: Modulus,
+    psi_pows: Vec<u64>,
+    psi_inv_pows: Vec<u64>,
+    omega_pows: Vec<u64>,
+    omega_inv_pows: Vec<u64>,
+    n_inv: u64,
+}
+
+impl NttPlan {
+    /// Builds a plan for degree `n` (power of two, ≥ 4) and prime `q` with
+    /// `q ≡ 1 (mod 2n)`.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::InvalidDegree`] for a bad `n`,
+    /// [`MathError::InvalidModulus`] if `q` is out of range or lacks the
+    /// root of unity.
+    pub fn new(q: u64, n: usize) -> Result<Self, MathError> {
+        if !n.is_power_of_two() || n < 4 {
+            return Err(MathError::InvalidDegree(n));
+        }
+        let m = Modulus::new(q)?;
+        if (q - 1) % (2 * n as u64) != 0 || !primes::is_prime(q) {
+            return Err(MathError::InvalidModulus(q));
+        }
+        let psi = primes::primitive_root(q, 2 * n as u64);
+        let psi_inv = m.inv(psi)?;
+        let mut psi_pows = Vec::with_capacity(n);
+        let mut psi_inv_pows = Vec::with_capacity(n);
+        let mut omega_pows = Vec::with_capacity(n);
+        let mut omega_inv_pows = Vec::with_capacity(n);
+        let (mut a, mut b, mut c, mut d) = (1u64, 1u64, 1u64, 1u64);
+        let omega = m.mul(psi, psi);
+        let omega_inv = m.mul(psi_inv, psi_inv);
+        for _ in 0..n {
+            psi_pows.push(a);
+            psi_inv_pows.push(b);
+            omega_pows.push(c);
+            omega_inv_pows.push(d);
+            a = m.mul(a, psi);
+            b = m.mul(b, psi_inv);
+            c = m.mul(c, omega);
+            d = m.mul(d, omega_inv);
+        }
+        let n_inv = m.inv(n as u64)?;
+        Ok(Self { n, m, psi_pows, psi_inv_pows, omega_pows, omega_inv_pows, n_inv })
+    }
+
+    /// Ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Modulus {
+        &self.m
+    }
+
+    /// `ψ^i` (primitive 2N-th root powers), `i < N`.
+    pub fn psi_pows(&self) -> &[u64] {
+        &self.psi_pows
+    }
+
+    /// `ψ^{-i}` powers.
+    pub fn psi_inv_pows(&self) -> &[u64] {
+        &self.psi_inv_pows
+    }
+
+    /// `ω^i` powers (`ω = ψ²`, primitive N-th root).
+    pub fn omega_pows(&self) -> &[u64] {
+        &self.omega_pows
+    }
+
+    /// `ω^{-i}` powers.
+    pub fn omega_inv_pows(&self) -> &[u64] {
+        &self.omega_inv_pows
+    }
+
+    /// `N⁻¹ mod q`.
+    pub fn n_inv(&self) -> u64 {
+        self.n_inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_roots_have_right_order() {
+        let q = primes::ntt_primes(36, 64, 1).unwrap()[0];
+        let plan = NttPlan::new(q, 64).unwrap();
+        let m = plan.modulus();
+        let psi = plan.psi_pows()[1];
+        // psi^N = -1 (primitive 2N-th root)
+        assert_eq!(m.pow(psi, 64), m.neg(1));
+        // omega^N = 1, omega^(N/2) = -1
+        let omega = plan.omega_pows()[1];
+        assert_eq!(m.pow(omega, 64), 1);
+        assert_eq!(m.pow(omega, 32), m.neg(1));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let q = primes::ntt_primes(36, 64, 1).unwrap()[0];
+        assert!(NttPlan::new(q, 48).is_err()); // not a power of two
+        assert!(NttPlan::new(q, 2).is_err()); // too small
+        // q-1 not divisible by 2n for huge n
+        assert!(NttPlan::new(q, 1 << 40).is_err());
+        // composite modulus
+        assert!(NttPlan::new((1 << 36) - 1, 64).is_err());
+    }
+
+    #[test]
+    fn inverse_tables_invert() {
+        let q = primes::ntt_primes(36, 32, 1).unwrap()[0];
+        let plan = NttPlan::new(q, 32).unwrap();
+        let m = plan.modulus();
+        for i in 0..32 {
+            assert_eq!(m.mul(plan.psi_pows()[i], plan.psi_inv_pows()[i]), 1);
+            assert_eq!(m.mul(plan.omega_pows()[i], plan.omega_inv_pows()[i]), 1);
+        }
+        assert_eq!(m.mul(plan.n_inv(), 32), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Radix-2 negacyclic NTT — the reference implementation.
+//!
+//! Forward: twist by `ψ^i`, then an iterative cyclic Cooley–Tukey FFT
+//! (bit-reversal first, so output lands in natural order). Inverse:
+//! cyclic inverse FFT, untwist by `ψ^{-i}`, scale by `N⁻¹`.
+
+use crate::NttPlan;
+
+/// In-place forward negacyclic NTT (natural order in and out).
+///
+/// # Panics
+///
+/// Panics if `x.len()` differs from the plan's degree.
+pub fn forward(plan: &NttPlan, x: &mut [u64]) {
+    let n = plan.degree();
+    assert_eq!(x.len(), n, "length mismatch");
+    let m = plan.modulus();
+    // Twist: x_i *= psi^i turns negacyclic into cyclic.
+    for (i, v) in x.iter_mut().enumerate() {
+        *v = m.mul(*v, plan.psi_pows()[i]);
+    }
+    cyclic_fft(x, plan, false);
+}
+
+/// In-place inverse negacyclic NTT (natural order in and out).
+///
+/// # Panics
+///
+/// Panics if `x.len()` differs from the plan's degree.
+pub fn inverse(plan: &NttPlan, x: &mut [u64]) {
+    let n = plan.degree();
+    assert_eq!(x.len(), n, "length mismatch");
+    let m = plan.modulus();
+    cyclic_fft(x, plan, true);
+    // Untwist and scale by n^{-1}.
+    for (i, v) in x.iter_mut().enumerate() {
+        *v = m.mul(m.mul(*v, plan.psi_inv_pows()[i]), plan.n_inv());
+    }
+}
+
+/// Iterative cyclic FFT, natural order in/out (bit-reversal inside).
+fn cyclic_fft(x: &mut [u64], plan: &NttPlan, inverse: bool) {
+    let n = x.len();
+    let m = plan.modulus();
+    let pows = if inverse { plan.omega_inv_pows() } else { plan.omega_pows() };
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits().wrapping_shr(64 - bits) as usize;
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+    let mut size = 2;
+    while size <= n {
+        let half = size / 2;
+        let step = n / size;
+        for block in (0..n).step_by(size) {
+            for j in 0..half {
+                let w = pows[j * step];
+                let u = x[block + j];
+                let t = m.mul(x[block + j + half], w);
+                x[block + j] = m.add(u, t);
+                x[block + j + half] = m.sub(u, t);
+            }
+        }
+        size *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{negacyclic_mul, negacyclic_mul_schoolbook};
+    use neo_math::primes;
+    use rand::{Rng, SeedableRng};
+
+    fn plan(n: usize) -> NttPlan {
+        let q = primes::ntt_primes(36, n, 1).unwrap()[0];
+        NttPlan::new(q, n).unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = plan(64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let orig: Vec<u64> =
+            (0..64).map(|_| rng.gen_range(0..p.modulus().value())).collect();
+        let mut x = orig.clone();
+        forward(&p, &mut x);
+        assert_ne!(x, orig);
+        inverse(&p, &mut x);
+        assert_eq!(x, orig);
+    }
+
+    #[test]
+    fn constant_transforms_to_constant() {
+        // NTT of delta at 0 (constant polynomial 1) is all-ones.
+        let p = plan(32);
+        let mut x = vec![0u64; 32];
+        x[0] = 1;
+        forward(&p, &mut x);
+        assert!(x.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn x_times_x_is_x_squared() {
+        let p = plan(16);
+        let mut a = vec![0u64; 16];
+        a[1] = 1; // X
+        let c = negacyclic_mul(&p, &a, &a);
+        let mut expect = vec![0u64; 16];
+        expect[2] = 1; // X^2
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // X^(N-1) * X = X^N = -1 in Z[X]/(X^N+1).
+        let p = plan(16);
+        let mut a = vec![0u64; 16];
+        let mut b = vec![0u64; 16];
+        a[15] = 1;
+        b[1] = 1;
+        let c = negacyclic_mul(&p, &a, &b);
+        assert_eq!(c[0], p.modulus().neg(1));
+        assert!(c[1..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn matches_schoolbook() {
+        let p = plan(128);
+        let m = p.modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let a: Vec<u64> = (0..128).map(|_| rng.gen_range(0..m.value())).collect();
+        let b: Vec<u64> = (0..128).map(|_| rng.gen_range(0..m.value())).collect();
+        assert_eq!(negacyclic_mul(&p, &a, &b), negacyclic_mul_schoolbook(m, &a, &b));
+    }
+
+    #[test]
+    fn linearity() {
+        let p = plan(64);
+        let m = p.modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let a: Vec<u64> = (0..64).map(|_| rng.gen_range(0..m.value())).collect();
+        let b: Vec<u64> = (0..64).map(|_| rng.gen_range(0..m.value())).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| m.add(x, y)).collect();
+        let (mut fa, mut fb, mut fs) = (a.clone(), b.clone(), sum.clone());
+        forward(&p, &mut fa);
+        forward(&p, &mut fb);
+        forward(&p, &mut fs);
+        for i in 0..64 {
+            assert_eq!(fs[i], m.add(fa[i], fb[i]));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+use neo_ckks::cost::*;
+use neo_ckks::params::ParamSet;
+use neo_gpu_sim::DeviceModel;
+
+fn main() {
+    let dev = DeviceModel::a100();
+    for (name, p, cfg) in [
+        ("tensorfhe-A", ParamSet::A.params(), CostConfig::tensorfhe()),
+        ("neo-C", ParamSet::C.params(), CostConfig::neo()),
+        ("heongpu-E", ParamSet::E.params(), CostConfig::heongpu()),
+    ] {
+        let seq = keyswitch_profiles(&p, 35, &cfg);
+        println!("== {name} ==");
+        let mut groups: std::collections::BTreeMap<String, (f64,f64,f64,f64)> = Default::default();
+        for pr in &seq {
+            let (c,t,m,_) = dev.component_times(pr);
+            let e = groups.entry(pr.name.clone()).or_default();
+            e.0 += c*1e6; e.1 += t*1e6; e.2 += m*1e6; e.3 += 1.0;
+        }
+        for (k,v) in &groups {
+            println!("  {k:14} cuda {:9.0}us tcu {:9.0}us mem {:9.0}us x{}", v.0, v.1, v.2, v.3);
+        }
+        let t = keyswitch_time_us(&dev, &p, 35, &cfg);
+        println!("  keyswitch per-ct: {t:.0} us");
+    }
+}

@@ -1,0 +1,1 @@
+//! Shared helpers for the neo-bench table/figure binaries.

@@ -1,0 +1,401 @@
+//! Modular GEMM engines.
+//!
+//! [`GemmEngine`] is the pluggable matrix-multiplication backend used by the
+//! NTT, BConv and IP kernels. Three engines are provided:
+//!
+//! * [`ScalarGemm`] — straightforward modular arithmetic (the CUDA-core
+//!   path, and the correctness oracle);
+//! * [`Fp64TcuGemm`] — Neo's pipeline: split → FP64 `8×8×4` fragment MMAs →
+//!   shift-merge → reduce;
+//! * [`Int8TcuGemm`] — TensorFHE's pipeline with byte planes and INT8
+//!   fragments.
+//!
+//! All three produce **identical** outputs for reduced inputs; the TCU
+//! engines really route every multiply through the fragment emulation in
+//! [`crate::fragment`].
+
+use crate::fragment::{self, FragmentShape, FP64_FRAGMENT, INT8_FRAGMENTS};
+use crate::split::{Fp64SplitScheme, Int8SplitScheme};
+use neo_math::Modulus;
+
+/// A backend that computes `C = A × B (mod q)` for row-major `u64`
+/// matrices: `A` is `m×k`, `B` is `k×n`, `C` is `m×n`.
+pub trait GemmEngine {
+    /// Computes the modular product into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if slice lengths disagree with the dimensions
+    /// or operands are not reduced mod `q`.
+    fn gemm(&self, q: &Modulus, a: &[u64], b: &[u64], m: usize, k: usize, n: usize, out: &mut [u64]);
+
+    /// Short name for diagnostics/benches.
+    fn name(&self) -> &'static str;
+}
+
+/// Reference modular GEMM on scalar units (CUDA-core path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarGemm;
+
+impl GemmEngine for ScalarGemm {
+    fn gemm(
+        &self,
+        q: &Modulus,
+        a: &[u64],
+        b: &[u64],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [u64],
+    ) {
+        check_dims(a, b, out, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0u64;
+                for t in 0..k {
+                    acc = q.add(acc, q.mul(a[i * k + t], b[t * n + j]));
+                }
+                out[i * n + j] = acc;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+}
+
+fn check_dims(a: &[u64], b: &[u64], out: &[u64], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(out.len(), m * n, "C shape mismatch");
+}
+
+/// Neo's FP64 tensor-core GEMM.
+#[derive(Debug, Clone)]
+pub struct Fp64TcuGemm {
+    scheme: Fp64SplitScheme,
+}
+
+impl Fp64TcuGemm {
+    /// Engine with the paper's splitting scheme for `word_size`.
+    pub fn for_word_size(word_size: u32) -> Self {
+        Self { scheme: Fp64SplitScheme::for_word_size(word_size) }
+    }
+
+    /// Engine with a custom scheme.
+    pub fn new(scheme: Fp64SplitScheme) -> Self {
+        Self { scheme }
+    }
+
+    /// The active splitting scheme.
+    pub fn scheme(&self) -> &Fp64SplitScheme {
+        &self.scheme
+    }
+}
+
+impl GemmEngine for Fp64TcuGemm {
+    fn gemm(
+        &self,
+        q: &Modulus,
+        a: &[u64],
+        b: &[u64],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [u64],
+    ) {
+        check_dims(a, b, out, m, k, n);
+        debug_assert!(
+            q.bits() <= self.scheme.word_size(),
+            "modulus wider than the splitting scheme's word size"
+        );
+        out.fill(0);
+        let a_planes = self.scheme.split_a(a);
+        let b_planes = self.scheme.split_b(b);
+        let kc = self.scheme.max_k();
+        // Process the reduction dimension in chunks the exactness bound
+        // covers; real kernels interleave a modular reduction the same way.
+        for k0 in (0..k).step_by(kc) {
+            let kw = kc.min(k - k0);
+            for (off_a, pa) in &a_planes {
+                for (off_b, pb) in &b_planes {
+                    let shift = off_a + off_b;
+                    let tile = fragment_tiled_gemm_fp64(pa, pb, m, k, n, k0, kw);
+                    for (o, &v) in out.iter_mut().zip(&tile) {
+                        debug_assert!(v >= 0.0 && v < 9_007_199_254_740_992.0, "exactness broken");
+                        let contrib = q.reduce_u128((v as u128) << shift);
+                        *o = q.add(*o, contrib);
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tcu-fp64"
+    }
+}
+
+/// Fragment-tiled plain f64 GEMM of one plane pair over the K slice
+/// `[k0, k0+kw)`. Every multiply goes through [`fragment::mma_fp64`].
+fn fragment_tiled_gemm_fp64(
+    pa: &[f64],
+    pb: &[f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    k0: usize,
+    kw: usize,
+) -> Vec<f64> {
+    let fm = FP64_FRAGMENT.m;
+    let fn_ = FP64_FRAGMENT.n;
+    let fk = FP64_FRAGMENT.k;
+    let mut out = vec![0.0f64; m * n];
+    let mut fa = [0.0f64; 32];
+    let mut fb = [0.0f64; 32];
+    let mut fc = [0.0f64; 64];
+    for i0 in (0..m).step_by(fm) {
+        for j0 in (0..n).step_by(fn_) {
+            fc.fill(0.0);
+            for t0 in (k0..k0 + kw).step_by(fk) {
+                // Load (and zero-pad) the A and B fragments.
+                fa.fill(0.0);
+                fb.fill(0.0);
+                for i in 0..fm.min(m - i0) {
+                    for t in 0..fk.min(k0 + kw - t0) {
+                        fa[i * fk + t] = pa[(i0 + i) * k + (t0 + t)];
+                    }
+                }
+                for t in 0..fk.min(k0 + kw - t0) {
+                    for j in 0..fn_.min(n - j0) {
+                        fb[t * fn_ + j] = pb[(t0 + t) * n + (j0 + j)];
+                    }
+                }
+                fragment::mma_fp64(&fa, &fb, &mut fc);
+            }
+            for i in 0..fm.min(m - i0) {
+                for j in 0..fn_.min(n - j0) {
+                    out[(i0 + i) * n + (j0 + j)] = fc[i * fn_ + j];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// TensorFHE's INT8 tensor-core GEMM.
+#[derive(Debug, Clone)]
+pub struct Int8TcuGemm {
+    scheme: Int8SplitScheme,
+    shape: FragmentShape,
+}
+
+impl Int8TcuGemm {
+    /// Engine with byte planes for `word_size` and the default `16×16×16`
+    /// fragment.
+    pub fn for_word_size(word_size: u32) -> Self {
+        Self { scheme: Int8SplitScheme::for_word_size(word_size), shape: INT8_FRAGMENTS[0] }
+    }
+
+    /// Chooses a different INT8 fragment shape (e.g. `32×8×16` which the
+    /// paper identifies as optimal for BConv).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is not an A100 INT8 fragment shape.
+    pub fn with_shape(mut self, shape: FragmentShape) -> Self {
+        assert!(INT8_FRAGMENTS.contains(&shape), "unsupported INT8 fragment {shape}");
+        self.shape = shape;
+        self
+    }
+
+    /// The active splitting scheme.
+    pub fn scheme(&self) -> &Int8SplitScheme {
+        &self.scheme
+    }
+}
+
+impl GemmEngine for Int8TcuGemm {
+    fn gemm(
+        &self,
+        q: &Modulus,
+        a: &[u64],
+        b: &[u64],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [u64],
+    ) {
+        check_dims(a, b, out, m, k, n);
+        debug_assert!(q.bits() <= 8 * self.scheme.planes() as u32);
+        out.fill(0);
+        let a_planes = self.scheme.split_a(a);
+        let b_planes = self.scheme.split_b(b);
+        for (off_a, pa) in &a_planes {
+            for (off_b, pb) in &b_planes {
+                let shift = off_a + off_b;
+                let tile = fragment_tiled_gemm_int8(self.shape, pa, pb, m, k, n);
+                for (o, &v) in out.iter_mut().zip(&tile) {
+                    let contrib = q.reduce_u128((v as u128) << shift);
+                    *o = q.add(*o, contrib);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tcu-int8"
+    }
+}
+
+fn fragment_tiled_gemm_int8(
+    shape: FragmentShape,
+    pa: &[u8],
+    pb: &[u8],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<i64> {
+    let (fm, fn_, fk) = (shape.m, shape.n, shape.k);
+    let mut out = vec![0i64; m * n];
+    let mut fa = vec![0u8; fm * fk];
+    let mut fb = vec![0u8; fk * fn_];
+    let mut fc = vec![0i32; fm * fn_];
+    for i0 in (0..m).step_by(fm) {
+        for j0 in (0..n).step_by(fn_) {
+            fc.fill(0);
+            for t0 in (0..k).step_by(fk) {
+                fa.fill(0);
+                fb.fill(0);
+                for i in 0..fm.min(m - i0) {
+                    for t in 0..fk.min(k - t0) {
+                        fa[i * fk + t] = pa[(i0 + i) * k + (t0 + t)];
+                    }
+                }
+                for t in 0..fk.min(k - t0) {
+                    for j in 0..fn_.min(n - j0) {
+                        fb[t * fn_ + j] = pb[(t0 + t) * n + (j0 + j)];
+                    }
+                }
+                fragment::mma_int8(shape, &fa, &fb, &mut fc);
+            }
+            for i in 0..fm.min(m - i0) {
+                for j in 0..fn_.min(n - j0) {
+                    out[(i0 + i) * n + (j0 + j)] = fc[i * fn_ + j] as i64;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_math::primes;
+    use rand::{Rng, SeedableRng};
+
+    fn modulus(bits: u32) -> Modulus {
+        Modulus::new(primes::ntt_primes(bits, 1 << 10, 1).unwrap()[0]).unwrap()
+    }
+
+    fn random_mat(rng: &mut impl Rng, q: &Modulus, len: usize) -> Vec<u64> {
+        (0..len).map(|_| rng.gen_range(0..q.value())).collect()
+    }
+
+    fn compare_engines(bits: u32, m: usize, k: usize, n: usize, seed: u64) {
+        let q = modulus(bits);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = random_mat(&mut rng, &q, m * k);
+        let b = random_mat(&mut rng, &q, k * n);
+        let mut c_ref = vec![0u64; m * n];
+        let mut c_fp64 = vec![0u64; m * n];
+        let mut c_int8 = vec![0u64; m * n];
+        ScalarGemm.gemm(&q, &a, &b, m, k, n, &mut c_ref);
+        Fp64TcuGemm::for_word_size(if bits <= 36 { 36 } else { 48 })
+            .gemm(&q, &a, &b, m, k, n, &mut c_fp64);
+        Int8TcuGemm::for_word_size(if bits <= 36 { 36 } else { 48 })
+            .gemm(&q, &a, &b, m, k, n, &mut c_int8);
+        assert_eq!(c_ref, c_fp64, "fp64 path diverged ({bits} bits, {m}x{k}x{n})");
+        assert_eq!(c_ref, c_int8, "int8 path diverged ({bits} bits, {m}x{k}x{n})");
+    }
+
+    #[test]
+    fn engines_agree_fragment_sized() {
+        compare_engines(36, 8, 4, 8, 1);
+        compare_engines(36, 16, 16, 16, 2);
+    }
+
+    #[test]
+    fn engines_agree_odd_shapes() {
+        compare_engines(36, 5, 3, 7, 3); // heavy padding
+        compare_engines(36, 9, 16, 5, 4);
+        compare_engines(36, 33, 9, 17, 5);
+    }
+
+    #[test]
+    fn engines_agree_48_bit() {
+        compare_engines(48, 16, 16, 16, 6);
+        compare_engines(48, 12, 9, 8, 7);
+    }
+
+    #[test]
+    fn engines_agree_long_k() {
+        // K > 16 exercises the chunked accumulation path.
+        compare_engines(36, 8, 40, 8, 8);
+        compare_engines(48, 8, 33, 8, 9);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ScalarGemm.name(), "scalar");
+        assert_eq!(Fp64TcuGemm::for_word_size(36).name(), "tcu-fp64");
+        assert_eq!(Int8TcuGemm::for_word_size(36).name(), "tcu-int8");
+    }
+}
+
+#[cfg(test)]
+mod shape_tests {
+    use super::*;
+    use neo_math::primes;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn int8_alternate_fragment_shapes_agree() {
+        let q = Modulus::new(primes::ntt_primes(36, 1 << 10, 1).unwrap()[0]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let (m, k, n) = (40usize, 12usize, 20usize);
+        let a: Vec<u64> = (0..m * k).map(|_| rng.gen_range(0..q.value())).collect();
+        let b: Vec<u64> = (0..k * n).map(|_| rng.gen_range(0..q.value())).collect();
+        let mut want = vec![0u64; m * n];
+        ScalarGemm.gemm(&q, &a, &b, m, k, n, &mut want);
+        for shape in crate::INT8_FRAGMENTS {
+            let mut got = vec![0u64; m * n];
+            Int8TcuGemm::for_word_size(36).with_shape(shape).gemm(&q, &a, &b, m, k, n, &mut got);
+            assert_eq!(got, want, "shape {shape}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported INT8 fragment")]
+    fn with_shape_rejects_fp64_shape() {
+        let _ = Int8TcuGemm::for_word_size(36).with_shape(crate::FP64_FRAGMENT);
+    }
+
+    #[test]
+    fn fp64_custom_scheme_roundtrip() {
+        // An unusual but exact custom scheme: 18-bit planes both sides.
+        let scheme = crate::Fp64SplitScheme::new(36, 36, vec![18, 18], vec![18, 18], 16);
+        assert_eq!(scheme.partial_products(), 4);
+        let q = Modulus::new(primes::ntt_primes(36, 1 << 10, 1).unwrap()[0]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+        let a: Vec<u64> = (0..8 * 8).map(|_| rng.gen_range(0..q.value())).collect();
+        let b: Vec<u64> = (0..8 * 8).map(|_| rng.gen_range(0..q.value())).collect();
+        let mut want = vec![0u64; 64];
+        let mut got = vec![0u64; 64];
+        ScalarGemm.gemm(&q, &a, &b, 8, 8, 8, &mut want);
+        Fp64TcuGemm::new(scheme).gemm(&q, &a, &b, 8, 8, 8, &mut got);
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,259 @@
+//! GEMM with a *different modulus per output column* — the shape BConv
+//! takes after Neo's data-layout transformation (Algorithm 2): the rows of
+//! `A` are scaled residues `y_i = [x_i·q̂_i⁻¹]_{q_i}` and column `j` of `B`
+//! holds `q̂_i mod t_j`, so column `j` of the product must reduce mod `t_j`.
+//!
+//! The fragment hardware accumulates plain integers; only the *merge* step
+//! is per-column modular, exactly as on the GPU.
+
+use crate::fragment::{self, FragmentShape, FP64_FRAGMENT, INT8_FRAGMENTS};
+use crate::split::{Fp64SplitScheme, Int8SplitScheme};
+use neo_math::Modulus;
+
+/// Scalar reference: per-column modular accumulation.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or if `cols.len() != n`.
+pub fn gemm_multi_mod_scalar(
+    cols: &[Modulus],
+    a: &[u64],
+    b: &[u64],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [u64],
+) {
+    assert_eq!(cols.len(), n, "one modulus per output column");
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        for (j, t) in cols.iter().enumerate() {
+            let mut acc = 0u64;
+            for x in 0..k {
+                acc = t.add(acc, t.reduce_u128(a[i * k + x] as u128 * b[x * n + j] as u128));
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// FP64 tensor-core path: split → fragment MMAs → per-column shift-merge.
+///
+/// Exactness requires `A` entries below `2^scheme.a_width()` and `B`
+/// entries below `2^scheme.b_width()`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn gemm_multi_mod_fp64(
+    scheme: &Fp64SplitScheme,
+    cols: &[Modulus],
+    a: &[u64],
+    b: &[u64],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [u64],
+) {
+    assert_eq!(cols.len(), n, "one modulus per output column");
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), m * n);
+    out.fill(0);
+    let a_planes = scheme.split_a(a);
+    let b_planes = scheme.split_b(b);
+    let kc = scheme.max_k();
+    for k0 in (0..k).step_by(kc) {
+        let kw = kc.min(k - k0);
+        for (off_a, pa) in &a_planes {
+            for (off_b, pb) in &b_planes {
+                let shift = off_a + off_b;
+                let tile = tiled_fp64(pa, pb, m, k, n, k0, kw);
+                for i in 0..m {
+                    for (j, t) in cols.iter().enumerate() {
+                        let v = tile[i * n + j];
+                        debug_assert!(v >= 0.0 && v < 9_007_199_254_740_992.0);
+                        let contrib = t.reduce_u128((v as u128) << shift);
+                        out[i * n + j] = t.add(out[i * n + j], contrib);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn tiled_fp64(pa: &[f64], pb: &[f64], m: usize, k: usize, n: usize, k0: usize, kw: usize) -> Vec<f64> {
+    let (fm, fn_, fk) = (FP64_FRAGMENT.m, FP64_FRAGMENT.n, FP64_FRAGMENT.k);
+    let mut out = vec![0.0f64; m * n];
+    let mut fa = [0.0f64; 32];
+    let mut fb = [0.0f64; 32];
+    let mut fc = [0.0f64; 64];
+    for i0 in (0..m).step_by(fm) {
+        for j0 in (0..n).step_by(fn_) {
+            fc.fill(0.0);
+            for t0 in (k0..k0 + kw).step_by(fk) {
+                fa.fill(0.0);
+                fb.fill(0.0);
+                for i in 0..fm.min(m - i0) {
+                    for t in 0..fk.min(k0 + kw - t0) {
+                        fa[i * fk + t] = pa[(i0 + i) * k + (t0 + t)];
+                    }
+                }
+                for t in 0..fk.min(k0 + kw - t0) {
+                    for j in 0..fn_.min(n - j0) {
+                        fb[t * fn_ + j] = pb[(t0 + t) * n + (j0 + j)];
+                    }
+                }
+                fragment::mma_fp64(&fa, &fb, &mut fc);
+            }
+            for i in 0..fm.min(m - i0) {
+                for j in 0..fn_.min(n - j0) {
+                    out[(i0 + i) * n + (j0 + j)] = fc[i * fn_ + j];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// INT8 tensor-core path with byte planes (the TensorFHE-style mapping the
+/// paper compares against in Fig. 11).
+///
+/// # Panics
+///
+/// Panics on shape mismatch or an unsupported fragment shape.
+pub fn gemm_multi_mod_int8(
+    scheme: &Int8SplitScheme,
+    shape: FragmentShape,
+    cols: &[Modulus],
+    a: &[u64],
+    b: &[u64],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [u64],
+) {
+    assert!(INT8_FRAGMENTS.contains(&shape), "unsupported INT8 fragment {shape}");
+    assert_eq!(cols.len(), n, "one modulus per output column");
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), m * n);
+    out.fill(0);
+    let a_planes = scheme.split_a(a);
+    let b_planes = scheme.split_b(b);
+    for (off_a, pa) in &a_planes {
+        for (off_b, pb) in &b_planes {
+            let shift = off_a + off_b;
+            let tile = tiled_int8(shape, pa, pb, m, k, n);
+            for i in 0..m {
+                for (j, t) in cols.iter().enumerate() {
+                    let contrib = t.reduce_u128((tile[i * n + j] as u128) << shift);
+                    out[i * n + j] = t.add(out[i * n + j], contrib);
+                }
+            }
+        }
+    }
+}
+
+fn tiled_int8(shape: FragmentShape, pa: &[u8], pb: &[u8], m: usize, k: usize, n: usize) -> Vec<u64> {
+    let (fm, fn_, fk) = (shape.m, shape.n, shape.k);
+    let mut out = vec![0u64; m * n];
+    let mut fa = vec![0u8; fm * fk];
+    let mut fb = vec![0u8; fk * fn_];
+    let mut fc = vec![0i32; fm * fn_];
+    for i0 in (0..m).step_by(fm) {
+        for j0 in (0..n).step_by(fn_) {
+            fc.fill(0);
+            for t0 in (0..k).step_by(fk) {
+                fa.fill(0);
+                fb.fill(0);
+                for i in 0..fm.min(m - i0) {
+                    for t in 0..fk.min(k - t0) {
+                        fa[i * fk + t] = pa[(i0 + i) * k + (t0 + t)];
+                    }
+                }
+                for t in 0..fk.min(k - t0) {
+                    for j in 0..fn_.min(n - j0) {
+                        fb[t * fn_ + j] = pb[(t0 + t) * n + (j0 + j)];
+                    }
+                }
+                fragment::mma_int8(shape, &fa, &fb, &mut fc);
+            }
+            for i in 0..fm.min(m - i0) {
+                for j in 0..fn_.min(n - j0) {
+                    out[(i0 + i) * n + (j0 + j)] = fc[i * fn_ + j] as u64;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_math::primes;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(
+        m: usize,
+        k: usize,
+        n: usize,
+        wa: u32,
+        wb: u32,
+        seed: u64,
+    ) -> (Vec<Modulus>, Vec<u64>, Vec<u64>) {
+        let cols: Vec<Modulus> = primes::ntt_primes(wb, 1 << 8, n)
+            .unwrap()
+            .into_iter()
+            .map(|q| Modulus::new(q).unwrap())
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<u64> = (0..m * k).map(|_| rng.gen_range(0..1u64 << wa)).collect();
+        // Column j of B is reduced mod t_j.
+        let mut b = vec![0u64; k * n];
+        for t in 0..k {
+            for (j, c) in cols.iter().enumerate() {
+                b[t * n + j] = rng.gen_range(0..c.value());
+            }
+        }
+        (cols, a, b)
+    }
+
+    #[test]
+    fn fp64_matches_scalar_bconv_shape() {
+        // BConv-like: a-values 36-bit, columns 40-bit, K = alpha = 4.
+        let (cols, a, b) = setup(24, 4, 6, 36, 40, 42);
+        let mut want = vec![0u64; 24 * 6];
+        let mut got = vec![0u64; 24 * 6];
+        gemm_multi_mod_scalar(&cols, &a, &b, 24, 4, 6, &mut want);
+        let scheme = Fp64SplitScheme::for_operands(36, 40);
+        gemm_multi_mod_fp64(&scheme, &cols, &a, &b, 24, 4, 6, &mut got);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn fp64_matches_scalar_wide_operands() {
+        // KLSS recover-limbs-like: both operands 48-bit, long K.
+        let (cols, a, b) = setup(8, 20, 4, 48, 48, 43);
+        let mut want = vec![0u64; 8 * 4];
+        let mut got = vec![0u64; 8 * 4];
+        gemm_multi_mod_scalar(&cols, &a, &b, 8, 20, 4, &mut want);
+        let scheme = Fp64SplitScheme::for_operands(48, 48);
+        gemm_multi_mod_fp64(&scheme, &cols, &a, &b, 8, 20, 4, &mut got);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn int8_matches_scalar() {
+        let (cols, a, b) = setup(16, 4, 8, 36, 40, 44);
+        let mut want = vec![0u64; 16 * 8];
+        let mut got = vec![0u64; 16 * 8];
+        gemm_multi_mod_scalar(&cols, &a, &b, 16, 4, 8, &mut want);
+        let scheme = Int8SplitScheme::for_operands(36, 40);
+        gemm_multi_mod_int8(&scheme, INT8_FRAGMENTS[1], &cols, &a, &b, 16, 4, 8, &mut got);
+        assert_eq!(want, got);
+    }
+}

@@ -1,0 +1,296 @@
+//! Operand bit-splitting schemes for wide-integer GEMM on narrow TCU types.
+//!
+//! The paper's key numerical observation (Section 3.4): FP64 offers 53 bits
+//! of exact integer precision, so a `WordSize = 36` modular matrix product
+//! can be computed with **three** FP64 fragment GEMMs (split `B` into three
+//! 12-bit planes; `2^36 · 2^12 · 16 = 2^52 < 2^53`), while INT8 requires
+//! `⌈36/8⌉² = 25` partial GEMMs in a cross pattern. For `WordSize = 48` the
+//! FP64 scheme splits both operands into two 24-bit planes (4 partials, the
+//! paper's "2 × 2 = 4" Booth complexity) versus 36 for INT8.
+//!
+//! Schemes support asymmetric operand widths (`wa ≠ wb`), which BConv needs
+//! when converting between bases of different word sizes.
+
+/// FP64 plane-splitting scheme for one modular GEMM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fp64SplitScheme {
+    wa: u32,
+    wb: u32,
+    a_chunks: Vec<u32>,
+    b_chunks: Vec<u32>,
+    max_k: usize,
+}
+
+impl Fp64SplitScheme {
+    /// The paper's scheme for symmetric operands of `word_size` bits,
+    /// valid for reduction depths up to `max_k = 16`:
+    ///
+    /// * 36-bit words: `A` whole (one 36-bit chunk), `B` in three 12-bit
+    ///   planes → 3 partial GEMMs;
+    /// * 48-bit words: both operands in two 24-bit planes → 4 partials.
+    ///
+    /// # Panics
+    ///
+    /// Panics for word sizes above 64 bits.
+    pub fn for_word_size(word_size: u32) -> Self {
+        Self::for_operands(word_size, word_size)
+    }
+
+    /// The cheapest exact scheme for operand widths `wa`/`wb` (e.g. BConv
+    /// from a 36-bit source into a 48-bit target, or the KLSS IP where both
+    /// operands are 48-bit):
+    ///
+    /// * if `wa + 12 + log2(16) ≤ 53`, keep `A` whole and split `B` into
+    ///   12-bit planes (`⌈wb/12⌉` partials);
+    /// * otherwise split both operands into 24-bit planes (`⌈w/24⌉` each —
+    ///   2 for 48-bit words, 3 for 64-bit words, so `WordSize_T = 64`
+    ///   carries the paper's 3×3 = 9 Booth penalty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width exceeds 64 bits.
+    pub fn for_operands(wa: u32, wb: u32) -> Self {
+        assert!((1..=64).contains(&wa) && (1..=64).contains(&wb), "widths {wa}/{wb} unsupported");
+        if wa + 12 + 4 <= 53 {
+            Self::new(wa, wb, vec![wa], vec![12; wb.div_ceil(12) as usize], 16)
+        } else {
+            Self::new(
+                wa,
+                wb,
+                vec![24; wa.div_ceil(24) as usize],
+                vec![24; wb.div_ceil(24) as usize],
+                16,
+            )
+        }
+    }
+
+    /// Builds a custom scheme, validating exactness: every partial product
+    /// plus accumulation must stay below `2^53`:
+    /// `max(a_chunk) + max(b_chunk) + ceil(log2(max_k)) <= 53`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunks do not cover their operand widths or exactness
+    /// would break.
+    pub fn new(wa: u32, wb: u32, a_chunks: Vec<u32>, b_chunks: Vec<u32>, max_k: usize) -> Self {
+        assert!(a_chunks.iter().sum::<u32>() >= wa, "A chunks must cover the word");
+        assert!(b_chunks.iter().sum::<u32>() >= wb, "B chunks must cover the word");
+        let ca = *a_chunks.iter().max().expect("at least one A chunk");
+        let cb = *b_chunks.iter().max().expect("at least one B chunk");
+        let log_k = (max_k.max(2) as f64).log2().ceil() as u32;
+        assert!(
+            ca + cb + log_k <= 53,
+            "scheme not exact: {ca} + {cb} + log2({max_k}) exceeds 53 bits"
+        );
+        Self { wa, wb, a_chunks, b_chunks, max_k }
+    }
+
+    /// Width of operand A in bits.
+    pub fn a_width(&self) -> u32 {
+        self.wa
+    }
+
+    /// Width of operand B in bits.
+    pub fn b_width(&self) -> u32 {
+        self.wb
+    }
+
+    /// The wider of the two operand widths (back-compat accessor).
+    pub fn word_size(&self) -> u32 {
+        self.wa.max(self.wb)
+    }
+
+    /// Maximum reduction depth the exactness proof covers.
+    pub fn max_k(&self) -> usize {
+        self.max_k
+    }
+
+    /// Number of planes operand A is split into.
+    pub fn a_planes(&self) -> usize {
+        self.a_chunks.len()
+    }
+
+    /// Number of planes operand B is split into.
+    pub fn b_planes(&self) -> usize {
+        self.b_chunks.len()
+    }
+
+    /// Number of partial fragment GEMMs (the paper's FP64 "Booth
+    /// complexity"): `a_planes * b_planes`.
+    pub fn partial_products(&self) -> usize {
+        self.a_chunks.len() * self.b_chunks.len()
+    }
+
+    /// Splits a slice of `u64` words into planes of `f64`, least-significant
+    /// plane first, paired with each plane's bit offset.
+    pub fn split_a(&self, data: &[u64]) -> Vec<(u32, Vec<f64>)> {
+        split_planes(data, &self.a_chunks)
+    }
+
+    /// Splits operand B; see [`Fp64SplitScheme::split_a`].
+    pub fn split_b(&self, data: &[u64]) -> Vec<(u32, Vec<f64>)> {
+        split_planes(data, &self.b_chunks)
+    }
+}
+
+fn split_planes(data: &[u64], chunks: &[u32]) -> Vec<(u32, Vec<f64>)> {
+    let mut out = Vec::with_capacity(chunks.len());
+    let mut offset = 0u32;
+    for &w in chunks {
+        let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let plane = data.iter().map(|&v| ((v >> offset) & mask) as f64).collect();
+        out.push((offset, plane));
+        offset += w;
+    }
+    out
+}
+
+/// INT8 byte-plane splitting (TensorFHE's approach).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Int8SplitScheme {
+    wa: u32,
+    wb: u32,
+    planes_a: usize,
+    planes_b: usize,
+}
+
+impl Int8SplitScheme {
+    /// Byte planes for symmetric operands: `⌈word_size / 8⌉` per operand.
+    pub fn for_word_size(word_size: u32) -> Self {
+        Self::for_operands(word_size, word_size)
+    }
+
+    /// Byte planes for asymmetric operand widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width exceeds 64 bits (the merge-shift budget).
+    pub fn for_operands(wa: u32, wb: u32) -> Self {
+        assert!(
+            (1..=64).contains(&wa) && (1..=64).contains(&wb),
+            "widths {wa}/{wb} unsupported for INT8"
+        );
+        Self {
+            wa,
+            wb,
+            planes_a: wa.div_ceil(8) as usize,
+            planes_b: wb.div_ceil(8) as usize,
+        }
+    }
+
+    /// The wider operand width.
+    pub fn word_size(&self) -> u32 {
+        self.wa.max(self.wb)
+    }
+
+    /// Byte planes of operand A.
+    pub fn planes_a(&self) -> usize {
+        self.planes_a
+    }
+
+    /// Byte planes of operand B.
+    pub fn planes_b(&self) -> usize {
+        self.planes_b
+    }
+
+    /// Byte planes per operand when symmetric (max of the two otherwise).
+    pub fn planes(&self) -> usize {
+        self.planes_a.max(self.planes_b)
+    }
+
+    /// Partial GEMMs in the cross pattern (the INT8 Booth complexity):
+    /// 25 for 36-bit words, 36 for 48-bit words.
+    pub fn partial_products(&self) -> usize {
+        self.planes_a * self.planes_b
+    }
+
+    /// Splits operand A into byte planes (LSB first) with bit offsets.
+    pub fn split_a(&self, data: &[u64]) -> Vec<(u32, Vec<u8>)> {
+        split_bytes(data, self.planes_a)
+    }
+
+    /// Splits operand B into byte planes (LSB first) with bit offsets.
+    pub fn split_b(&self, data: &[u64]) -> Vec<(u32, Vec<u8>)> {
+        split_bytes(data, self.planes_b)
+    }
+}
+
+fn split_bytes(data: &[u64], planes: usize) -> Vec<(u32, Vec<u8>)> {
+    (0..planes)
+        .map(|p| {
+            let off = 8 * p as u32;
+            (off, data.iter().map(|&v| ((v >> off) & 0xFF) as u8).collect())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schemes() {
+        let s36 = Fp64SplitScheme::for_word_size(36);
+        assert_eq!(s36.partial_products(), 3);
+        let s48 = Fp64SplitScheme::for_word_size(48);
+        assert_eq!(s48.partial_products(), 4);
+        assert_eq!(Int8SplitScheme::for_word_size(36).partial_products(), 25);
+        assert_eq!(Int8SplitScheme::for_word_size(48).partial_products(), 36);
+    }
+
+    #[test]
+    fn asymmetric_schemes() {
+        // 36-bit A against 48-bit B: A whole, B in four 12-bit planes.
+        let s = Fp64SplitScheme::for_operands(36, 48);
+        assert_eq!(s.a_planes(), 1);
+        assert_eq!(s.b_planes(), 4);
+        // 48-bit A forces the 24-bit scheme.
+        let s = Fp64SplitScheme::for_operands(48, 36);
+        assert_eq!(s.partial_products(), 2 * 2);
+        let i = Int8SplitScheme::for_operands(36, 48);
+        assert_eq!(i.partial_products(), 5 * 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not exact")]
+    fn rejects_inexact_scheme() {
+        // 40 + 12 + 4 = 56 > 53
+        let _ = Fp64SplitScheme::new(40, 48, vec![40], vec![12, 12, 12, 12], 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the word")]
+    fn rejects_undersized_chunks() {
+        let _ = Fp64SplitScheme::new(36, 36, vec![36], vec![12, 12], 16);
+    }
+
+    #[test]
+    fn fp64_planes_reassemble() {
+        let s = Fp64SplitScheme::for_word_size(36);
+        let data = vec![0x0ABC_DEF0_12u64, (1 << 36) - 1, 0];
+        let planes = s.split_b(&data);
+        assert_eq!(planes.len(), 3);
+        for (i, &v) in data.iter().enumerate() {
+            let mut acc = 0u64;
+            for (off, plane) in &planes {
+                acc += (plane[i] as u64) << off;
+            }
+            assert_eq!(acc, v);
+        }
+    }
+
+    #[test]
+    fn int8_planes_reassemble() {
+        let s = Int8SplitScheme::for_word_size(48);
+        let data = vec![0xFEDC_BA98_7654u64, 1, (1 << 48) - 1];
+        let planes = s.split_b(&data);
+        assert_eq!(planes.len(), 6);
+        for (i, &v) in data.iter().enumerate() {
+            let mut acc = 0u64;
+            for (off, plane) in &planes {
+                acc += (plane[i] as u64) << off;
+            }
+            assert_eq!(acc, v);
+        }
+    }
+}

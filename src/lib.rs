@@ -1,0 +1,33 @@
+//! # Neo — CKKS FHE with tensor-core-style matrix kernels
+//!
+//! Umbrella crate for the Neo reproduction (ISCA'25: *"Neo: Towards
+//! Efficient Fully Homomorphic Encryption Acceleration using Tensor Core"*).
+//! Re-exports every sub-crate under one roof so applications can depend on
+//! a single crate:
+//!
+//! ```rust
+//! use neo::math::primes;
+//! let qs = primes::ntt_primes(36, 1 << 12, 3).expect("primes exist");
+//! assert_eq!(qs.len(), 3);
+//! ```
+//!
+//! See the crate READMEs and `DESIGN.md` for the architecture overview and
+//! the experiment index mapping each paper table/figure to a bench target.
+
+/// Modular arithmetic, RNS bases, base conversion, RNS polynomials.
+pub use neo_math as math;
+/// Negacyclic NTTs: radix-2, four-step, and radix-16 (ten-step) matrix form.
+pub use neo_ntt as ntt;
+/// Tensor-core fragment emulation (FP64 / INT8) and splitting schemes.
+pub use neo_tcu as tcu;
+/// A100 analytic device model and kernel timing.
+pub use neo_gpu_sim as gpu_sim;
+/// The six Neo kernels in original and matrix-multiplication form.
+pub use neo_kernels as kernels;
+/// The CKKS scheme: encoding, keys, operations, Hybrid/KLSS key-switching,
+/// rescaling, and bootstrapping.
+pub use neo_ckks as ckks;
+/// Application workloads: PackBootstrap, HELR, ResNet-20/32/56.
+pub use neo_apps as apps;
+/// TensorFHE / HEonGPU / CPU baseline execution models.
+pub use neo_baselines as baselines;
