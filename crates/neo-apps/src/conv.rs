@@ -29,7 +29,11 @@ impl Conv2d {
     /// a slot vector exactly).
     pub fn new(height: usize, width: usize, kernel: [[f64; 3]; 3]) -> Self {
         assert!((height * width).is_power_of_two() && height * width >= 4);
-        Self { height, width, kernel }
+        Self {
+            height,
+            width,
+            kernel,
+        }
     }
 
     /// Slot count the packing uses.
@@ -91,8 +95,8 @@ impl Conv2d {
                     for x in 0..w as isize {
                         // Source slot under pure rotation by d:
                         let i = (y * w as isize + x) as usize;
-                        let linear_src = (i as isize + dy * w as isize + dx)
-                            .rem_euclid(slots as isize) as usize;
+                        let linear_src =
+                            (i as isize + dy * w as isize + dx).rem_euclid(slots as isize) as usize;
                         // Wanted source with 2-D cyclic padding:
                         let yy = (y + dy).rem_euclid(h as isize);
                         let xx = (x + dx).rem_euclid(w as isize);
@@ -102,8 +106,9 @@ impl Conv2d {
                         // wanted source and set its coefficient at slot i.
                         let d = (want_src + slots - i % slots) % slots;
                         let _ = linear_src;
-                        let diag =
-                            diagonals.entry(d).or_insert_with(|| vec![Complex64::default(); slots]);
+                        let diag = diagonals
+                            .entry(d)
+                            .or_insert_with(|| vec![Complex64::default(); slots]);
                         diag[i] = diag[i] + Complex64::new(c, 0.0);
                     }
                 }
@@ -139,7 +144,9 @@ mod tests {
     fn lowering_matches_reference_convolution() {
         let conv = Conv2d::new(8, 16, SOBEL);
         let mut rng = StdRng::seed_from_u64(31);
-        let image: Vec<f64> = (0..conv.slots()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let image: Vec<f64> = (0..conv.slots())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         let lt = conv.to_linear_transform();
         let packed = conv.pack(&image);
         let via_lt = lt.apply_plain(&packed);
@@ -159,7 +166,9 @@ mod tests {
         let enc = Encoder::new(ctx.degree());
         let conv = Conv2d::new(8, 16, SOBEL); // 128 = slot count of N=256
         assert_eq!(conv.slots(), enc.slots());
-        let image: Vec<f64> = (0..conv.slots()).map(|i| ((i * 13) % 7) as f64 * 0.1).collect();
+        let image: Vec<f64> = (0..conv.slots())
+            .map(|i| ((i * 13) % 7) as f64 * 0.1)
+            .collect();
         let pt = enc.encode(&ctx, &conv.pack(&image), ctx.params().scale(), 3);
         let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
         let out_ct = conv.apply(&chest, &enc, &ct, KsMethod::Klss);

@@ -32,7 +32,7 @@ use neo_ckks::bootstrap::TraceStep;
 use neo_ckks::cost::Operation;
 use neo_ckks::encoding::Complex64;
 use neo_ckks::keys::{KeyChest, PublicKey, SecretKey};
-use neo_ckks::{ops, CkksContext, CkksParams, Ciphertext, Encoder, KsMethod, Plaintext};
+use neo_ckks::{ops, Ciphertext, CkksContext, CkksParams, Encoder, KsMethod, Plaintext};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -59,26 +59,85 @@ pub fn trace(p: &CkksParams) -> AppTrace {
         }
         let l = level.max(4);
         // Forward: z = X·w (encrypted × encrypted, rotate-and-sum).
-        steps.push(TraceStep { op: Operation::HMult, level: l, count: data_cts });
-        steps.push(TraceStep { op: Operation::DoubleRescale, level: l, count: data_cts });
-        steps.push(TraceStep { op: Operation::HRotate, level: l - 1, count: data_cts * rot_feat });
-        steps.push(TraceStep { op: Operation::HAdd, level: l - 1, count: data_cts * rot_feat });
+        steps.push(TraceStep {
+            op: Operation::HMult,
+            level: l,
+            count: data_cts,
+        });
+        steps.push(TraceStep {
+            op: Operation::DoubleRescale,
+            level: l,
+            count: data_cts,
+        });
+        steps.push(TraceStep {
+            op: Operation::HRotate,
+            level: l - 1,
+            count: data_cts * rot_feat,
+        });
+        steps.push(TraceStep {
+            op: Operation::HAdd,
+            level: l - 1,
+            count: data_cts * rot_feat,
+        });
         // Low-degree sigmoid on the aggregated z.
-        steps.push(TraceStep { op: Operation::HMult, level: l - 1, count: 2 });
-        steps.push(TraceStep { op: Operation::DoubleRescale, level: l - 1, count: 2 });
+        steps.push(TraceStep {
+            op: Operation::HMult,
+            level: l - 1,
+            count: 2,
+        });
+        steps.push(TraceStep {
+            op: Operation::DoubleRescale,
+            level: l - 1,
+            count: 2,
+        });
         // Backward: residual ⊗ X, summed over the batch.
-        steps.push(TraceStep { op: Operation::HMult, level: l - 2, count: data_cts });
-        steps.push(TraceStep { op: Operation::DoubleRescale, level: l - 2, count: data_cts });
-        steps.push(TraceStep { op: Operation::HRotate, level: l - 2, count: data_cts * rot_batch });
-        steps.push(TraceStep { op: Operation::HAdd, level: l - 2, count: data_cts * rot_batch });
+        steps.push(TraceStep {
+            op: Operation::HMult,
+            level: l - 2,
+            count: data_cts,
+        });
+        steps.push(TraceStep {
+            op: Operation::DoubleRescale,
+            level: l - 2,
+            count: data_cts,
+        });
+        steps.push(TraceStep {
+            op: Operation::HRotate,
+            level: l - 2,
+            count: data_cts * rot_batch,
+        });
+        steps.push(TraceStep {
+            op: Operation::HAdd,
+            level: l - 2,
+            count: data_cts * rot_batch,
+        });
         // Mask-and-replicate weight update (lr folded into the mask).
-        steps.push(TraceStep { op: Operation::PMult, level: l - 3, count: 1 });
-        steps.push(TraceStep { op: Operation::DoubleRescale, level: l - 3, count: 1 });
-        steps.push(TraceStep { op: Operation::HRotate, level: l - 3, count: rot_batch });
-        steps.push(TraceStep { op: Operation::HAdd, level: l - 3, count: rot_batch + 1 });
+        steps.push(TraceStep {
+            op: Operation::PMult,
+            level: l - 3,
+            count: 1,
+        });
+        steps.push(TraceStep {
+            op: Operation::DoubleRescale,
+            level: l - 3,
+            count: 1,
+        });
+        steps.push(TraceStep {
+            op: Operation::HRotate,
+            level: l - 3,
+            count: rot_batch,
+        });
+        steps.push(TraceStep {
+            op: Operation::HAdd,
+            level: l - 3,
+            count: rot_batch + 1,
+        });
         level = level.saturating_sub(6);
     }
-    AppTrace { kind: AppKind::Helr, steps }
+    AppTrace {
+        kind: AppKind::Helr,
+        steps,
+    }
 }
 
 /// A runnable encrypted logistic-regression trainer at reduced scale.
@@ -100,8 +159,18 @@ impl EncryptedLogisticRegression {
     pub fn new(ctx: Arc<CkksContext>, features: usize, samples: usize, method: KsMethod) -> Self {
         let enc = Encoder::new(ctx.degree());
         assert!(features.is_power_of_two() && samples.is_power_of_two());
-        assert_eq!(features * samples, enc.slots(), "packing must fill the slot vector");
-        Self { ctx, enc, features, samples, method }
+        assert_eq!(
+            features * samples,
+            enc.slots(),
+            "packing must fill the slot vector"
+        );
+        Self {
+            ctx,
+            enc,
+            features,
+            samples,
+            method,
+        }
     }
 
     /// Slot index of feature `f`, sample `s`.
@@ -176,7 +245,12 @@ impl EncryptedLogisticRegression {
         let quarter = self.constant(-0.25, z.level(), ctx.params().scale());
         let mut resid = ops::rescale(ctx, &ops::pmult(ctx, &z, &quarter));
         let y_shift: Vec<f64> = y.iter().map(|v| v - 0.5).collect();
-        let y_pt = self.enc.encode(ctx, &self.broadcast_labels(&y_shift), resid.scale(), resid.level());
+        let y_pt = self.enc.encode(
+            ctx,
+            &self.broadcast_labels(&y_shift),
+            resid.scale(),
+            resid.level(),
+        );
         resid = padd_raw(ctx, &resid, &y_pt);
         // grad slots = resid_s · x_{f,s}; rotate-sum over samples puts
         // Σ_s grad at s = 0 of each feature block.
@@ -226,7 +300,12 @@ impl EncryptedLogisticRegression {
         level: usize,
         rng: &mut R,
     ) -> Ciphertext {
-        let pt = self.enc.encode(&self.ctx, &self.pack(rows), self.ctx.params().scale(), level);
+        let pt = self.enc.encode(
+            &self.ctx,
+            &self.pack(rows),
+            self.ctx.params().scale(),
+            level,
+        );
         ops::encrypt(&self.ctx, pk, &pt, rng)
     }
 
@@ -238,8 +317,12 @@ impl EncryptedLogisticRegression {
         level: usize,
         rng: &mut R,
     ) -> Ciphertext {
-        let pt =
-            self.enc.encode(&self.ctx, &self.broadcast_w(w), self.ctx.params().scale(), level);
+        let pt = self.enc.encode(
+            &self.ctx,
+            &self.broadcast_w(w),
+            self.ctx.params().scale(),
+            level,
+        );
         ops::encrypt(&self.ctx, pk, &pt, rng)
     }
 
@@ -247,7 +330,9 @@ impl EncryptedLogisticRegression {
     pub fn decrypt_weights(&self, sk: &SecretKey, w_ct: &Ciphertext) -> Vec<f64> {
         let pt = ops::decrypt(&self.ctx, sk, w_ct);
         let slots = self.enc.decode(&self.ctx, &pt);
-        (0..self.features).map(|f| slots[self.slot(f, 0)].re).collect()
+        (0..self.features)
+            .map(|f| slots[self.slot(f, 0)].re)
+            .collect()
     }
 }
 
@@ -266,7 +351,9 @@ pub fn synthetic_dataset<R: Rng + ?Sized>(
     samples: usize,
     features: usize,
 ) -> (Vec<Vec<f64>>, Vec<f64>) {
-    let true_w: Vec<f64> = (0..features).map(|f| if f % 2 == 0 { 0.5 } else { -0.5 }).collect();
+    let true_w: Vec<f64> = (0..features)
+        .map(|f| if f % 2 == 0 { 0.5 } else { -0.5 })
+        .collect();
     let mut xs = Vec::with_capacity(samples);
     let mut ys = Vec::with_capacity(samples);
     for _ in 0..samples {
@@ -289,5 +376,8 @@ pub fn plaintext_step(xs: &[Vec<f64>], ys: &[f64], w: &[f64], lr: f64) -> Vec<f6
             grad[f] += resid * x[f];
         }
     }
-    w.iter().enumerate().map(|(f, &wf)| wf + lr * grad[f]).collect()
+    w.iter()
+        .enumerate()
+        .map(|(f, &wf)| wf + lr * grad[f])
+        .collect()
 }

@@ -70,39 +70,94 @@ pub fn trace(p: &CkksParams, depth: ResNetDepth) -> AppTrace {
         level = level.saturating_sub(4);
         // conv2 + residual add + ReLU.
         push_conv(&mut steps, level.max(4));
-        steps.push(TraceStep { op: Operation::HAdd, level: level.max(4), count: 1 });
+        steps.push(TraceStep {
+            op: Operation::HAdd,
+            level: level.max(4),
+            count: 1,
+        });
         level = push_bootstrap(&mut steps, p);
         push_relu(&mut steps, level);
         level = level.saturating_sub(4);
     }
     // Average pool + fully connected head.
-    steps.push(TraceStep { op: Operation::HRotate, level: level.max(3), count: 12 });
-    steps.push(TraceStep { op: Operation::HAdd, level: level.max(3), count: 12 });
-    steps.push(TraceStep { op: Operation::PMult, level: level.max(3), count: 10 });
-    steps.push(TraceStep { op: Operation::DoubleRescale, level: level.max(3), count: 1 });
-    AppTrace { kind: depth.kind(), steps }
+    steps.push(TraceStep {
+        op: Operation::HRotate,
+        level: level.max(3),
+        count: 12,
+    });
+    steps.push(TraceStep {
+        op: Operation::HAdd,
+        level: level.max(3),
+        count: 12,
+    });
+    steps.push(TraceStep {
+        op: Operation::PMult,
+        level: level.max(3),
+        count: 10,
+    });
+    steps.push(TraceStep {
+        op: Operation::DoubleRescale,
+        level: level.max(3),
+        count: 1,
+    });
+    AppTrace {
+        kind: depth.kind(),
+        steps,
+    }
 }
 
 fn push_conv(steps: &mut Vec<TraceStep>, level: usize) {
     let l = level.max(4);
-    steps.push(TraceStep { op: Operation::HRotate, level: l, count: CONV_ROTATIONS });
-    steps.push(TraceStep { op: Operation::PMult, level: l, count: CONV_PMULTS });
-    steps.push(TraceStep { op: Operation::HAdd, level: l, count: CONV_ADDS });
-    steps.push(TraceStep { op: Operation::DoubleRescale, level: l, count: 1 });
+    steps.push(TraceStep {
+        op: Operation::HRotate,
+        level: l,
+        count: CONV_ROTATIONS,
+    });
+    steps.push(TraceStep {
+        op: Operation::PMult,
+        level: l,
+        count: CONV_PMULTS,
+    });
+    steps.push(TraceStep {
+        op: Operation::HAdd,
+        level: l,
+        count: CONV_ADDS,
+    });
+    steps.push(TraceStep {
+        op: Operation::DoubleRescale,
+        level: l,
+        count: 1,
+    });
 }
 
 fn push_relu(steps: &mut Vec<TraceStep>, level: usize) {
     let l = level.max(4);
     // Composite polynomial evaluation: HMULT chain with rescales.
-    steps.push(TraceStep { op: Operation::HMult, level: l, count: RELU_HMULTS / 2 });
-    steps.push(TraceStep { op: Operation::DoubleRescale, level: l, count: 2 });
-    steps.push(TraceStep { op: Operation::HMult, level: l.saturating_sub(2).max(3), count: RELU_HMULTS / 2 });
+    steps.push(TraceStep {
+        op: Operation::HMult,
+        level: l,
+        count: RELU_HMULTS / 2,
+    });
+    steps.push(TraceStep {
+        op: Operation::DoubleRescale,
+        level: l,
+        count: 2,
+    });
+    steps.push(TraceStep {
+        op: Operation::HMult,
+        level: l.saturating_sub(2).max(3),
+        count: RELU_HMULTS / 2,
+    });
     steps.push(TraceStep {
         op: Operation::DoubleRescale,
         level: l.saturating_sub(2).max(3),
         count: 2,
     });
-    steps.push(TraceStep { op: Operation::HAdd, level: l.saturating_sub(2).max(3), count: RELU_HMULTS });
+    steps.push(TraceStep {
+        op: Operation::HAdd,
+        level: l.saturating_sub(2).max(3),
+        count: RELU_HMULTS,
+    });
 }
 
 #[cfg(test)]

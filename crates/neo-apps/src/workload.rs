@@ -57,7 +57,11 @@ pub struct AppTrace {
 impl AppTrace {
     /// Total count of one operation across the trace.
     pub fn count_of(&self, op: Operation) -> usize {
-        self.steps.iter().filter(|s| s.op == op).map(|s| s.count).sum()
+        self.steps
+            .iter()
+            .filter(|s| s.op == op)
+            .map(|s| s.count)
+            .sum()
     }
 
     /// Prices the trace on a device under a strategy (batch-amortized
@@ -65,7 +69,9 @@ impl AppTrace {
     pub fn time_s(&self, dev: &DeviceModel, p: &CkksParams, cfg: &CostConfig) -> f64 {
         self.steps
             .iter()
-            .map(|s| s.count as f64 * op_time_us(dev, p, s.level.clamp(1, p.max_level), s.op, cfg) * 1e-6)
+            .map(|s| {
+                s.count as f64 * op_time_us(dev, p, s.level.clamp(1, p.max_level), s.op, cfg) * 1e-6
+            })
             .sum()
     }
 }
@@ -73,7 +79,10 @@ impl AppTrace {
 /// The PackBootstrap workload: one fully packed bootstrap.
 pub fn bootstrap_app(p: &CkksParams) -> AppTrace {
     let plan = BootstrapPlan::standard(p);
-    AppTrace { kind: AppKind::PackBootstrap, steps: plan.trace() }
+    AppTrace {
+        kind: AppKind::PackBootstrap,
+        steps: plan.trace(),
+    }
 }
 
 /// Appends a bootstrap to an existing trace and returns the level the

@@ -2,9 +2,7 @@
 //! plaintext reference model step for step, and training actually reduces
 //! classification error.
 
-use neo_apps::helr::{
-    plaintext_step, synthetic_dataset, EncryptedLogisticRegression,
-};
+use neo_apps::helr::{plaintext_step, synthetic_dataset, EncryptedLogisticRegression};
 use neo_ckks::keys::{KeyChest, PublicKey, SecretKey};
 use neo_ckks::{CkksContext, CkksParams, KsMethod};
 use rand::rngs::StdRng;
@@ -29,7 +27,13 @@ fn rig(method: KsMethod, seed: u64) -> Rig {
     let pk = PublicKey::generate(&ctx, &sk, &mut rng);
     let chest = KeyChest::new(ctx.clone(), sk, seed + 1);
     let model = EncryptedLogisticRegression::new(ctx.clone(), FEATURES, SAMPLES, method);
-    Rig { ctx, chest, pk, model, rng }
+    Rig {
+        ctx,
+        chest,
+        pk,
+        model,
+        rng,
+    }
 }
 
 #[test]
@@ -84,5 +88,9 @@ fn encrypted_training_reduces_error_hybrid() {
             })
             .count()
     };
-    assert!(err(&w) < SAMPLES / 2, "trained error {} not better than chance", err(&w));
+    assert!(
+        err(&w) < SAMPLES / 2,
+        "trained error {} not better than chance",
+        err(&w)
+    );
 }

@@ -80,7 +80,11 @@ impl SchemeModel {
                 ip_adaptive: false,
                 ip_target: MatmulTarget::Cuda,
                 hybrid_intt_per_digit: false,
-                exec: ExecConfig { multi_stream: false, overlap_eta: 0.0, fusion: true },
+                exec: ExecConfig {
+                    multi_stream: false,
+                    overlap_eta: 0.0,
+                    fusion: true,
+                },
             },
             device: DeviceModel::new(cpu_server_spec()),
         }
@@ -131,7 +135,12 @@ pub fn cpu_server_spec() -> DeviceSpec {
         hbm_capacity_bytes: 5.12e11,
         kernel_launch_s: 0.0,
         int_ops_per_modmac: 10.0,
-        efficiency: Efficiency { cuda: 0.30, tcu_fp64: 1.0, tcu_int8: 1.0, memory: 0.50 },
+        efficiency: Efficiency {
+            cuda: 0.30,
+            tcu_fp64: 1.0,
+            tcu_int8: 1.0,
+            memory: 0.50,
+        },
     }
 }
 
@@ -159,7 +168,10 @@ pub fn ablation_ladder() -> Vec<AblationStep> {
     let base = CostConfig::tensorfhe();
     let set_b = ParamSet::B.params();
     let set_c = ParamSet::C.params();
-    let klss = CostConfig { method: KsMethod::Klss, ..base };
+    let klss = CostConfig {
+        method: KsMethod::Klss,
+        ..base
+    };
     let dataflow = CostConfig {
         bconv_matrix: true,
         bconv_target: MatmulTarget::Cuda,
@@ -168,14 +180,37 @@ pub fn ablation_ladder() -> Vec<AblationStep> {
         ip_target: MatmulTarget::Cuda,
         ..klss
     };
-    let ten_step = CostConfig { ntt_alg: NttAlgorithm::Radix16, ..dataflow };
+    let ten_step = CostConfig {
+        ntt_alg: NttAlgorithm::Radix16,
+        ..dataflow
+    };
     let fp64 = CostConfig::neo();
     vec![
-        AblationStep { label: "TensorFHE", params: set_b, cfg: base },
-        AblationStep { label: "+KLSS", params: set_c.clone(), cfg: klss },
-        AblationStep { label: "+dataflow opted", params: set_c.clone(), cfg: dataflow },
-        AblationStep { label: "+ten-step NTT", params: set_c.clone(), cfg: ten_step },
-        AblationStep { label: "+FP64 TCU", params: set_c, cfg: fp64 },
+        AblationStep {
+            label: "TensorFHE",
+            params: set_b,
+            cfg: base,
+        },
+        AblationStep {
+            label: "+KLSS",
+            params: set_c.clone(),
+            cfg: klss,
+        },
+        AblationStep {
+            label: "+dataflow opted",
+            params: set_c.clone(),
+            cfg: dataflow,
+        },
+        AblationStep {
+            label: "+ten-step NTT",
+            params: set_c.clone(),
+            cfg: ten_step,
+        },
+        AblationStep {
+            label: "+FP64 TCU",
+            params: set_c,
+            cfg: fp64,
+        },
     ]
 }
 
@@ -201,8 +236,15 @@ mod tests {
         let heon = SchemeModel::heongpu();
         let tfhe = SchemeModel::tensorfhe(ParamSet::A);
         let app = AppKind::ResNet20;
-        let (tn, th, tt) = (neo.app_time_s(app), heon.app_time_s(app), tfhe.app_time_s(app));
-        assert!(tn < th && th < tt, "expected Neo {tn:.1} < HEonGPU {th:.1} < TensorFHE {tt:.1}");
+        let (tn, th, tt) = (
+            neo.app_time_s(app),
+            heon.app_time_s(app),
+            tfhe.app_time_s(app),
+        );
+        assert!(
+            tn < th && th < tt,
+            "expected Neo {tn:.1} < HEonGPU {th:.1} < TensorFHE {tt:.1}"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ fn single_scaling_rows_are_faster() {
             tf_ss.app_time_s(app) < tf.app_time_s(app),
             "{app}: TensorFHE_SS should beat TensorFHE"
         );
-        assert!(neo_ss.app_time_s(app) < neo.app_time_s(app), "{app}: Neo_SS should beat Neo");
+        assert!(
+            neo_ss.app_time_s(app) < neo.app_time_s(app),
+            "{app}: Neo_SS should beat Neo"
+        );
     }
 }
 
@@ -50,11 +53,18 @@ fn app_traces_are_well_formed() {
         let trace = neo.app_trace(app);
         assert!(!trace.steps.is_empty(), "{app}: empty trace");
         for s in &trace.steps {
-            assert!(s.level <= neo.params.max_level, "{app}: level {} too high", s.level);
+            assert!(
+                s.level <= neo.params.max_level,
+                "{app}: level {} too high",
+                s.level
+            );
             assert!(s.count > 0, "{app}: zero-count step");
         }
         // Every app bootstraps at least once (they are all deep workloads).
-        assert!(trace.count_of(Operation::HMult) > 0, "{app}: no multiplications");
+        assert!(
+            trace.count_of(Operation::HMult) > 0,
+            "{app}: no multiplications"
+        );
     }
 }
 
@@ -64,10 +74,16 @@ fn cpu_operation_magnitudes_match_table6_sources() {
     // the same decade.
     let cpu = SchemeModel::cpu();
     let hmult_s = cpu.op_time_us(35, Operation::HMult) * 1e-6;
-    assert!(hmult_s > 0.5 && hmult_s < 15.0, "CPU HMult {hmult_s:.2} s out of range");
+    assert!(
+        hmult_s > 0.5 && hmult_s < 15.0,
+        "CPU HMult {hmult_s:.2} s out of range"
+    );
     // Cheap ops stay in the millisecond range (paper: 26-46 ms).
     let pmult_ms = cpu.op_time_us(35, Operation::PMult) * 1e-3;
-    assert!(pmult_ms > 1.0 && pmult_ms < 300.0, "CPU PMult {pmult_ms:.1} ms out of range");
+    assert!(
+        pmult_ms > 1.0 && pmult_ms < 300.0,
+        "CPU PMult {pmult_ms:.1} ms out of range"
+    );
 }
 
 #[test]
@@ -77,6 +93,14 @@ fn resnet_depth_ratios_track_block_counts() {
     let t32 = neo.app_time_s(AppKind::ResNet32);
     let t56 = neo.app_time_s(AppKind::ResNet56);
     // Paper ratios: 19.68/12.03 = 1.64, 34.98/12.03 = 2.91.
-    assert!((t32 / t20 - 1.64).abs() < 0.35, "32/20 ratio {:.2}", t32 / t20);
-    assert!((t56 / t20 - 2.91).abs() < 0.60, "56/20 ratio {:.2}", t56 / t20);
+    assert!(
+        (t32 / t20 - 1.64).abs() < 0.35,
+        "32/20 ratio {:.2}",
+        t32 / t20
+    );
+    assert!(
+        (t56 / t20 - 2.91).abs() < 0.60,
+        "56/20 ratio {:.2}",
+        t56 / t20
+    );
 }

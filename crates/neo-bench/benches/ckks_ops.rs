@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use neo_ckks::encoding::Complex64;
 use neo_ckks::keys::{KeyChest, PublicKey, SecretKey};
-use neo_ckks::{ops, CkksContext, CkksParams, Ciphertext, Encoder, KsMethod};
+use neo_ckks::{ops, Ciphertext, CkksContext, CkksParams, Encoder, KsMethod};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -23,8 +23,9 @@ fn rig() -> Rig {
     let pk = PublicKey::generate(&ctx, &sk, &mut rng);
     let chest = KeyChest::new(ctx.clone(), sk, 2);
     let enc = Encoder::new(ctx.degree());
-    let vals: Vec<Complex64> =
-        (0..enc.slots()).map(|i| Complex64::new((i as f64 * 0.1).sin(), 0.0)).collect();
+    let vals: Vec<Complex64> = (0..enc.slots())
+        .map(|i| Complex64::new((i as f64 * 0.1).sin(), 0.0))
+        .collect();
     let pt = enc.encode(&ctx, &vals, ctx.params().scale(), 4);
     let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
     // Warm the key caches so the benches time steady-state switching.

@@ -18,8 +18,12 @@ fn bench_bconv(c: &mut Criterion) {
         .map(|m| (0..n).map(|_| rng.gen_range(0..m.value())).collect())
         .collect();
     let mut group = c.benchmark_group("bconv_4to8_4096");
-    group.bench_function("original", |b| b.iter(|| bconv::bconv_original(&table, &input)));
-    group.bench_function("matrix_scalar", |b| b.iter(|| bconv::bconv_matrix_scalar(&table, &input)));
+    group.bench_function("original", |b| {
+        b.iter(|| bconv::bconv_original(&table, &input))
+    });
+    group.bench_function("matrix_scalar", |b| {
+        b.iter(|| bconv::bconv_matrix_scalar(&table, &input))
+    });
     group.bench_function("matrix_fp64_emulated", |b| {
         b.iter(|| bconv::bconv_matrix_fp64(&table, &input))
     });
@@ -38,7 +42,11 @@ fn bench_ip(c: &mut Criterion) {
         .map(|_| {
             moduli
                 .iter()
-                .map(|m| (0..batch * n).map(|_| rng.gen_range(0..m.value())).collect())
+                .map(|m| {
+                    (0..batch * n)
+                        .map(|_| rng.gen_range(0..m.value()))
+                        .collect()
+                })
                 .collect()
         })
         .collect();
@@ -55,7 +63,9 @@ fn bench_ip(c: &mut Criterion) {
         })
         .collect();
     let mut group = c.benchmark_group("ip_b3_bt4");
-    group.bench_function("original", |b| b.iter(|| ip::ip_original(&moduli, batch, &cdata, &evk)));
+    group.bench_function("original", |b| {
+        b.iter(|| ip::ip_original(&moduli, batch, &cdata, &evk))
+    });
     group.bench_function("matrix_cuda", |b| {
         b.iter(|| ip::ip_matrix(&moduli, batch, &cdata, &evk, MatmulTarget::Cuda))
     });

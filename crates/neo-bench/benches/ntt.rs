@@ -9,7 +9,126 @@ use rand::{Rng, SeedableRng};
 
 fn random_poly(plan: &NttPlan, seed: u64) -> Vec<u64> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    (0..plan.degree()).map(|_| rng.gen_range(0..plan.modulus().value())).collect()
+    (0..plan.degree())
+        .map(|_| rng.gen_range(0..plan.modulus().value()))
+        .collect()
+}
+
+/// The radix-2 forward NTT exactly as the tree had it before the Shoup
+/// rewrite: every modular multiply is a 128-bit `%` division. This is the
+/// "before" row of `BENCH_ntt.json`.
+fn forward_division_baseline(plan: &NttPlan, x: &mut [u64]) {
+    let n = x.len();
+    let q = plan.modulus().value();
+    let mulq = |a: u64, b: u64| ((a as u128 * b as u128) % q as u128) as u64;
+    for (v, &p) in x.iter_mut().zip(plan.psi_pows()) {
+        *v = mulq(*v, p);
+    }
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits().wrapping_shr(64 - bits) as usize;
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+    let pows = plan.omega_pows();
+    let mut size = 2;
+    while size <= n {
+        let half = size / 2;
+        let step = n / size;
+        for block in (0..n).step_by(size) {
+            for j in 0..half {
+                let w = pows[j * step];
+                let u = x[block + j];
+                let t = mulq(x[block + j + half], w);
+                let s = u + t;
+                x[block + j] = if s >= q { s - q } else { s };
+                x[block + j + half] = if u >= t { u - t } else { u + q - t };
+            }
+        }
+        size *= 2;
+    }
+}
+
+/// The tentpole comparison: the pre-PR division butterflies, the Barrett
+/// reference, the lazy-reduction fast path, and the matrix NTT, at
+/// bootstrapping-adjacent degrees. Numbers from this group feed
+/// `BENCH_ntt.json` at the repo root.
+fn bench_shoup_fastpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt_shoup_fastpath");
+    for log_n in [12u32, 13] {
+        let n = 1usize << log_n;
+        let q = neo_math::primes::ntt_primes(55, n, 1).unwrap()[0];
+        let plan = neo_ntt::cache::get_or_build(q, n).unwrap();
+        let a = random_poly(&plan, u64::from(log_n));
+        // Sanity check the baseline against the fast path before timing.
+        let (mut want, mut div) = (a.clone(), a.clone());
+        radix2::forward(&plan, &mut want);
+        forward_division_baseline(&plan, &mut div);
+        assert_eq!(div, want, "division baseline diverged from fast path");
+        group.bench_with_input(BenchmarkId::new("radix2_division_seed", n), &a, |b, a| {
+            b.iter(|| {
+                let mut x = a.clone();
+                forward_division_baseline(&plan, &mut x);
+                x
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("radix2_reference", n), &a, |b, a| {
+            b.iter(|| {
+                let mut x = a.clone();
+                radix2::forward_reference(&plan, &mut x);
+                x
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("radix2_shoup", n), &a, |b, a| {
+            b.iter(|| {
+                let mut x = a.clone();
+                radix2::forward(&plan, &mut x);
+                x
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("radix16_scalar", n), &a, |b, a| {
+            b.iter(|| {
+                let mut x = a.clone();
+                matrix::forward_radix16(&plan, &mut x, &ScalarGemm);
+                x
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Blocked i-k-j deferred-reduction GEMM vs the fully-reduced oracle at
+/// the 256³ shape from the acceptance bar.
+fn bench_scalar_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalar_gemm_256");
+    let dim = 256usize;
+    let q =
+        neo_math::Modulus::new(neo_math::primes::ntt_primes(55, 1 << 10, 1).unwrap()[0]).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(256);
+    let a: Vec<u64> = (0..dim * dim)
+        .map(|_| rng.gen_range(0..q.value()))
+        .collect();
+    let b_mat: Vec<u64> = (0..dim * dim)
+        .map(|_| rng.gen_range(0..q.value()))
+        .collect();
+    group.sample_size(10);
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            let mut out = vec![0u64; dim * dim];
+            neo_tcu::reference_gemm(&q, &a, &b_mat, dim, dim, dim, &mut out);
+            out
+        })
+    });
+    group.bench_function("blocked", |b| {
+        b.iter(|| {
+            let mut out = vec![0u64; dim * dim];
+            use neo_tcu::GemmEngine;
+            ScalarGemm.gemm(&q, &a, &b_mat, dim, dim, dim, &mut out);
+            out
+        })
+    });
+    group.finish();
 }
 
 fn bench_algorithms(c: &mut Criterion) {
@@ -76,5 +195,11 @@ fn bench_tcu_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithms, bench_tcu_engines);
+criterion_group!(
+    benches,
+    bench_shoup_fastpath,
+    bench_scalar_gemm,
+    bench_algorithms,
+    bench_tcu_engines
+);
 criterion_main!(benches);

@@ -28,9 +28,10 @@ fn main() {
     );
     let mut rows = Vec::new();
     for l in [5usize, 11, 17, 23, 29, 35] {
-        for (label, set, method) in
-            [("Hybrid", ParamSet::B, KsMethod::Hybrid), ("KLSS", ParamSet::C, KsMethod::Klss)]
-        {
+        for (label, set, method) in [
+            ("Hybrid", ParamSet::B, KsMethod::Hybrid),
+            ("KLSS", ParamSet::C, KsMethod::Klss),
+        ] {
             let p = set.params();
             let mut cfg = CostConfig::tensorfhe();
             cfg.method = method;

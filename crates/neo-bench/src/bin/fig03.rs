@@ -27,8 +27,9 @@ impl Breakdown {
 fn fp64_breakdown(dev: &DeviceModel, ws: u32) -> Breakdown {
     let scheme = Fp64SplitScheme::for_word_size(ws);
     let dims = GemmDims::new(M, NK, NK);
-    let split = KernelProfile::new("split")
-        .cuda_modmacs(SPLIT_COST * (scheme.a_planes() + scheme.b_planes()) as f64 * (M * NK) as f64);
+    let split = KernelProfile::new("split").cuda_modmacs(
+        SPLIT_COST * (scheme.a_planes() + scheme.b_planes()) as f64 * (M * NK) as f64,
+    );
     let mm = KernelProfile::new("mm")
         .tcu_fp64_macs((scheme.partial_products() as u64 * dims.padded_macs(FP64_FRAGMENT)) as f64);
     let merge = KernelProfile::new("merge")
@@ -43,8 +44,9 @@ fn fp64_breakdown(dev: &DeviceModel, ws: u32) -> Breakdown {
 fn int8_breakdown(dev: &DeviceModel, ws: u32) -> Breakdown {
     let scheme = Int8SplitScheme::for_word_size(ws);
     let dims = GemmDims::new(M, NK, NK);
-    let split = KernelProfile::new("split")
-        .cuda_modmacs(SPLIT_COST * (scheme.planes_a() + scheme.planes_b()) as f64 * (M * NK) as f64);
+    let split = KernelProfile::new("split").cuda_modmacs(
+        SPLIT_COST * (scheme.planes_a() + scheme.planes_b()) as f64 * (M * NK) as f64,
+    );
     let mm = KernelProfile::new("mm").tcu_int8_macs(
         (scheme.partial_products() as u64 * dims.padded_macs(INT8_FRAGMENTS[0])) as f64,
     );
@@ -70,12 +72,22 @@ fn main() {
         let i8b = int8_breakdown(&dev, ws);
         let f64b = fp64_breakdown(&dev, ws);
         for (ty, b, partials) in [
-            ("INT8", &i8b, Int8SplitScheme::for_word_size(ws).partial_products()),
-            ("FP64", &f64b, Fp64SplitScheme::for_word_size(ws).partial_products()),
+            (
+                "INT8",
+                &i8b,
+                Int8SplitScheme::for_word_size(ws).partial_products(),
+            ),
+            (
+                "FP64",
+                &f64b,
+                Fp64SplitScheme::for_word_size(ws).partial_products(),
+            ),
         ] {
             human.push_str(&format!(
                 " {ws} | {ty} | {:6.1} {:7.1} {:6.1} | {:7.1} | {partials}\n",
-                b.split_us, b.matmul_us, b.merge_us,
+                b.split_us,
+                b.matmul_us,
+                b.merge_us,
                 b.total()
             ));
             rows.push(json!({
@@ -91,5 +103,9 @@ fn main() {
             if ws == 36 { "1.65x" } else { "1.74x" }
         ));
     }
-    emit("fig03", &human, json!({ "rows": rows, "speedups": speedups }));
+    emit(
+        "fig03",
+        &human,
+        json!({ "rows": rows, "speedups": speedups }),
+    );
 }

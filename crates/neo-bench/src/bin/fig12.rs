@@ -18,10 +18,11 @@ fn main() {
     let mut rows = Vec::new();
     for l in (5..=35).step_by(2) {
         let ntt = valid_proportion(GemmDims::new(bs * n / 16, 16, 16), FP64_FRAGMENT);
-        let bconv =
-            valid_proportion(GemmDims::new(bs * n, p.alpha(), p.alpha_prime()), FP64_FRAGMENT);
-        let ip =
-            valid_proportion(GemmDims::new(bs, p.beta(l), p.beta_tilde(l)), FP64_FRAGMENT);
+        let bconv = valid_proportion(
+            GemmDims::new(bs * n, p.alpha(), p.alpha_prime()),
+            FP64_FRAGMENT,
+        );
+        let ip = valid_proportion(GemmDims::new(bs, p.beta(l), p.beta_tilde(l)), FP64_FRAGMENT);
         human.push_str(&format!(
             "  {l:3} | {:5.1}% {:6.1}% {:5.1}% | {}\n",
             ntt * 100.0,

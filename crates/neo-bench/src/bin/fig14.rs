@@ -10,8 +10,12 @@ use serde_json::json;
 
 fn main() {
     let dev = DeviceModel::a100();
-    let apps =
-        [AppKind::PackBootstrap, AppKind::Helr, AppKind::ResNet20, AppKind::ResNet56];
+    let apps = [
+        AppKind::PackBootstrap,
+        AppKind::Helr,
+        AppKind::ResNet20,
+        AppKind::ResNet56,
+    ];
     let ladder = ablation_ladder();
     let mut human = String::from("Fig. 14: relative execution time, normalized to TensorFHE\n");
     human.push_str("step             |");

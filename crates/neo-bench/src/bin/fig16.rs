@@ -12,10 +12,16 @@ use serde_json::json;
 fn main() {
     let dev = DeviceModel::a100();
     let hybrid_p = ParamSet::B.params();
-    let hybrid_cfg = CostConfig { method: KsMethod::Hybrid, ..CostConfig::neo() };
+    let hybrid_cfg = CostConfig {
+        method: KsMethod::Hybrid,
+        ..CostConfig::neo()
+    };
     let klss_p = |wt: u32| -> CkksParams {
         let mut p = ParamSet::C.params();
-        p.klss = Some(KlssConfig { word_size_t: wt, alpha_tilde: 5 });
+        p.klss = Some(KlssConfig {
+            word_size_t: wt,
+            alpha_tilde: 5,
+        });
         p
     };
     let neo = CostConfig::neo();

@@ -18,7 +18,12 @@ fn main() {
         for (name, c) in [("Hybrid", hybrid(&p, l)), ("KLSS", klss(&p, l))] {
             human.push_str(&format!(
                 "  {l:3} | {name:6} | {:7} {:7} {:7} {:7} {:7} {:7} | {:7}\n",
-                c.mod_up, c.ntt, c.inner_product, c.intt, c.recover_limbs, c.mod_down,
+                c.mod_up,
+                c.ntt,
+                c.inner_product,
+                c.intt,
+                c.recover_limbs,
+                c.mod_down,
                 c.total()
             ));
             rows.push(json!({
@@ -35,5 +40,9 @@ fn main() {
         "\nAt l = 35: KLSS/Hybrid total complexity ratio = {:.2}\n",
         k as f64 / h as f64
     ));
-    emit("table2", &human, json!({ "rows": rows, "klss_over_hybrid_l35": k as f64 / h as f64 }));
+    emit(
+        "table2",
+        &human,
+        json!({ "rows": rows, "klss_over_hybrid_l35": k as f64 / h as f64 }),
+    );
 }

@@ -10,7 +10,10 @@ use serde_json::json;
 fn main() {
     let mut schemes: Vec<(String, SchemeModel)> = Vec::new();
     schemes.push(("CPU".into(), SchemeModel::cpu()));
-    schemes.push(("TensorFHE_SS Set-F".into(), SchemeModel::tensorfhe(ParamSet::F)));
+    schemes.push((
+        "TensorFHE_SS Set-F".into(),
+        SchemeModel::tensorfhe(ParamSet::F),
+    ));
     schemes.push(("Neo_SS Set-G".into(), SchemeModel::neo(ParamSet::G)));
     for set in [ParamSet::A, ParamSet::B, ParamSet::C] {
         schemes.push((format!("TensorFHE {set}"), SchemeModel::tensorfhe(set)));
@@ -55,7 +58,10 @@ fn main() {
     let mut count = 0;
     human.push_str("\nNeo Set-C speedup over TensorFHE's best full-scaling config:\n");
     for (a, app) in AppKind::ALL.iter().enumerate() {
-        let best_tf = tf_rows.iter().map(|&r| table[r][a]).fold(f64::INFINITY, f64::min);
+        let best_tf = tf_rows
+            .iter()
+            .map(|&r| table[r][a])
+            .fold(f64::INFINITY, f64::min);
         let s = best_tf / table[neo_row][a];
         geo *= s;
         count += 1;
@@ -65,5 +71,9 @@ fn main() {
     human.push_str(&format!(
         "  geomean: {geo:.2}x  (paper: 3.28x vs TensorFHE's optimal configuration)\n"
     ));
-    emit("table5", &human, json!({ "rows": rows, "neo_vs_tensorfhe_best_geomean": geo }));
+    emit(
+        "table5",
+        &human,
+        json!({ "rows": rows, "neo_vs_tensorfhe_best_geomean": geo }),
+    );
 }

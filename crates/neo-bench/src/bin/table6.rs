@@ -18,8 +18,16 @@ fn main() {
     ];
     let schemes = vec![
         ("CPU Set-H".to_string(), SchemeModel::cpu(), 35usize),
-        ("TensorFHE Set-A".into(), SchemeModel::tensorfhe(ParamSet::A), 35),
-        ("TensorFHE Set-B".into(), SchemeModel::tensorfhe(ParamSet::B), 35),
+        (
+            "TensorFHE Set-A".into(),
+            SchemeModel::tensorfhe(ParamSet::A),
+            35,
+        ),
+        (
+            "TensorFHE Set-B".into(),
+            SchemeModel::tensorfhe(ParamSet::B),
+            35,
+        ),
         ("HEonGPU Set-E".into(), SchemeModel::heongpu(), 35),
         ("Neo Set-C".into(), SchemeModel::neo(ParamSet::C), 35),
     ];
@@ -50,5 +58,9 @@ fn main() {
         "\nHMult: TensorFHE Set-A / Neo Set-C = {:.2}x (paper: 15304.6 / 3472.5 = 4.41x)\n",
         tfa / neo
     ));
-    emit("table6", &human, json!({ "rows": rows, "hmult_ratio_tfA_over_neoC": tfa / neo }));
+    emit(
+        "table6",
+        &human,
+        json!({ "rows": rows, "hmult_ratio_tfA_over_neoC": tfa / neo }),
+    );
 }

@@ -33,16 +33,26 @@ fn main() {
         components: 2,
         w: p.word_size,
     };
-    let ng = NttGeom { n: p.n(), count: p.batch_size, w: p.word_size };
+    let ng = NttGeom {
+        n: p.n(),
+        count: p.batch_size,
+        w: p.word_size,
+    };
 
     let tf_bconv = dev.kernel_time_us(&bconv::profile_original(&bg)) / bs;
     let neo_bconv = dev.kernel_time_us(&bconv::profile_matrix(&bg, MatmulTarget::TcuFp64)) / bs;
     let tf_ip = dev.kernel_time_us(&ip::profile_original(&ig)) / bs;
     let neo_ip = dev.kernel_time_us(&ip::profile_matrix(&ig, MatmulTarget::Cuda)) / bs;
-    let tf_ntt =
-        dev.kernel_time_us(&ntt::profile(&ng, NttAlgorithm::FourStep, MatmulTarget::TcuInt8)) / bs;
-    let neo_ntt =
-        dev.kernel_time_us(&ntt::profile(&ng, NttAlgorithm::Radix16, MatmulTarget::TcuFp64)) / bs;
+    let tf_ntt = dev.kernel_time_us(&ntt::profile(
+        &ng,
+        NttAlgorithm::FourStep,
+        MatmulTarget::TcuInt8,
+    )) / bs;
+    let neo_ntt = dev.kernel_time_us(&ntt::profile(
+        &ng,
+        NttAlgorithm::Radix16,
+        MatmulTarget::TcuFp64,
+    )) / bs;
 
     let to_rate = |us: f64| 1e6 / us;
     let human = format!(

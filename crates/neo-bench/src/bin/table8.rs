@@ -30,7 +30,10 @@ fn main() {
             let mut p: CkksParams = ParamSet::B.params();
             p.dnum = d;
             p.special = p.alpha();
-            p.klss = Some(KlssConfig { word_size_t: 48, alpha_tilde: at });
+            p.klss = Some(KlssConfig {
+                word_size_t: 48,
+                alpha_tilde: at,
+            });
             let t = keyswitch_time_us(&dev, &p, 35, &cfg) / 1e3;
             if t < best.0 {
                 best = (t, d, at);

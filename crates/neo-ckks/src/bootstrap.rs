@@ -82,16 +82,36 @@ impl BootstrapPlan {
         let mut steps = Vec::new();
         let d = self.rescale_depth();
         let mut level = self.start_level;
-        let rescale_op = if self.use_ds { Operation::DoubleRescale } else { Operation::Rescale };
+        let rescale_op = if self.use_ds {
+            Operation::DoubleRescale
+        } else {
+            Operation::Rescale
+        };
         // ModRaise is modelled as limb extension: a pass of ModMul-scale
         // work, folded into the first CTS stage's PAdd here.
         // CTS: one BSGS linear transform per stage, each consuming one
         // rescale depth.
         for _ in 0..self.cts_stages {
-            steps.push(TraceStep { op: Operation::HRotate, level, count: self.rotations_per_stage });
-            steps.push(TraceStep { op: Operation::PMult, level, count: self.pmults_per_stage });
-            steps.push(TraceStep { op: Operation::HAdd, level, count: self.pmults_per_stage });
-            steps.push(TraceStep { op: rescale_op, level, count: 1 });
+            steps.push(TraceStep {
+                op: Operation::HRotate,
+                level,
+                count: self.rotations_per_stage,
+            });
+            steps.push(TraceStep {
+                op: Operation::PMult,
+                level,
+                count: self.pmults_per_stage,
+            });
+            steps.push(TraceStep {
+                op: Operation::HAdd,
+                level,
+                count: self.pmults_per_stage,
+            });
+            steps.push(TraceStep {
+                op: rescale_op,
+                level,
+                count: 1,
+            });
             level = level.saturating_sub(d);
         }
         // EvalMod: Chebyshev evaluation of degree 63 ≈ log2(63) ≈ 6
@@ -105,15 +125,35 @@ impl BootstrapPlan {
                 level,
                 count: ps_mults / evalmod_depth + 1,
             });
-            steps.push(TraceStep { op: rescale_op, level, count: 1 });
+            steps.push(TraceStep {
+                op: rescale_op,
+                level,
+                count: 1,
+            });
             level = level.saturating_sub(d);
         }
         // STC mirrors CTS.
         for _ in 0..self.cts_stages {
-            steps.push(TraceStep { op: Operation::HRotate, level, count: self.rotations_per_stage });
-            steps.push(TraceStep { op: Operation::PMult, level, count: self.pmults_per_stage });
-            steps.push(TraceStep { op: Operation::HAdd, level, count: self.pmults_per_stage });
-            steps.push(TraceStep { op: rescale_op, level, count: 1 });
+            steps.push(TraceStep {
+                op: Operation::HRotate,
+                level,
+                count: self.rotations_per_stage,
+            });
+            steps.push(TraceStep {
+                op: Operation::PMult,
+                level,
+                count: self.pmults_per_stage,
+            });
+            steps.push(TraceStep {
+                op: Operation::HAdd,
+                level,
+                count: self.pmults_per_stage,
+            });
+            steps.push(TraceStep {
+                op: rescale_op,
+                level,
+                count: 1,
+            });
             level = level.saturating_sub(d);
         }
         steps
@@ -145,7 +185,10 @@ mod tests {
         let p = ParamSet::C.params();
         let plan = BootstrapPlan::standard(&p);
         assert!(plan.use_ds, "36-bit words need DS");
-        assert!(plan.remaining_levels() > 0, "bootstrap must leave usable levels");
+        assert!(
+            plan.remaining_levels() > 0,
+            "bootstrap must leave usable levels"
+        );
         assert!(!plan.trace().is_empty());
     }
 

@@ -60,7 +60,12 @@ impl Ciphertext {
     pub fn new(c0: RnsPoly, c1: RnsPoly, scale: f64, level: usize) -> Self {
         assert_eq!(c0.limb_count(), level + 1);
         assert_eq!(c1.limb_count(), level + 1);
-        Self { c0, c1, scale, level }
+        Self {
+            c0,
+            c1,
+            scale,
+            level,
+        }
     }
 
     /// First component (the `b` part).

@@ -76,7 +76,12 @@ mod tests {
         let p = ParamSet::C.params();
         let h = hybrid(&p, 35);
         let k = klss(&p, 35);
-        assert!(k.total() < h.total(), "KLSS {} !< Hybrid {}", k.total(), h.total());
+        assert!(
+            k.total() < h.total(),
+            "KLSS {} !< Hybrid {}",
+            k.total(),
+            h.total()
+        );
     }
 
     #[test]

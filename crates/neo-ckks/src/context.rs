@@ -3,12 +3,15 @@
 
 use crate::params::CkksParams;
 use neo_math::{primes, BconvTable, Domain, MathError, Modulus, RnsBasis, RnsPoly};
-use neo_ntt::{radix2, NttPlan};
+use neo_ntt::{cache as ntt_cache, radix2, NttPlan};
 use parking_lot::RwLock;
 use rand::Rng;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Cache of BConv tables keyed by (source primes, destination primes).
+type BconvMap = HashMap<(Vec<u64>, Vec<u64>), Arc<BconvTable>>;
 
 /// Everything derived from a [`CkksParams`]: the modulus chains
 /// (`q_0..q_L`, special `p_0..p_{K-1}`, and the KLSS auxiliary
@@ -21,11 +24,13 @@ pub struct CkksContext {
     q_moduli: Vec<Modulus>,
     p_moduli: Vec<Modulus>,
     t_moduli: Vec<Modulus>,
-    plans: HashMap<u64, NttPlan>,
+    /// Shared from the process-wide `neo_ntt::cache`, so contexts over the
+    /// same chains (tests, benches, multiple keys) reuse one set of tables.
+    plans: HashMap<u64, Arc<NttPlan>>,
     /// `P mod q_i` and `P⁻¹ mod q_i` for Mod Down.
     p_mod_q: Vec<u64>,
     p_inv_mod_q: Vec<u64>,
-    bconv_cache: RwLock<HashMap<(Vec<u64>, Vec<u64>), Arc<BconvTable>>>,
+    bconv_cache: RwLock<BconvMap>,
 }
 
 impl std::fmt::Debug for CkksContext {
@@ -77,7 +82,7 @@ impl CkksContext {
         let t_moduli = to_moduli(&t_primes)?;
         let mut plans = HashMap::new();
         for &q in q_primes.iter().chain(&p_primes).chain(&t_primes) {
-            plans.insert(q, NttPlan::new(q, n)?);
+            plans.insert(q, ntt_cache::get_or_build(q, n)?);
         }
         let mut p_mod_q = Vec::with_capacity(q_moduli.len());
         let mut p_inv_mod_q = Vec::with_capacity(q_moduli.len());
@@ -175,7 +180,22 @@ impl CkksContext {
     ///
     /// Panics if the prime is not part of any chain in this context.
     pub fn plan(&self, prime: u64) -> &NttPlan {
-        self.plans.get(&prime).expect("prime not managed by this context")
+        self.plans
+            .get(&prime)
+            .expect("prime not managed by this context")
+    }
+
+    /// The shared (`Arc`) NTT plan for one prime, for callers that need to
+    /// hold the plan beyond the context borrow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prime is not part of any chain in this context.
+    pub fn plan_arc(&self, prime: u64) -> Arc<NttPlan> {
+        self.plans
+            .get(&prime)
+            .expect("prime not managed by this context")
+            .clone()
     }
 
     /// Forward-NTTs a polynomial in place (per-limb plans chosen by the
@@ -187,9 +207,12 @@ impl CkksContext {
     pub fn ntt_forward(&self, poly: &mut RnsPoly, moduli: &[Modulus]) {
         assert_eq!(poly.domain(), Domain::Coeff, "already in NTT domain");
         assert_eq!(poly.limb_count(), moduli.len());
-        poly.limbs_mut().par_iter_mut().zip(moduli.par_iter()).for_each(|(limb, m)| {
-            radix2::forward(self.plan(m.value()), limb);
-        });
+        poly.limbs_mut()
+            .par_iter_mut()
+            .zip(moduli.par_iter())
+            .for_each(|(limb, m)| {
+                radix2::forward(self.plan(m.value()), limb);
+            });
         poly.set_domain(Domain::Ntt);
     }
 
@@ -201,15 +224,20 @@ impl CkksContext {
     pub fn ntt_inverse(&self, poly: &mut RnsPoly, moduli: &[Modulus]) {
         assert_eq!(poly.domain(), Domain::Ntt, "already in coefficient domain");
         assert_eq!(poly.limb_count(), moduli.len());
-        poly.limbs_mut().par_iter_mut().zip(moduli.par_iter()).for_each(|(limb, m)| {
-            radix2::inverse(self.plan(m.value()), limb);
-        });
+        poly.limbs_mut()
+            .par_iter_mut()
+            .zip(moduli.par_iter())
+            .for_each(|(limb, m)| {
+                radix2::inverse(self.plan(m.value()), limb);
+            });
         poly.set_domain(Domain::Coeff);
     }
 
     /// Samples a ternary secret with values in `{-1, 0, 1}`.
     pub fn sample_ternary<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<i64> {
-        (0..self.degree()).map(|_| rng.gen_range(-1i64..=1)).collect()
+        (0..self.degree())
+            .map(|_| rng.gen_range(-1i64..=1))
+            .collect()
     }
 
     /// Samples a rounded Gaussian error vector (σ from the params,
@@ -308,8 +336,8 @@ mod tests {
     #[test]
     fn bconv_table_cache_hits() {
         let ctx = CkksContext::new(CkksParams::test_tiny()).unwrap();
-        let t1 = ctx.bconv_table(&ctx.q_primes()[..2].to_vec(), ctx.t_primes());
-        let t2 = ctx.bconv_table(&ctx.q_primes()[..2].to_vec(), ctx.t_primes());
+        let t1 = ctx.bconv_table(&ctx.q_primes()[..2], ctx.t_primes());
+        let t2 = ctx.bconv_table(&ctx.q_primes()[..2], ctx.t_primes());
         assert!(Arc::ptr_eq(&t1, &t2));
     }
 

@@ -83,7 +83,11 @@ impl CostConfig {
             ip_adaptive: false,
             ip_target: MatmulTarget::Cuda,
             hybrid_intt_per_digit: true,
-            exec: ExecConfig { multi_stream: false, overlap_eta: 0.0, fusion: true },
+            exec: ExecConfig {
+                multi_stream: false,
+                overlap_eta: 0.0,
+                fusion: true,
+            },
         }
     }
 
@@ -100,7 +104,11 @@ impl CostConfig {
             ip_adaptive: false,
             ip_target: MatmulTarget::Cuda,
             hybrid_intt_per_digit: false,
-            exec: ExecConfig { multi_stream: false, overlap_eta: 0.0, fusion: true },
+            exec: ExecConfig {
+                multi_stream: false,
+                overlap_eta: 0.0,
+                fusion: true,
+            },
         }
     }
 }
@@ -136,7 +144,11 @@ pub fn keyswitch_profiles(p: &CkksParams, level: usize, cfg: &CostConfig) -> Vec
     let mut seq = Vec::new();
     // INTT of the keyswitch input (NTT-resident convention).
     seq.push(ntt::profile(
-        &NttGeom { n, count: bs * (level + 1), w },
+        &NttGeom {
+            n,
+            count: bs * (level + 1),
+            w,
+        },
         cfg.ntt_alg,
         cfg.ntt_target,
     ));
@@ -163,20 +175,35 @@ pub fn keyswitch_profiles(p: &CkksParams, level: usize, cfg: &CostConfig) -> Vec
             }
             // NTT of all Mod Up outputs.
             seq.push(ntt::profile(
-                &NttGeom { n, count: bs * beta * limbs_qp, w },
+                &NttGeom {
+                    n,
+                    count: bs * beta * limbs_qp,
+                    w,
+                },
                 cfg.ntt_alg,
                 cfg.ntt_target,
             ));
             // Inner product over R_PQ (β̃ = 1 in the Hybrid view).
-            let ipg =
-                IpGeom { n, batch: bs, alpha_p: limbs_qp, beta, beta_t: 1, components: 2, w };
+            let ipg = IpGeom {
+                n,
+                batch: bs,
+                alpha_p: limbs_qp,
+                beta,
+                beta_t: 1,
+                components: 2,
+                w,
+            };
             seq.push(ip_profile(&ipg, cfg));
             // INTT of both components — per digit before accumulation in
             // the TensorFHE-style flow (Table 2's 2β(l+α)), once after
             // NTT-domain accumulation otherwise.
             let intt_groups = if cfg.hybrid_intt_per_digit { beta } else { 1 };
             seq.push(ntt::profile(
-                &NttGeom { n, count: bs * 2 * intt_groups * limbs_qp, w },
+                &NttGeom {
+                    n,
+                    count: bs * 2 * intt_groups * limbs_qp,
+                    w,
+                },
                 cfg.ntt_alg,
                 cfg.ntt_target,
             ));
@@ -187,22 +214,45 @@ pub fn keyswitch_profiles(p: &CkksParams, level: usize, cfg: &CostConfig) -> Vec
             let alpha_p = p.alpha_prime();
             let beta_t = p.beta_tilde(level);
             // Mod Up into R_T.
-            let g = BconvGeom { n, batch: bs, alpha, alpha_out: alpha_p, w_src: w, w_dst: wt };
+            let g = BconvGeom {
+                n,
+                batch: bs,
+                alpha,
+                alpha_out: alpha_p,
+                w_src: w,
+                w_dst: wt,
+            };
             for _ in 0..beta {
                 seq.push(bconv_profile(&g));
             }
             // NTT over R_T.
             seq.push(ntt::profile(
-                &NttGeom { n, count: bs * beta * alpha_p, w: wt },
+                &NttGeom {
+                    n,
+                    count: bs * beta * alpha_p,
+                    w: wt,
+                },
                 cfg.ntt_alg,
                 cfg.ntt_target,
             ));
             // IP over R_T.
-            let ipg = IpGeom { n, batch: bs, alpha_p, beta, beta_t, components: 2, w: wt };
+            let ipg = IpGeom {
+                n,
+                batch: bs,
+                alpha_p,
+                beta,
+                beta_t,
+                components: 2,
+                w: wt,
+            };
             seq.push(ip_profile(&ipg, cfg));
             // INTT over R_T.
             seq.push(ntt::profile(
-                &NttGeom { n, count: bs * 2 * beta_t * alpha_p, w: wt },
+                &NttGeom {
+                    n,
+                    count: bs * 2 * beta_t * alpha_p,
+                    w: wt,
+                },
                 cfg.ntt_alg,
                 cfg.ntt_target,
             ));
@@ -224,11 +274,26 @@ pub fn keyswitch_profiles(p: &CkksParams, level: usize, cfg: &CostConfig) -> Vec
         }
     }
     // Mod Down: BConv of the special limbs plus the correction arithmetic.
-    let mdg = BconvGeom { n, batch: bs, alpha: k, alpha_out: level + 1, w_src: w, w_dst: w };
+    let mdg = BconvGeom {
+        n,
+        batch: bs,
+        alpha: k,
+        alpha_out: level + 1,
+        w_src: w,
+        w_dst: w,
+    };
     seq.push(bconv_profile(&mdg));
     seq.push(bconv_profile(&mdg));
-    seq.push(elementwise::profile_modmul(&ElemGeom::poly(n, 2 * (level + 1), bs)));
-    seq.push(elementwise::profile_modadd(&ElemGeom::poly(n, 2 * (level + 1), bs)));
+    seq.push(elementwise::profile_modmul(&ElemGeom::poly(
+        n,
+        2 * (level + 1),
+        bs,
+    )));
+    seq.push(elementwise::profile_modadd(&ElemGeom::poly(
+        n,
+        2 * (level + 1),
+        bs,
+    )));
     seq
 }
 
@@ -236,7 +301,11 @@ fn ip_profile(g: &IpGeom, cfg: &CostConfig) -> KernelProfile {
     if !cfg.ip_matrix {
         return ip::profile_original(g);
     }
-    let target = if cfg.ip_adaptive { ip::neo_target(g) } else { cfg.ip_target };
+    let target = if cfg.ip_adaptive {
+        ip::neo_target(g)
+    } else {
+        cfg.ip_target
+    };
     ip::profile_matrix(g, target)
 }
 
@@ -257,7 +326,11 @@ pub fn op_profiles(
                 elementwise::profile_modadd(&ElemGeom::poly(n, 3 * limbs, bs)),
             ];
             seq.extend(keyswitch_profiles(p, level, cfg));
-            seq.push(elementwise::profile_modadd(&ElemGeom::poly(n, 2 * limbs, bs)));
+            seq.push(elementwise::profile_modadd(&ElemGeom::poly(
+                n,
+                2 * limbs,
+                bs,
+            )));
             seq
         }
         Operation::HRotate => {
@@ -267,10 +340,18 @@ pub fn op_profiles(
             seq
         }
         Operation::PMult => {
-            vec![elementwise::profile_modmul(&ElemGeom::poly(n, 2 * limbs, bs))]
+            vec![elementwise::profile_modmul(&ElemGeom::poly(
+                n,
+                2 * limbs,
+                bs,
+            ))]
         }
         Operation::HAdd => {
-            vec![elementwise::profile_modadd(&ElemGeom::poly(n, 2 * limbs, bs))]
+            vec![elementwise::profile_modadd(&ElemGeom::poly(
+                n,
+                2 * limbs,
+                bs,
+            ))]
         }
         Operation::PAdd => {
             vec![elementwise::profile_modadd(&ElemGeom::poly(n, limbs, bs))]
@@ -289,9 +370,21 @@ fn rescale_profiles(p: &CkksParams, level: usize, cfg: &CostConfig) -> Vec<Kerne
     let bs = p.batch_size;
     // INTT of the dropped limb, broadcast NTT back, subtract, scale.
     vec![
-        ntt::profile(&NttGeom { n, count: bs * 2, w: p.word_size }, cfg.ntt_alg, cfg.ntt_target),
         ntt::profile(
-            &NttGeom { n, count: bs * 2 * level.max(1), w: p.word_size },
+            &NttGeom {
+                n,
+                count: bs * 2,
+                w: p.word_size,
+            },
+            cfg.ntt_alg,
+            cfg.ntt_target,
+        ),
+        ntt::profile(
+            &NttGeom {
+                n,
+                count: bs * 2 * level.max(1),
+                w: p.word_size,
+            },
             cfg.ntt_alg,
             cfg.ntt_target,
         ),
@@ -339,7 +432,10 @@ mod tests {
         let neo = op_time_us(&dev, &pc, 35, Operation::HMult, &CostConfig::neo());
         let tfhe = op_time_us(&dev, &pa, 35, Operation::HMult, &CostConfig::tensorfhe());
         let ratio = tfhe / neo;
-        assert!(ratio > 2.0, "expected a large speedup, got {ratio:.2} ({tfhe:.0} vs {neo:.0})");
+        assert!(
+            ratio > 2.0,
+            "expected a large speedup, got {ratio:.2} ({tfhe:.0} vs {neo:.0})"
+        );
     }
 
     #[test]
@@ -349,7 +445,10 @@ mod tests {
         let pe = ParamSet::E.params();
         let neo = op_time_us(&dev, &pc, 35, Operation::HMult, &CostConfig::neo());
         let heon = op_time_us(&dev, &pe, 35, Operation::HMult, &CostConfig::heongpu());
-        assert!(heon > neo, "HEonGPU {heon:.0} should be slower than Neo {neo:.0}");
+        assert!(
+            heon > neo,
+            "HEonGPU {heon:.0} should be slower than Neo {neo:.0}"
+        );
     }
 
     #[test]

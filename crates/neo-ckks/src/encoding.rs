@@ -29,12 +29,18 @@ impl Complex64 {
 
     /// `e^{iθ}`.
     pub fn cis(theta: f64) -> Self {
-        Self { re: theta.cos(), im: theta.sin() }
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Magnitude.
@@ -44,7 +50,10 @@ impl Complex64 {
 
     /// Scales by a real factor.
     pub fn scale(self, s: f64) -> Self {
-        Self { re: self.re * s, im: self.im * s }
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -65,7 +74,10 @@ impl Sub for Complex64 {
 impl Mul for Complex64 {
     type Output = Complex64;
     fn mul(self, o: Complex64) -> Complex64 {
-        Complex64::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        Complex64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 }
 
@@ -105,7 +117,11 @@ impl Encoder {
         let ksi_pows = (0..=m)
             .map(|k| Complex64::cis(2.0 * std::f64::consts::PI * k as f64 / m as f64))
             .collect();
-        Self { n, rot_group, ksi_pows }
+        Self {
+            n,
+            rot_group,
+            ksi_pows,
+        }
     }
 
     /// Slot count `N/2`.
@@ -146,13 +162,17 @@ impl Encoder {
     ///
     /// Panics if the plaintext is in NTT domain.
     pub fn decode(&self, ctx: &CkksContext, pt: &Plaintext) -> Vec<Complex64> {
-        assert_eq!(pt.poly().domain(), neo_math::Domain::Coeff, "decode needs coeff domain");
+        assert_eq!(
+            pt.poly().domain(),
+            neo_math::Domain::Coeff,
+            "decode needs coeff domain"
+        );
         let slots = self.slots();
         let basis =
             neo_math::RnsBasis::new(&ctx.q_primes()[..=pt.level()]).expect("valid prefix basis");
         let mut vals = vec![Complex64::default(); slots];
         let mut residues = vec![0u64; pt.level() + 1];
-        for j in 0..slots {
+        for (j, v) in vals.iter_mut().enumerate() {
             for (i, r) in residues.iter_mut().enumerate() {
                 *r = pt.poly().limb(i)[j];
             }
@@ -161,7 +181,7 @@ impl Encoder {
                 *r = pt.poly().limb(i)[j + slots];
             }
             let im = basis.reconstruct_centered_f64(&residues) / pt.scale();
-            vals[j] = Complex64::new(re, im);
+            *v = Complex64::new(re, im);
         }
         self.fft_special(&mut vals);
         vals
@@ -285,8 +305,9 @@ mod tests {
         // Find the Galois exponent that implements "rotate left by 1":
         // X -> X^{5} should shift slots by one position.
         let (ctx, enc) = setup();
-        let vals: Vec<Complex64> =
-            (0..enc.slots()).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let vals: Vec<Complex64> = (0..enc.slots())
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
         let pt = enc.encode(&ctx, &vals, ctx.params().scale(), 2);
         let rotated = pt.poly().automorphism(5, ctx.q_moduli(2));
         let pt2 = Plaintext::new(rotated, pt.scale(), pt.level());
@@ -296,15 +317,21 @@ mod tests {
         let left = (0..enc.slots()).all(|i| close(out[i], vals[(i + 1) % enc.slots()], 1e-5));
         let right = (0..enc.slots())
             .all(|i| close(out[i], vals[(i + enc.slots() - 1) % enc.slots()], 1e-5));
-        assert!(left || right, "X->X^5 is not a slot rotation: {:?} vs {:?}", &out[..4], &vals[..4]);
+        assert!(
+            left || right,
+            "X->X^5 is not a slot rotation: {:?} vs {:?}",
+            &out[..4],
+            &vals[..4]
+        );
         assert!(left, "convention check: X->X^5 should rotate left by 1");
     }
 
     #[test]
     fn conjugation_automorphism() {
         let (ctx, enc) = setup();
-        let vals: Vec<Complex64> =
-            (0..enc.slots()).map(|i| Complex64::new(0.3 * i as f64, 1.0)).collect();
+        let vals: Vec<Complex64> = (0..enc.slots())
+            .map(|i| Complex64::new(0.3 * i as f64, 1.0))
+            .collect();
         let pt = enc.encode(&ctx, &vals, ctx.params().scale(), 2);
         let g = 2 * ctx.degree() - 1; // X -> X^{-1}
         let conj = pt.poly().automorphism(g, ctx.q_moduli(2));

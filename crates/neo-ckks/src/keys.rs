@@ -26,7 +26,9 @@ pub struct SecretKey {
 impl SecretKey {
     /// Samples a fresh ternary secret.
     pub fn generate<R: Rng + ?Sized>(ctx: &CkksContext, rng: &mut R) -> Self {
-        Self { coeffs: ctx.sample_ternary(rng) }
+        Self {
+            coeffs: ctx.sample_ternary(rng),
+        }
     }
 
     /// The ternary coefficients.
@@ -156,7 +158,9 @@ pub(crate) fn gadget_factors(
 /// The digit ranges of the ciphertext gadget at a level: `β` runs of `α`
 /// over the `l+1` data limbs.
 pub(crate) fn digit_ranges(alpha: usize, limbs: usize) -> Vec<Range<usize>> {
-    (0..limbs.div_ceil(alpha)).map(|j| (j * alpha)..((j + 1) * alpha).min(limbs)).collect()
+    (0..limbs.div_ceil(alpha))
+        .map(|j| (j * alpha)..((j + 1) * alpha).min(limbs))
+        .collect()
 }
 
 /// Holds the secret key and caches per-level key-switching material.
@@ -280,7 +284,10 @@ impl KeyChest {
     }
 
     fn gen_hybrid(&self, level: usize, target: KeyTarget) -> HybridKey {
-        HybridKey { digits: self.gen_digit_keys(level, target), level }
+        HybridKey {
+            digits: self.gen_digit_keys(level, target),
+            level,
+        }
     }
 
     fn gen_klss(&self, level: usize, target: KeyTarget) -> KlssKey {

@@ -4,6 +4,7 @@ use super::mod_down;
 use crate::context::CkksContext;
 use crate::keys::{digit_ranges, HybridKey};
 use neo_math::{Domain, RnsPoly};
+use rayon::prelude::*;
 
 /// Switches `d` (coefficient domain, `level + 1` limbs) using a Hybrid
 /// key: returns `(u0, u1)` in coefficient domain with
@@ -12,12 +13,12 @@ use neo_math::{Domain, RnsPoly};
 /// # Panics
 ///
 /// Panics if `d` is in NTT domain or its level disagrees with the key.
-pub fn keyswitch_hybrid(
-    ctx: &CkksContext,
-    key: &HybridKey,
-    d: &RnsPoly,
-) -> (RnsPoly, RnsPoly) {
-    assert_eq!(d.domain(), Domain::Coeff, "keyswitch input must be in coefficient domain");
+pub fn keyswitch_hybrid(ctx: &CkksContext, key: &HybridKey, d: &RnsPoly) -> (RnsPoly, RnsPoly) {
+    assert_eq!(
+        d.domain(),
+        Domain::Coeff,
+        "keyswitch input must be in coefficient domain"
+    );
     let level = key.level;
     assert_eq!(d.limb_count(), level + 1, "level mismatch with key");
     let qp = ctx.qp_moduli(level);
@@ -25,37 +26,46 @@ pub fn keyswitch_hybrid(
     let q_primes = &ctx.q_primes()[..=level];
     let ranges = digit_ranges(ctx.params().alpha(), level + 1);
     let n = d.degree();
+    // Mod Up each digit independently (approximate BConv into the
+    // complement basis, reassemble, forward NTT) — digits never touch each
+    // other's limbs, so the whole stage fans out across the pool.
+    let xs: Vec<RnsPoly> = ranges
+        .par_iter()
+        .map(|r| {
+            // Digit limbs straight from d.
+            let digit: Vec<Vec<u64>> = r.clone().map(|i| d.limb(i).to_vec()).collect();
+            let digit_primes: Vec<u64> = q_primes[r.clone()].to_vec();
+            let complement: Vec<u64> = qp_primes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !r.contains(i))
+                .map(|(_, &p)| p)
+                .collect();
+            let table = ctx.bconv_table(&digit_primes, &complement);
+            let conv = table.convert_approx(&digit);
+            // Reassemble in qp order.
+            let mut limbs: Vec<Vec<u64>> = Vec::with_capacity(qp.len());
+            let mut conv_iter = conv.into_iter();
+            let mut digit_iter = digit.into_iter();
+            for i in 0..qp.len() {
+                if r.contains(&i) {
+                    limbs.push(digit_iter.next().expect("digit limb"));
+                } else {
+                    limbs.push(conv_iter.next().expect("converted limb"));
+                }
+            }
+            let mut x = RnsPoly::from_limbs(limbs, Domain::Coeff).expect("valid limbs");
+            ctx.ntt_forward(&mut x, &qp);
+            x
+        })
+        .collect();
+    // Inner product with the digit key (accumulation stays in digit order,
+    // so the output is bit-identical to the sequential walk).
     let mut acc0 = RnsPoly::zero(n, qp.len(), Domain::Ntt);
     let mut acc1 = RnsPoly::zero(n, qp.len(), Domain::Ntt);
-    for (j, r) in ranges.iter().enumerate() {
-        // Digit limbs straight from d.
-        let digit: Vec<Vec<u64>> = r.clone().map(|i| d.limb(i).to_vec()).collect();
-        // Mod Up: approximate BConv into the complement of the digit.
-        let digit_primes: Vec<u64> = q_primes[r.clone()].to_vec();
-        let complement: Vec<u64> = qp_primes
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !r.contains(i))
-            .map(|(_, &p)| p)
-            .collect();
-        let table = ctx.bconv_table(&digit_primes, &complement);
-        let conv = table.convert_approx(&digit);
-        // Reassemble in qp order.
-        let mut limbs: Vec<Vec<u64>> = Vec::with_capacity(qp.len());
-        let mut conv_iter = conv.into_iter();
-        let mut digit_iter = digit.into_iter();
-        for i in 0..qp.len() {
-            if r.contains(&i) {
-                limbs.push(digit_iter.next().expect("digit limb"));
-            } else {
-                limbs.push(conv_iter.next().expect("converted limb"));
-            }
-        }
-        let mut x = RnsPoly::from_limbs(limbs, Domain::Coeff).expect("valid limbs");
-        ctx.ntt_forward(&mut x, &qp);
-        // Inner product with the digit key.
-        acc0.mul_acc_assign(&x, &key.digits[j][0], &qp);
-        acc1.mul_acc_assign(&x, &key.digits[j][1], &qp);
+    for (j, x) in xs.iter().enumerate() {
+        acc0.mul_acc_assign(x, &key.digits[j][0], &qp);
+        acc1.mul_acc_assign(x, &key.digits[j][1], &qp);
     }
     ctx.ntt_inverse(&mut acc0, &qp);
     ctx.ntt_inverse(&mut acc1, &qp);

@@ -16,6 +16,7 @@ use super::mod_down;
 use crate::context::CkksContext;
 use crate::keys::{digit_ranges, KlssKey};
 use neo_math::{Domain, RnsPoly};
+use rayon::prelude::*;
 
 /// Switches `d` (coefficient domain, `level + 1` limbs) using a KLSS key:
 /// returns `(u0, u1)` in coefficient domain with `u0 + u1·s ≈ d·target`.
@@ -24,7 +25,11 @@ use neo_math::{Domain, RnsPoly};
 ///
 /// Panics if `d` is in NTT domain or its level disagrees with the key.
 pub fn keyswitch_klss(ctx: &CkksContext, key: &KlssKey, d: &RnsPoly) -> (RnsPoly, RnsPoly) {
-    assert_eq!(d.domain(), Domain::Coeff, "keyswitch input must be in coefficient domain");
+    assert_eq!(
+        d.domain(),
+        Domain::Coeff,
+        "keyswitch input must be in coefficient domain"
+    );
     let level = key.level;
     assert_eq!(d.limb_count(), level + 1, "level mismatch with key");
     let params = ctx.params();
@@ -38,8 +43,9 @@ pub fn keyswitch_klss(ctx: &CkksContext, key: &KlssKey, d: &RnsPoly) -> (RnsPoly
     let beta_t = ctx.params().beta_tilde(level);
 
     // --- Mod Up: exact conversion of each digit into R_T, then NTT. ---
+    // Digits are independent, so the conversions fan out across the pool.
     let xs: Vec<RnsPoly> = ranges
-        .iter()
+        .par_iter()
         .map(|r| {
             let digit: Vec<Vec<u64>> = r.clone().map(|i| d.limb(i).to_vec()).collect();
             let digit_primes: Vec<u64> = q_primes[r.clone()].to_vec();
@@ -59,21 +65,33 @@ pub fn keyswitch_klss(ctx: &CkksContext, key: &KlssKey, d: &RnsPoly) -> (RnsPoly
     // as 2·α'·(l+α) rather than 2·β̃·α'·(l+α).
     let key_ranges = digit_ranges(params.klss.expect("klss params").alpha_tilde, qp.len());
     assert_eq!(key_ranges.len(), beta_t, "key digit count mismatch");
+    // Output digits write disjoint limb ranges of the result, so each
+    // (IP, INTT, Recover Limbs) chain runs on its own worker; the recovered
+    // limbs are stitched into `result` afterwards.
+    let recovered: Vec<[Vec<Vec<u64>>; 2]> = key_ranges
+        .par_iter()
+        .enumerate()
+        .map(|(jj, range)| {
+            let digit_primes: Vec<u64> = qp_primes[range.clone()].to_vec();
+            let table = ctx.bconv_table(&t_primes, &digit_primes);
+            let recover = |c: usize| {
+                let mut acc = RnsPoly::zero(n, t_moduli.len(), Domain::Ntt);
+                for (j, x) in xs.iter().enumerate() {
+                    acc.mul_acc_assign(x, &key.digits[j][jj][c], &t_moduli);
+                }
+                ctx.ntt_inverse(&mut acc, &t_moduli);
+                // Exact centered BConv of G_ĵ into digit ĵ's limbs.
+                table.convert_exact(acc.limbs())
+            };
+            [recover(0), recover(1)]
+        })
+        .collect();
     let mut result = [
         RnsPoly::zero(n, qp.len(), Domain::Coeff),
         RnsPoly::zero(n, qp.len(), Domain::Coeff),
     ];
-    for (jj, range) in key_ranges.iter().enumerate() {
-        let digit_primes: Vec<u64> = qp_primes[range.clone()].to_vec();
-        let table = ctx.bconv_table(&t_primes, &digit_primes);
-        for (c, res) in result.iter_mut().enumerate() {
-            let mut acc = RnsPoly::zero(n, t_moduli.len(), Domain::Ntt);
-            for (j, x) in xs.iter().enumerate() {
-                acc.mul_acc_assign(x, &key.digits[j][jj][c], &t_moduli);
-            }
-            ctx.ntt_inverse(&mut acc, &t_moduli);
-            // Exact centered BConv of G_ĵ into digit ĵ's limbs.
-            let conv = table.convert_exact(acc.limbs());
+    for (range, convs) in key_ranges.iter().zip(recovered) {
+        for (res, conv) in result.iter_mut().zip(convs) {
             for (limb_out, limb_idx) in conv.into_iter().zip(range.clone()) {
                 res.limb_mut(limb_idx).copy_from_slice(&limb_out);
             }

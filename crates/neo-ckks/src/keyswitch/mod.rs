@@ -26,9 +26,10 @@ use neo_math::RnsPoly;
 pub(crate) fn mod_down(ctx: &CkksContext, poly: &RnsPoly, level: usize) -> RnsPoly {
     let k = ctx.p_primes().len();
     assert_eq!(poly.limb_count(), level + 1 + k, "expected R_PQ limbs");
-    let p_part: Vec<Vec<u64>> =
-        (level + 1..level + 1 + k).map(|i| poly.limb(i).to_vec()).collect();
-    let table = ctx.bconv_table(&ctx.p_primes().to_vec(), &ctx.q_primes()[..=level].to_vec());
+    let p_part: Vec<Vec<u64>> = (level + 1..level + 1 + k)
+        .map(|i| poly.limb(i).to_vec())
+        .collect();
+    let table = ctx.bconv_table(ctx.p_primes(), &ctx.q_primes()[..=level]);
     let conv = table.convert_approx(&p_part);
     let q_moduli = ctx.q_moduli(level);
     let mut out = RnsPoly::zero(poly.degree(), level + 1, neo_math::Domain::Coeff);
@@ -79,8 +80,10 @@ mod tests {
         let p_big = BigUint::product(ctx.p_primes());
         let v = 999u64;
         let x_int = p_big.mul_u64(v).add_u64(12_345);
-        let limbs: Vec<Vec<u64>> =
-            qp.iter().map(|m| vec![x_int.rem_u64(m.value()); ctx.degree()]).collect();
+        let limbs: Vec<Vec<u64>> = qp
+            .iter()
+            .map(|m| vec![x_int.rem_u64(m.value()); ctx.degree()])
+            .collect();
         let poly = RnsPoly::from_limbs(limbs, Domain::Coeff).unwrap();
         let out = mod_down(&ctx, &poly, level);
         let m0 = &ctx.q_moduli(level)[0];

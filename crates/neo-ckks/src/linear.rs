@@ -36,8 +36,7 @@ impl LinearTransform {
         }
         let mut diagonals = BTreeMap::new();
         for d in 0..slots {
-            let diag: Vec<Complex64> =
-                (0..slots).map(|i| rows[i][(i + d) % slots]).collect();
+            let diag: Vec<Complex64> = (0..slots).map(|i| rows[i][(i + d) % slots]).collect();
             if diag.iter().any(|v| v.abs() > 0.0) {
                 diagonals.insert(d, diag);
             }
@@ -93,7 +92,11 @@ impl LinearTransform {
         let scale = ctx.params().scale();
         let mut acc: Option<Ciphertext> = None;
         for (&d, diag) in &self.diagonals {
-            let rotated = if d == 0 { ct.clone() } else { ops::hrotate(chest, ct, d, method) };
+            let rotated = if d == 0 {
+                ct.clone()
+            } else {
+                ops::hrotate(chest, ct, d, method)
+            };
             let pt = enc.encode(ctx, diag, scale, rotated.level());
             let term = ops::pmult(ctx, &rotated, &pt);
             acc = Some(match acc {
@@ -163,7 +166,7 @@ impl LinearTransform {
                 });
             }
             let mut giant_ct = inner.expect("non-empty giant group");
-            if shift % self.slots != 0 {
+            if !shift.is_multiple_of(self.slots) {
                 giant_ct = ops::hrotate(chest, &giant_ct, shift % self.slots, method);
             }
             acc = Some(match acc {
@@ -190,7 +193,10 @@ pub fn eval_polynomial(
     coeffs: &[f64],
     method: KsMethod,
 ) -> Ciphertext {
-    assert!(coeffs.len() >= 2, "need degree >= 1 (constant polys need no ciphertext)");
+    assert!(
+        coeffs.len() >= 2,
+        "need degree >= 1 (constant polys need no ciphertext)"
+    );
     let ctx = chest.context();
     let scale = ctx.params().scale();
     let slots = enc.slots();
@@ -201,7 +207,11 @@ pub fn eval_polynomial(
     let n = coeffs.len() - 1;
     let cn = constant(coeffs[n], ct.level(), scale);
     let mut acc = ops::rescale(ctx, &ops::pmult(ctx, ct, &cn));
-    acc = ops::padd(ctx, &acc, &constant(coeffs[n - 1], acc.level(), acc.scale()));
+    acc = ops::padd(
+        ctx,
+        &acc,
+        &constant(coeffs[n - 1], acc.level(), acc.scale()),
+    );
     // acc = acc·x + c_i, descending.
     for i in (0..n - 1).rev() {
         let x_low = ops::level_reduce(ct, acc.level());
@@ -244,15 +254,21 @@ mod tests {
         }
         let lt = LinearTransform::from_diagonals(slots, diagonals);
         assert_eq!(lt.diagonal_count(), 3);
-        let z: Vec<Complex64> =
-            (0..slots).map(|_| Complex64::new(rng.gen_range(-1.0..1.0), 0.0)).collect();
+        let z: Vec<Complex64> = (0..slots)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), 0.0))
+            .collect();
         let pt = enc.encode(&ctx, &z, ctx.params().scale(), 3);
         let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
         let out_ct = lt.apply(&chest, &enc, &ct, KsMethod::Klss);
         let got = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &out_ct));
         let want = lt.apply_plain(&z);
         for i in 0..slots {
-            assert!((got[i] - want[i]).abs() < 1e-2, "slot {i}: {:?} vs {:?}", got[i], want[i]);
+            assert!(
+                (got[i] - want[i]).abs() < 1e-2,
+                "slot {i}: {:?} vs {:?}",
+                got[i],
+                want[i]
+            );
         }
     }
 
@@ -262,11 +278,16 @@ mod tests {
         let slots = 8usize;
         let mut rng = StdRng::seed_from_u64(9);
         let rows: Vec<Vec<Complex64>> = (0..slots)
-            .map(|_| (0..slots).map(|_| Complex64::new(rng.gen_range(-1.0..1.0), 0.0)).collect())
+            .map(|_| {
+                (0..slots)
+                    .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), 0.0))
+                    .collect()
+            })
             .collect();
         let lt = LinearTransform::from_matrix(&rows);
-        let z: Vec<Complex64> =
-            (0..slots).map(|_| Complex64::new(rng.gen_range(-1.0..1.0), 0.0)).collect();
+        let z: Vec<Complex64> = (0..slots)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), 0.0))
+            .collect();
         let got = lt.apply_plain(&z);
         for i in 0..slots {
             let want = rows[i]
@@ -292,7 +313,11 @@ mod tests {
         for i in 0..slots {
             let x = xs[i];
             let want = 0.5 + 0.197 * x - 0.004 * x * x * x;
-            assert!((got[i].re - want).abs() < 1e-2, "slot {i}: {} vs {want}", got[i].re);
+            assert!(
+                (got[i].re - want).abs() < 1e-2,
+                "slot {i}: {} vs {want}",
+                got[i].re
+            );
         }
     }
 
@@ -335,8 +360,9 @@ mod bsgs_tests {
             diagonals.insert(d, diag);
         }
         let lt = LinearTransform::from_diagonals(slots, diagonals);
-        let z: Vec<Complex64> =
-            (0..slots).map(|_| Complex64::new(rng.gen_range(-1.0..1.0), 0.0)).collect();
+        let z: Vec<Complex64> = (0..slots)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), 0.0))
+            .collect();
         let pt = enc.encode(&ctx, &z, ctx.params().scale(), 3);
         let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
         let direct = lt.apply(&chest, &enc, &ct, KsMethod::Klss);
@@ -346,7 +372,12 @@ mod bsgs_tests {
         let d2 = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &bsgs));
         for i in 0..slots {
             assert!((d1[i] - want[i]).abs() < 1e-2, "direct slot {i}");
-            assert!((d2[i] - want[i]).abs() < 1e-2, "bsgs slot {i}: {:?} vs {:?}", d2[i], want[i]);
+            assert!(
+                (d2[i] - want[i]).abs() < 1e-2,
+                "bsgs slot {i}: {:?} vs {:?}",
+                d2[i],
+                want[i]
+            );
         }
     }
 }

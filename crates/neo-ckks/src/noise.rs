@@ -63,12 +63,16 @@ mod tests {
         let pk = PublicKey::generate(&ctx, &sk, &mut rng);
         let chest = KeyChest::new(ctx.clone(), sk, 22);
         let enc = Encoder::new(ctx.degree());
-        let vals: Vec<Complex64> =
-            (0..enc.slots()).map(|i| Complex64::new(0.8 + 1e-4 * i as f64, 0.0)).collect();
+        let vals: Vec<Complex64> = (0..enc.slots())
+            .map(|i| Complex64::new(0.8 + 1e-4 * i as f64, 0.0))
+            .collect();
         let pt = enc.encode(&ctx, &vals, ctx.params().scale(), 4);
         let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
         let fresh_bits = precision_bits(&ctx, &enc, chest.secret_key(), &ct, &vals);
-        assert!(fresh_bits > 20.0, "fresh ciphertext too noisy: {fresh_bits:.1} bits");
+        assert!(
+            fresh_bits > 20.0,
+            "fresh ciphertext too noisy: {fresh_bits:.1} bits"
+        );
         // Square twice.
         let mut cur = ct;
         let mut want = vals.clone();
@@ -77,7 +81,10 @@ mod tests {
             want = want.iter().map(|v| *v * *v).collect();
         }
         let deep_bits = precision_bits(&ctx, &enc, chest.secret_key(), &cur, &want);
-        assert!(deep_bits > 8.0, "depth-2 result unusable: {deep_bits:.1} bits");
+        assert!(
+            deep_bits > 8.0,
+            "depth-2 result unusable: {deep_bits:.1} bits"
+        );
         assert!(deep_bits < fresh_bits, "noise must grow with depth");
     }
 

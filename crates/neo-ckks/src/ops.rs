@@ -50,12 +50,21 @@ pub fn decrypt(ctx: &CkksContext, sk: &SecretKey, ct: &Ciphertext) -> Plaintext 
 }
 
 fn assert_compatible(a: &Ciphertext, b: &Ciphertext) {
-    assert_eq!(a.level(), b.level(), "level mismatch — call level_reduce first");
+    assert_eq!(
+        a.level(),
+        b.level(),
+        "level mismatch — call level_reduce first"
+    );
     let ratio = a.scale() / b.scale();
     // Rescaling divides by q_i ≈ 2^scale_bits, leaving a ~1e-6 relative
     // drift between "one rescale deep" operands; anything larger is a
     // genuine scale mismatch (e.g. Δ vs Δ²).
-    assert!((ratio - 1.0).abs() < 1e-4, "scale mismatch: {} vs {}", a.scale(), b.scale());
+    assert!(
+        (ratio - 1.0).abs() < 1e-4,
+        "scale mismatch: {} vs {}",
+        a.scale(),
+        b.scale()
+    );
 }
 
 /// HADD: ciphertext + ciphertext.
@@ -95,7 +104,10 @@ pub fn hsub(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
 /// Panics on level or scale mismatch.
 pub fn padd(ctx: &CkksContext, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
     assert_eq!(a.level(), pt.level(), "level mismatch");
-    assert!((a.scale() / pt.scale() - 1.0).abs() < 1e-4, "scale mismatch");
+    assert!(
+        (a.scale() / pt.scale() - 1.0).abs() < 1e-4,
+        "scale mismatch"
+    );
     let moduli = ctx.q_moduli(a.level());
     let mut out = a.clone();
     out.parts_mut().0.add_assign(pt.poly(), moduli);

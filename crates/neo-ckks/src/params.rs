@@ -98,7 +98,9 @@ impl CkksParams {
     ///
     /// Panics if the parameter set has no KLSS configuration.
     pub fn alpha_prime(&self) -> usize {
-        let k = self.klss.expect("alpha_prime requires a KLSS configuration");
+        let k = self
+            .klss
+            .expect("alpha_prime requires a KLSS configuration");
         let beta_max = self.beta(self.max_level) as f64;
         let log_bound = 1.0
             + beta_max.log2()
@@ -135,7 +137,10 @@ impl CkksParams {
             word_size: 36,
             special: 2,
             dnum: 3,
-            klss: Some(KlssConfig { word_size_t: 48, alpha_tilde: 2 }),
+            klss: Some(KlssConfig {
+                word_size_t: 48,
+                alpha_tilde: 2,
+            }),
             batch_size: 1,
             error_std: 3.2,
             scale_bits: 36,
@@ -146,7 +151,10 @@ impl CkksParams {
 
     /// A tiny parameter set (`N = 2^8`) for fast unit tests.
     pub fn test_tiny() -> Self {
-        Self { log_n: 8, ..Self::test_small() }
+        Self {
+            log_n: 8,
+            ..Self::test_small()
+        }
     }
 }
 
@@ -205,22 +213,41 @@ impl ParamSet {
             ParamSet::B => CkksParams { dnum: 3, ..base },
             ParamSet::C => CkksParams {
                 dnum: 9,
-                klss: Some(KlssConfig { word_size_t: 48, alpha_tilde: 5 }),
+                klss: Some(KlssConfig {
+                    word_size_t: 48,
+                    alpha_tilde: 5,
+                }),
                 ..base
             },
             ParamSet::D => CkksParams {
                 word_size: 60,
                 scale_bits: 60,
                 dnum: 36,
-                klss: Some(KlssConfig { word_size_t: 64, alpha_tilde: 3 }),
+                klss: Some(KlssConfig {
+                    word_size_t: 64,
+                    alpha_tilde: 3,
+                }),
                 ..base
             },
-            ParamSet::E => CkksParams { word_size: 60, scale_bits: 60, dnum: 36, ..base },
-            ParamSet::F => CkksParams { max_level: 23, dnum: 1, single_scaling: true, ..base },
+            ParamSet::E => CkksParams {
+                word_size: 60,
+                scale_bits: 60,
+                dnum: 36,
+                ..base
+            },
+            ParamSet::F => CkksParams {
+                max_level: 23,
+                dnum: 1,
+                single_scaling: true,
+                ..base
+            },
             ParamSet::G => CkksParams {
                 max_level: 23,
                 dnum: 6,
-                klss: Some(KlssConfig { word_size_t: 48, alpha_tilde: 5 }),
+                klss: Some(KlssConfig {
+                    word_size_t: 48,
+                    alpha_tilde: 5,
+                }),
                 single_scaling: true,
                 ..base
             },

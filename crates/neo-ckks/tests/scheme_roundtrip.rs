@@ -5,7 +5,7 @@
 use neo_ckks::encoding::Complex64;
 use neo_ckks::keys::{KeyChest, PublicKey, SecretKey};
 use neo_ckks::ops;
-use neo_ckks::{CkksContext, CkksParams, Ciphertext, Encoder, KsMethod};
+use neo_ckks::{Ciphertext, CkksContext, CkksParams, Encoder, KsMethod};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -26,16 +26,27 @@ impl Harness {
         let pk = PublicKey::generate(&ctx, &sk, &mut rng);
         let chest = KeyChest::new(ctx.clone(), sk, seed + 1);
         let enc = Encoder::new(ctx.degree());
-        Self { ctx, chest, pk, enc, rng }
+        Self {
+            ctx,
+            chest,
+            pk,
+            enc,
+            rng,
+        }
     }
 
     fn encrypt(&mut self, vals: &[Complex64], level: usize) -> Ciphertext {
-        let pt = self.enc.encode(&self.ctx, vals, self.ctx.params().scale(), level);
+        let pt = self
+            .enc
+            .encode(&self.ctx, vals, self.ctx.params().scale(), level);
         ops::encrypt(&self.ctx, &self.pk, &pt, &mut self.rng)
     }
 
     fn decrypt(&self, ct: &Ciphertext) -> Vec<Complex64> {
-        self.enc.decode(&self.ctx, &ops::decrypt(&self.ctx, self.chest.secret_key(), ct))
+        self.enc.decode(
+            &self.ctx,
+            &ops::decrypt(&self.ctx, self.chest.secret_key(), ct),
+        )
     }
 
     fn slots(&self) -> usize {
@@ -45,14 +56,22 @@ impl Harness {
 
 fn ramp(slots: usize, scale: f64) -> Vec<Complex64> {
     (0..slots)
-        .map(|i| Complex64::new(scale * (i as f64 * 0.13).sin(), scale * (i as f64 * 0.07).cos()))
+        .map(|i| {
+            Complex64::new(
+                scale * (i as f64 * 0.13).sin(),
+                scale * (i as f64 * 0.07).cos(),
+            )
+        })
         .collect()
 }
 
 fn assert_close(got: &[Complex64], want: &[Complex64], tol: f64, what: &str) {
     for (i, (g, w)) in got.iter().zip(want).enumerate() {
         let err = (*g - *w).abs();
-        assert!(err < tol, "{what}: slot {i}: {g:?} vs {w:?} (err {err:.2e})");
+        assert!(
+            err < tol,
+            "{what}: slot {i}: {g:?} vs {w:?} (err {err:.2e})"
+        );
     }
 }
 
@@ -137,7 +156,12 @@ fn rotation_both_methods() {
         for steps in [1usize, 2, 5] {
             let rot = ops::hrotate(&h.chest, &ca, steps, method);
             let want: Vec<_> = (0..h.slots()).map(|i| a[(i + steps) % h.slots()]).collect();
-            assert_close(&h.decrypt(&rot), &want, 1e-3, &format!("rotate {steps} {method:?}"));
+            assert_close(
+                &h.decrypt(&rot),
+                &want,
+                1e-3,
+                &format!("rotate {steps} {method:?}"),
+            );
         }
     }
 }
@@ -156,7 +180,9 @@ fn conjugation() {
 fn multiplicative_depth_chain() {
     // Square repeatedly down the modulus chain: x -> x^2 -> x^4.
     let mut h = Harness::new(9);
-    let a: Vec<Complex64> = (0..h.slots()).map(|i| Complex64::new(0.9 + 0.001 * i as f64, 0.0)).collect();
+    let a: Vec<Complex64> = (0..h.slots())
+        .map(|i| Complex64::new(0.9 + 0.001 * i as f64, 0.0))
+        .collect();
     let mut ct = h.encrypt(&a, 5);
     let mut want: Vec<Complex64> = a.clone();
     for _ in 0..2 {
@@ -196,7 +222,9 @@ fn level_reduce_preserves_plaintext() {
 fn sum_all_slots_by_rotations() {
     // log-step rotate-and-add: every slot ends up holding the total sum.
     let mut h = Harness::new(12);
-    let a: Vec<Complex64> = (0..h.slots()).map(|i| Complex64::new((i % 5) as f64 * 0.1, 0.0)).collect();
+    let a: Vec<Complex64> = (0..h.slots())
+        .map(|i| Complex64::new((i % 5) as f64 * 0.1, 0.0))
+        .collect();
     let mut ct = h.encrypt(&a, 3);
     let mut step = 1usize;
     while step < h.slots() {

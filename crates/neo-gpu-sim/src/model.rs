@@ -17,7 +17,11 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        Self { multi_stream: true, overlap_eta: 0.8, fusion: true }
+        Self {
+            multi_stream: true,
+            overlap_eta: 0.8,
+            fusion: true,
+        }
     }
 }
 
@@ -25,7 +29,11 @@ impl ExecConfig {
     /// No fusion, no multi-stream — the naive execution model used for the
     /// pre-optimization baselines.
     pub fn naive() -> Self {
-        Self { multi_stream: false, overlap_eta: 0.0, fusion: false }
+        Self {
+            multi_stream: false,
+            overlap_eta: 0.0,
+            fusion: false,
+        }
     }
 }
 
@@ -166,11 +174,17 @@ mod tests {
     #[test]
     fn fusion_amortizes_launches() {
         let dev = DeviceModel::a100();
-        let ps: Vec<KernelProfile> = (0..100).map(|_| KernelProfile::new("k").launches(1.0)).collect();
+        let ps: Vec<KernelProfile> = (0..100)
+            .map(|_| KernelProfile::new("k").launches(1.0))
+            .collect();
         let unfused = dev.sequence_time_s(&ps, &ExecConfig::naive());
         let fused = dev.sequence_time_s(
             &ps,
-            &ExecConfig { fusion: true, multi_stream: false, overlap_eta: 0.0 },
+            &ExecConfig {
+                fusion: true,
+                multi_stream: false,
+                overlap_eta: 0.0,
+            },
         );
         assert!(fused < unfused * 0.3);
     }

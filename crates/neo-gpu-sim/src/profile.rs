@@ -30,7 +30,10 @@ pub struct KernelProfile {
 impl KernelProfile {
     /// Empty profile with a name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), ..Default::default() }
+        Self {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Sets CUDA-core modular MAC count.
@@ -128,7 +131,10 @@ mod tests {
 
     #[test]
     fn builder_and_sum() {
-        let a = KernelProfile::new("a").cuda_modmacs(10.0).bytes(4.0, 2.0).launches(1.0);
+        let a = KernelProfile::new("a")
+            .cuda_modmacs(10.0)
+            .bytes(4.0, 2.0)
+            .launches(1.0);
         let b = KernelProfile::new("b").tcu_fp64_macs(5.0).launches(2.0);
         let c = a.clone() + b;
         assert_eq!(c.cuda_modmacs, 10.0);

@@ -26,7 +26,12 @@ impl Default for Efficiency {
         // effective INT8 throughput in the tens of TOPS against a 624
         // TOPS peak, and modular arithmetic on CUDA cores spends most
         // INT32 issue slots on reduction bookkeeping.
-        Self { cuda: 0.25, tcu_fp64: 0.20, tcu_int8: 0.068, memory: 0.55 }
+        Self {
+            cuda: 0.25,
+            tcu_fp64: 0.20,
+            tcu_int8: 0.068,
+            memory: 0.55,
+        }
     }
 }
 

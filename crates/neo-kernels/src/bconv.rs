@@ -14,6 +14,7 @@ use neo_tcu::{
     gemm_multi_mod_fp64, gemm_multi_mod_int8, gemm_multi_mod_scalar, Fp64SplitScheme, GemmDims,
     Int8SplitScheme, FP64_FRAGMENT, INT8_FRAGMENTS,
 };
+use rayon::prelude::*;
 
 /// Original element-wise BConv (Algorithm 1): per output limb, walk every
 /// input limb, scalar-multiply and accumulate.
@@ -69,12 +70,16 @@ fn bconv_matrix_impl(
     // Step 1: scalar multiplication y_i = [x_i * q̂_i^{-1}]_{q_i}.
     let scaled = table.scale_limbs(input);
     // Step 2: data reorder — α innermost: A[(coeff), i] (Fig. 6).
+    // One row per coefficient; rows are disjoint, so the transpose fans
+    // out across the pool.
     let mut a = vec![0u64; n * alpha];
-    for (i, limb) in scaled.iter().enumerate() {
-        for (c, &v) in limb.iter().enumerate() {
-            a[c * alpha + i] = v;
-        }
-    }
+    a.par_chunks_mut(alpha)
+        .enumerate()
+        .for_each(|(coeff, row)| {
+            for (i, limb) in scaled.iter().enumerate() {
+                row[i] = limb[coeff];
+            }
+        });
     // Step 3: one (n × α × α') multi-modulus GEMM against the q̂ matrix.
     let b = table.qhat_matrix();
     let cols = table.dst().moduli().to_vec();
@@ -105,13 +110,13 @@ fn bconv_matrix_impl(
             );
         }
     }
-    // Step 4: reorder back to limb-major.
+    // Step 4: reorder back to limb-major, one worker per output limb.
     let mut out = vec![vec![0u64; n]; alpha_out];
-    for (j, limb) in out.iter_mut().enumerate() {
+    out.par_iter_mut().enumerate().for_each(|(j, limb)| {
         for (coeff, v) in limb.iter_mut().enumerate() {
             *v = c[coeff * alpha_out + j];
         }
-    }
+    });
     out
 }
 
@@ -131,7 +136,10 @@ pub fn profile_original(g: &BconvGeom) -> KernelProfile {
     let (alpha, alpha_out) = (g.alpha as f64, g.alpha_out as f64);
     KernelProfile::new("bconv-orig")
         .cuda_modmacs(vol * alpha + vol * alpha * alpha_out)
-        .bytes(WORD_BYTES * vol * alpha * alpha_out, WORD_BYTES * vol * alpha_out)
+        .bytes(
+            WORD_BYTES * vol * alpha * alpha_out,
+            WORD_BYTES * vol * alpha_out,
+        )
         .launches(alpha_out)
 }
 
@@ -215,7 +223,14 @@ mod tests {
 
     #[test]
     fn original_profile_rereads_input() {
-        let g = BconvGeom { n: 1 << 16, batch: 128, alpha: 4, alpha_out: 8, w_src: 36, w_dst: 48 };
+        let g = BconvGeom {
+            n: 1 << 16,
+            batch: 128,
+            alpha: 4,
+            alpha_out: 8,
+            w_src: 36,
+            w_dst: 48,
+        };
         let orig = profile_original(&g);
         let opt = profile_matrix(&g, MatmulTarget::TcuFp64);
         // The headline data-reuse claim: matrix BConv reads ~alpha_out x less.
@@ -226,7 +241,14 @@ mod tests {
 
     #[test]
     fn tcu_profile_moves_macs_off_cuda() {
-        let g = BconvGeom { n: 1 << 14, batch: 8, alpha: 4, alpha_out: 8, w_src: 36, w_dst: 48 };
+        let g = BconvGeom {
+            n: 1 << 14,
+            batch: 8,
+            alpha: 4,
+            alpha_out: 8,
+            w_src: 36,
+            w_dst: 48,
+        };
         let cuda = profile_matrix(&g, MatmulTarget::Cuda);
         let fp64 = profile_matrix(&g, MatmulTarget::TcuFp64);
         assert!(fp64.cuda_modmacs < cuda.cuda_modmacs);

@@ -82,6 +82,8 @@ impl ElemGeom {
     /// Geometry for `limbs` limbs of degree `n` across `batch` ciphertext
     /// polynomials.
     pub fn poly(n: usize, limbs: usize, batch: usize) -> Self {
-        Self { elems: n * limbs * batch }
+        Self {
+            elems: n * limbs * batch,
+        }
     }
 }

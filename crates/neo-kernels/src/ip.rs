@@ -20,7 +20,10 @@
 use crate::geometry::{IpGeom, MatmulTarget};
 use neo_gpu_sim::KernelProfile;
 use neo_math::Modulus;
-use neo_tcu::{Fp64TcuGemm, GemmDims, GemmEngine, Int8TcuGemm, ScalarGemm, FP64_FRAGMENT, INT8_FRAGMENTS};
+use neo_tcu::{
+    Fp64TcuGemm, GemmDims, GemmEngine, Int8TcuGemm, ScalarGemm, FP64_FRAGMENT, INT8_FRAGMENTS,
+};
+use rayon::prelude::*;
 
 /// Original element-wise IP (Algorithm 3): for every output digit `i`,
 /// re-read all ciphertext limbs and accumulate `c[j] * evk[i][j]`.
@@ -49,9 +52,9 @@ pub fn ip_original(
                 let acc = &mut out_i[k];
                 let limb = &c_j[k];
                 for b in 0..batch {
-                    for l in 0..n {
+                    for (l, &kv) in key.iter().enumerate() {
                         let idx = b * n + l;
-                        acc[idx] = m.add(acc[idx], m.mul(limb[idx], key[l]));
+                        acc[idx] = m.add(acc[idx], m.mul(limb[idx], kv));
                     }
                 }
             }
@@ -80,37 +83,49 @@ pub fn ip_matrix(
     let n = bn / batch;
     assert_eq!(moduli.len(), alpha_p, "one modulus per R_T limb");
     let w = moduli.iter().map(|m| m.bits()).max().unwrap();
-    let engine: Box<dyn GemmEngine> = match target {
+    let engine: Box<dyn GemmEngine + Sync> = match target {
         MatmulTarget::Cuda => Box::new(ScalarGemm),
-        MatmulTarget::TcuFp64 => Box::new(Fp64TcuGemm::for_word_size(w.max(2).min(48))),
+        MatmulTarget::TcuFp64 => Box::new(Fp64TcuGemm::for_word_size(w.clamp(2, 48))),
         MatmulTarget::TcuInt8 => Box::new(Int8TcuGemm::for_word_size(w)),
     };
-    let mut out = vec![vec![vec![0u64; bn]; alpha_p]; beta_t];
-    // Reordered buffers for one (l, k) pair at a time.
-    let mut a = vec![0u64; batch * beta];
-    let mut bmat = vec![0u64; beta * beta_t];
-    let mut cmat = vec![0u64; batch * beta_t];
-    for k in 0..alpha_p {
-        let m = &moduli[k];
-        for l in 0..n {
-            // A[b][j] = c[j][k][b·n + l]  (limbs reordered, Fig. 8 top)
-            for b in 0..batch {
+    // R_T limbs are fully independent (one modulus each), so each limb's
+    // n GEMM chain runs on its own worker with private reorder buffers.
+    let per_limb: Vec<Vec<Vec<u64>>> = (0..alpha_p)
+        .into_par_iter()
+        .map(|k| {
+            let m = &moduli[k];
+            let mut a = vec![0u64; batch * beta];
+            let mut bmat = vec![0u64; beta * beta_t];
+            let mut cmat = vec![0u64; batch * beta_t];
+            let mut out_k = vec![vec![0u64; bn]; beta_t];
+            for l in 0..n {
+                // A[b][j] = c[j][k][b·n + l]  (limbs reordered, Fig. 8 top)
+                for b in 0..batch {
+                    for j in 0..beta {
+                        a[b * beta + j] = c[j][k][b * n + l];
+                    }
+                }
+                // B[j][i] = evk[i][j][k][l]   (keys reordered, Fig. 8 bottom)
                 for j in 0..beta {
-                    a[b * beta + j] = c[j][k][b * n + l];
+                    for i in 0..beta_t {
+                        bmat[j * beta_t + i] = evk[i][j][k][l];
+                    }
+                }
+                engine.gemm(m, &a, &bmat, batch, beta, beta_t, &mut cmat);
+                for b in 0..batch {
+                    for (i, out_i) in out_k.iter_mut().enumerate() {
+                        out_i[b * n + l] = cmat[b * beta_t + i];
+                    }
                 }
             }
-            // B[j][i] = evk[i][j][k][l]   (keys reordered, Fig. 8 bottom)
-            for j in 0..beta {
-                for i in 0..beta_t {
-                    bmat[j * beta_t + i] = evk[i][j][k][l];
-                }
-            }
-            engine.gemm(m, &a, &bmat, batch, beta, beta_t, &mut cmat);
-            for b in 0..batch {
-                for (i, out_i) in out.iter_mut().enumerate() {
-                    out_i[k][b * n + l] = cmat[b * beta_t + i];
-                }
-            }
+            out_k
+        })
+        .collect();
+    // Stitch back into [output digit][limb] order.
+    let mut out = vec![vec![Vec::new(); alpha_p]; beta_t];
+    for (k, limb_rows) in per_limb.into_iter().enumerate() {
+        for (i, row) in limb_rows.into_iter().enumerate() {
+            out[i][k] = row;
         }
     }
     out
@@ -158,8 +173,8 @@ pub fn profile_matrix(g: &IpGeom, target: MatmulTarget) -> KernelProfile {
         }
         MatmulTarget::TcuFp64 => {
             let scheme = neo_tcu::Fp64SplitScheme::for_word_size(g.w);
-            tcu_fp64 = gemms
-                * (scheme.partial_products() as u64 * dims.padded_macs(FP64_FRAGMENT)) as f64;
+            tcu_fp64 =
+                gemms * (scheme.partial_products() as u64 * dims.padded_macs(FP64_FRAGMENT)) as f64;
             cuda += SPLIT_COST * scheme.a_planes() as f64 * beta * vol
                 + MERGE_COST * scheme.partial_products() as f64 * cc * beta_t * vol;
         }
@@ -216,6 +231,7 @@ mod tests {
             .collect()
     }
 
+    #[allow(clippy::type_complexity)]
     fn random_ip_data(
         ms: &[Modulus],
         beta: usize,
@@ -229,7 +245,11 @@ mod tests {
         let c = (0..beta)
             .map(|_| {
                 (0..alpha_p)
-                    .map(|k| (0..batch * n).map(|_| rng.gen_range(0..ms[k].value())).collect())
+                    .map(|k| {
+                        (0..batch * n)
+                            .map(|_| rng.gen_range(0..ms[k].value()))
+                            .collect()
+                    })
                     .collect()
             })
             .collect();
@@ -252,7 +272,11 @@ mod tests {
         let ms = moduli(2, 36);
         let (c, evk) = random_ip_data(&ms, 3, 4, 2, 8, 1);
         let want = ip_original(&ms, 2, &c, &evk);
-        for target in [MatmulTarget::Cuda, MatmulTarget::TcuFp64, MatmulTarget::TcuInt8] {
+        for target in [
+            MatmulTarget::Cuda,
+            MatmulTarget::TcuFp64,
+            MatmulTarget::TcuInt8,
+        ] {
             assert_eq!(ip_matrix(&ms, 2, &c, &evk, target), want, "{target:?}");
         }
     }
@@ -267,7 +291,15 @@ mod tests {
 
     #[test]
     fn original_profile_rereads_beta_t_times() {
-        let g = IpGeom { n: 1 << 16, batch: 128, alpha_p: 8, beta: 9, beta_t: 8, components: 2, w: 48 };
+        let g = IpGeom {
+            n: 1 << 16,
+            batch: 128,
+            alpha_p: 8,
+            beta: 9,
+            beta_t: 8,
+            components: 2,
+            w: 48,
+        };
         let orig = profile_original(&g);
         let opt = profile_matrix(&g, MatmulTarget::TcuFp64);
         // Ciphertext volume dominates; reads shrink ~beta_t fold.
@@ -279,7 +311,15 @@ mod tests {
     #[test]
     fn mapping_threshold() {
         // Set-C at l = 35: beta = 9, beta~ = 8 -> 75% valid -> CUDA cores.
-        let g = IpGeom { n: 1 << 16, batch: 128, alpha_p: 8, beta: 9, beta_t: 8, components: 2, w: 48 };
+        let g = IpGeom {
+            n: 1 << 16,
+            batch: 128,
+            alpha_p: 8,
+            beta: 9,
+            beta_t: 8,
+            components: 2,
+            w: 48,
+        };
         assert_eq!(neo_target(&g), MatmulTarget::Cuda);
         // beta = 8, beta~ = 8 divides fragments exactly -> TCU.
         let g2 = IpGeom { beta: 8, ..g };

@@ -39,4 +39,4 @@ pub mod geometry;
 pub mod ip;
 pub mod ntt;
 
-pub use geometry::{BconvGeom, ElemGeom, IpGeom, MatmulTarget, NttGeom, NttAlgorithm};
+pub use geometry::{BconvGeom, ElemGeom, IpGeom, MatmulTarget, NttAlgorithm, NttGeom};

@@ -26,7 +26,11 @@ pub fn profile(g: &NttGeom, alg: NttAlgorithm, target: MatmulTarget) -> KernelPr
     let count = g.count as f64;
     match alg {
         NttAlgorithm::Radix2 => {
-            assert_eq!(target, MatmulTarget::Cuda, "radix-2 NTT has no matmul to offload");
+            assert_eq!(
+                target,
+                MatmulTarget::Cuda,
+                "radix-2 NTT has no matmul to offload"
+            );
             KernelProfile::new("ntt-radix2")
                 .cuda_modmacs(count * 1.5 * (n / 2.0) * (g.n.trailing_zeros() as f64))
                 .bytes(count * 2.0 * WORD_BYTES * n, count * 2.0 * WORD_BYTES * n)
@@ -41,15 +45,13 @@ pub fn profile(g: &NttGeom, alg: NttAlgorithm, target: MatmulTarget) -> KernelPr
                 target,
             )
         }
-        NttAlgorithm::Radix16 => {
-            matmul_ntt_profile(
-                g,
-                "ntt-radix16",
-                complexity::radix16_matmul_macs(g.n) as f64,
-                complexity::radix16_stages(g.n) as usize,
-                target,
-            )
-        }
+        NttAlgorithm::Radix16 => matmul_ntt_profile(
+            g,
+            "ntt-radix16",
+            complexity::radix16_matmul_macs(g.n) as f64,
+            complexity::radix16_stages(g.n) as usize,
+            target,
+        ),
     }
 }
 
@@ -96,7 +98,10 @@ fn matmul_ntt_profile(
         .cuda_modmacs(cuda)
         .tcu_fp64_macs(tcu_fp64)
         .tcu_int8_macs(tcu_int8)
-        .bytes(count * passes * WORD_BYTES * n, count * passes * WORD_BYTES * n)
+        .bytes(
+            count * passes * WORD_BYTES * n,
+            count * passes * WORD_BYTES * n,
+        )
         .launches(stages_f.max(1.0))
 }
 
@@ -106,7 +111,11 @@ mod tests {
     use neo_gpu_sim::DeviceModel;
 
     fn geom(w: u32) -> NttGeom {
-        NttGeom { n: 1 << 16, count: 1, w }
+        NttGeom {
+            n: 1 << 16,
+            count: 1,
+            w,
+        }
     }
 
     #[test]
@@ -122,7 +131,11 @@ mod tests {
         // peak, Booth complexity (25 vs 3) and merge overhead make the
         // FP64 mapping faster for 36-bit words.
         let dev = DeviceModel::a100();
-        let g = NttGeom { n: 1 << 16, count: 128, w: 36 };
+        let g = NttGeom {
+            n: 1 << 16,
+            count: 128,
+            w: 36,
+        };
         let fp64 = dev.kernel_time_us(&profile(&g, NttAlgorithm::Radix16, MatmulTarget::TcuFp64));
         let int8 = dev.kernel_time_us(&profile(&g, NttAlgorithm::Radix16, MatmulTarget::TcuInt8));
         assert!(fp64 < int8, "fp64 {fp64}us vs int8 {int8}us");
@@ -131,7 +144,11 @@ mod tests {
     #[test]
     fn tcu_beats_cuda_for_radix16() {
         let dev = DeviceModel::a100();
-        let g = NttGeom { n: 1 << 16, count: 128, w: 36 };
+        let g = NttGeom {
+            n: 1 << 16,
+            count: 128,
+            w: 36,
+        };
         let cuda = dev.kernel_time_us(&profile(&g, NttAlgorithm::Radix16, MatmulTarget::Cuda));
         let fp64 = dev.kernel_time_us(&profile(&g, NttAlgorithm::Radix16, MatmulTarget::TcuFp64));
         assert!(fp64 < cuda, "fp64 {fp64}us vs cuda {cuda}us");
@@ -146,7 +163,11 @@ mod tests {
     #[test]
     fn scales_linearly_with_count() {
         let one = profile(&geom(36), NttAlgorithm::Radix16, MatmulTarget::TcuFp64);
-        let g128 = NttGeom { n: 1 << 16, count: 128, w: 36 };
+        let g128 = NttGeom {
+            n: 1 << 16,
+            count: 128,
+            w: 36,
+        };
         let many = profile(&g128, NttAlgorithm::Radix16, MatmulTarget::TcuFp64);
         assert!((many.tcu_fp64_macs / one.tcu_fp64_macs - 128.0).abs() < 1e-9);
     }

@@ -63,14 +63,14 @@ impl BconvTable {
         let mut qhat_mod_dst = vec![vec![0u64; dst.len()]; k];
         let mut q_mod_dst = vec![0u64; dst.len()];
         for (j, t) in dst.moduli().iter().enumerate() {
-            for i in 0..k {
+            for (i, row) in qhat_mod_dst.iter_mut().enumerate() {
                 let mut acc = 1u64;
                 for (u, &q) in src_primes.iter().enumerate() {
                     if u != i {
                         acc = t.mul(acc, t.reduce(q));
                     }
                 }
-                qhat_mod_dst[i][j] = acc;
+                row[j] = acc;
             }
             let mut acc = 1u64;
             for &q in &src_primes {
@@ -79,7 +79,14 @@ impl BconvTable {
             q_mod_dst[j] = acc;
         }
         let inv_q = src_primes.iter().map(|&q| 1.0 / q as f64).collect();
-        Ok(Self { src: src.clone(), dst: dst.clone(), qhat_inv, qhat_mod_dst, q_mod_dst, inv_q })
+        Ok(Self {
+            src: src.clone(),
+            dst: dst.clone(),
+            qhat_inv,
+            qhat_mod_dst,
+            q_mod_dst,
+            inv_q,
+        })
     }
 
     /// Source basis.
@@ -297,7 +304,11 @@ mod tests {
             .moduli()
             .iter()
             .enumerate()
-            .map(|(i, m)| (0..n).map(|c| m.reduce((c as u64 + 1) * 7919 + i as u64)).collect())
+            .map(|(i, m)| {
+                (0..n)
+                    .map(|c| m.reduce((c as u64 + 1) * 7919 + i as u64))
+                    .collect()
+            })
             .collect();
         let out = table.convert_exact(&x);
         for c in 0..n {

@@ -98,7 +98,10 @@ impl BigUint {
     ///
     /// Panics if `other > self` (this type is unsigned).
     pub fn sub(&self, other: &Self) -> Self {
-        assert!(self.cmp_big(other) != Ordering::Less, "BigUint subtraction underflow");
+        assert!(
+            self.cmp_big(other) != Ordering::Less,
+            "BigUint subtraction underflow"
+        );
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0i128;
         for i in 0..self.limbs.len() {
@@ -182,7 +185,7 @@ impl BigUint {
 
 impl PartialOrd for BigUint {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_big(other))
+        Some(self.cmp(other))
     }
 }
 

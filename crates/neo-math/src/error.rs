@@ -6,7 +6,11 @@ pub enum MathError {
     /// The modulus is zero, one, or too large for the 62-bit arithmetic paths.
     InvalidModulus(u64),
     /// Not enough primes of the requested shape exist below the bit bound.
-    PrimeGeneration { bits: u32, order: u64, wanted: usize },
+    PrimeGeneration {
+        bits: u32,
+        order: u64,
+        wanted: usize,
+    },
     /// The element has no inverse modulo the target modulus.
     NoInverse { value: u64, modulus: u64 },
     /// Two operands live in different RNS bases or have different degrees.
@@ -21,7 +25,11 @@ impl fmt::Display for MathError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MathError::InvalidModulus(q) => write!(f, "invalid modulus {q} (need 2 <= q < 2^62)"),
-            MathError::PrimeGeneration { bits, order, wanted } => write!(
+            MathError::PrimeGeneration {
+                bits,
+                order,
+                wanted,
+            } => write!(
                 f,
                 "could not find {wanted} primes of {bits} bits congruent to 1 mod {order}"
             ),

@@ -29,16 +29,16 @@
 //! # }
 //! ```
 
-mod biguint;
 pub mod bconv;
+mod biguint;
 mod error;
 mod modulus;
 pub mod poly;
 pub mod primes;
 pub mod rns;
 
-pub use biguint::BigUint;
 pub use bconv::BconvTable;
+pub use biguint::BigUint;
 pub use error::MathError;
 pub use modulus::{Modulus, ShoupMul};
 pub use poly::{Domain, RnsPoly};

@@ -37,7 +37,11 @@ impl RnsPoly {
     pub fn zero(n: usize, k: usize, domain: Domain) -> Self {
         assert!(n.is_power_of_two(), "degree must be a power of two");
         assert!(k > 0, "need at least one limb");
-        Self { n, domain, limbs: vec![vec![0u64; n]; k] }
+        Self {
+            n,
+            domain,
+            limbs: vec![vec![0u64; n]; k],
+        }
     }
 
     /// Builds a polynomial from centered signed coefficients, reducing into
@@ -52,7 +56,11 @@ impl RnsPoly {
             .iter()
             .map(|m| coeffs.iter().map(|&c| signed_mod(c, m.value())).collect())
             .collect();
-        Self { n: coeffs.len(), domain: Domain::Coeff, limbs }
+        Self {
+            n: coeffs.len(),
+            domain: Domain::Coeff,
+            limbs,
+        }
     }
 
     /// Builds from raw limb data (already reduced).
@@ -247,7 +255,11 @@ impl RnsPoly {
     ///
     /// Panics if called in NTT domain or `g` is even.
     pub fn automorphism(&self, g: usize, moduli: &[Modulus]) -> Self {
-        assert_eq!(self.domain, Domain::Coeff, "AUTO runs in coefficient domain");
+        assert_eq!(
+            self.domain,
+            Domain::Coeff,
+            "AUTO runs in coefficient domain"
+        );
         assert_eq!(g % 2, 1, "automorphism index must be odd");
         let two_n = 2 * self.n;
         let mut out = Self::zero(self.n, self.limbs.len(), Domain::Coeff);
@@ -268,7 +280,11 @@ impl RnsPoly {
     /// Infinity norm of the centered lift, per limb 0 only (diagnostic aid
     /// for noise tracking in tests; meaningful when value fits one limb).
     pub fn centered_inf_norm_limb0(&self, m: &Modulus) -> u64 {
-        self.limbs[0].iter().map(|&c| m.to_signed(c).unsigned_abs()).max().unwrap_or(0)
+        self.limbs[0]
+            .iter()
+            .map(|&c| m.to_signed(c).unsigned_abs())
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -22,7 +22,7 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -78,7 +78,10 @@ pub fn ntt_primes(bits: u32, degree: usize, count: usize) -> Result<Vec<u64>, Ma
     if !degree.is_power_of_two() || degree < 2 {
         return Err(MathError::InvalidDegree(degree));
     }
-    assert!((3..=61).contains(&bits), "bits must be in 3..=61, got {bits}");
+    assert!(
+        (3..=61).contains(&bits),
+        "bits must be in 3..=61, got {bits}"
+    );
     let order = 2 * degree as u64;
     let hi = (1u64 << bits) - 1;
     let lo = 1u64 << (bits - 1);
@@ -95,7 +98,11 @@ pub fn ntt_primes(bits: u32, degree: usize, count: usize) -> Result<Vec<u64>, Ma
         cand -= order;
     }
     if out.len() < count {
-        return Err(MathError::PrimeGeneration { bits, order, wanted: count });
+        return Err(MathError::PrimeGeneration {
+            bits,
+            order,
+            wanted: count,
+        });
     }
     Ok(out)
 }
@@ -133,16 +140,20 @@ pub fn ckks_prime_chain(
 ///
 /// Panics if `order` does not divide `p - 1`.
 pub fn primitive_root(p: u64, order: u64) -> u64 {
-    assert_eq!((p - 1) % order, 0, "order {order} must divide p-1 for p={p}");
+    assert_eq!(
+        (p - 1) % order,
+        0,
+        "order {order} must divide p-1 for p={p}"
+    );
     // Factor p-1 (trial division is fine: p-1 has small smooth part + large
     // factors, and this runs once per modulus at setup).
     let mut factors = Vec::new();
     let mut m = p - 1;
     let mut d = 2u64;
     while d * d <= m {
-        if m % d == 0 {
+        if m.is_multiple_of(d) {
             factors.push(d);
-            while m % d == 0 {
+            while m.is_multiple_of(d) {
                 m /= d;
             }
         }
@@ -171,7 +182,10 @@ mod tests {
     #[test]
     fn small_primes() {
         let primes: Vec<u64> = (0..50).filter(|&n| is_prime(n)).collect();
-        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]);
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+        );
     }
 
     #[test]

@@ -50,8 +50,10 @@ impl RnsBasis {
         if sorted.len() != primes.len() {
             return Err(MathError::BasisMismatch("duplicate primes in basis".into()));
         }
-        let moduli: Vec<Modulus> =
-            primes.iter().map(|&q| Modulus::new(q)).collect::<Result<_, _>>()?;
+        let moduli: Vec<Modulus> = primes
+            .iter()
+            .map(|&q| Modulus::new(q))
+            .collect::<Result<_, _>>()?;
         let big_q = BigUint::product(primes);
         let k = primes.len();
         let mut qhat_inv = Vec::with_capacity(k);
@@ -72,7 +74,13 @@ impl RnsBasis {
             qhat_inv.push(moduli[i].inv(qhat_mod[i][i])?);
         }
         let big_q_mod = moduli.iter().map(|m| big_q.rem_u64(m.value())).collect();
-        Ok(Self { moduli, qhat_inv, qhat_mod, big_q_mod, big_q })
+        Ok(Self {
+            moduli,
+            qhat_inv,
+            qhat_mod,
+            big_q_mod,
+            big_q,
+        })
     }
 
     /// The moduli in order.

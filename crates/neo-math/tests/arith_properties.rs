@@ -27,6 +27,39 @@ proptest! {
         prop_assert_eq!(m.mul_shoup(a, m.shoup(w)), m.mul(a, w));
     }
 
+    /// Barrett `reduce`/`reduce_u128` agree with the hardware `%` operator
+    /// across the supported prime range (random 40–61-bit NTT primes —
+    /// `ntt_primes` tops out at 61 bits; the unit tests cover moduli just
+    /// under `2^62` — with random u64/u128 inputs including the extremes).
+    #[test]
+    fn barrett_matches_hardware_division(
+        bits in 40u32..=61,
+        offset in 0usize..4,
+        a in any::<u64>(),
+        hi in any::<u64>(),
+        lo in any::<u64>(),
+    ) {
+        let q = primes::ntt_primes(bits, 16, offset + 1).unwrap()[offset];
+        let m = Modulus::new(q).unwrap();
+        let x = ((hi as u128) << 64) | lo as u128;
+        prop_assert_eq!(m.reduce(a), a % q);
+        prop_assert_eq!(m.reduce_u128(x), (x % q as u128) as u64);
+        prop_assert_eq!(m.reduce(u64::MAX), u64::MAX % q);
+        prop_assert_eq!(m.reduce_u128(u128::MAX), (u128::MAX % q as u128) as u64);
+    }
+
+    /// Lazy Shoup multiplication lands in `[0, 2q)` and is congruent to the
+    /// exact product for arbitrary (unreduced) inputs.
+    #[test]
+    fn shoup_lazy_is_congruent(a in any::<u64>(), w in any::<u64>()) {
+        let q = primes::ntt_primes(60, 16, 1).unwrap()[0];
+        let m = Modulus::new(q).unwrap();
+        let s = m.shoup(w % q);
+        let r = m.mul_shoup_lazy(a, s);
+        prop_assert!(r < 2 * q);
+        prop_assert_eq!(r % q, m.mul(a % q, w % q));
+    }
+
     /// signed_mod is the mathematical `rem_euclid`.
     #[test]
     fn signed_mod_is_euclidean(v in any::<i64>(), q in 2u64..(1 << 40)) {

@@ -1,0 +1,84 @@
+//! Process-wide cache of [`NttPlan`]s keyed by `(q, n)`.
+//!
+//! Plan construction is expensive — four power tables plus four Shoup
+//! tables, each `O(n)` multiplications — and the CKKS stack asks for the
+//! same handful of `(prime, degree)` pairs from many call sites (context
+//! setup, key switching, kernels, tests). The cache hands out `Arc`s so a
+//! plan is built once per process and shared freely across threads.
+
+use crate::NttPlan;
+use neo_math::MathError;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::{Arc, LazyLock};
+
+type PlanMap = HashMap<(u64, usize), Arc<NttPlan>>;
+
+static PLAN_CACHE: LazyLock<RwLock<PlanMap>> = LazyLock::new(|| RwLock::new(HashMap::new()));
+
+/// Returns the cached plan for `(q, n)`, building and inserting it on the
+/// first request. Concurrent callers for the same key all receive the same
+/// `Arc` (a race may build a plan twice, but only one instance is kept).
+///
+/// # Errors
+///
+/// Propagates [`NttPlan::new`] errors; failures are not cached.
+pub fn get_or_build(q: u64, n: usize) -> Result<Arc<NttPlan>, MathError> {
+    if let Some(plan) = PLAN_CACHE.read().get(&(q, n)) {
+        return Ok(plan.clone());
+    }
+    // Build outside the write lock: construction costs O(n) multiplies
+    // and other keys shouldn't wait on it.
+    let built = Arc::new(NttPlan::new(q, n)?);
+    let mut cache = PLAN_CACHE.write();
+    Ok(cache.entry((q, n)).or_insert(built).clone())
+}
+
+/// Number of plans currently cached (diagnostics/tests).
+pub fn cached_plans() -> usize {
+    PLAN_CACHE.read().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_math::primes;
+
+    #[test]
+    fn repeated_requests_share_one_arc() {
+        let q = primes::ntt_primes(36, 128, 1).unwrap()[0];
+        let a = get_or_build(q, 128).unwrap();
+        let b = get_or_build(q, 128).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.degree(), 128);
+        assert_eq!(a.modulus().value(), q);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_plans() {
+        let qs = primes::ntt_primes(36, 64, 2).unwrap();
+        let a = get_or_build(qs[0], 64).unwrap();
+        let b = get_or_build(qs[1], 64).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(cached_plans() >= 2);
+    }
+
+    #[test]
+    fn concurrent_callers_converge_on_one_plan() {
+        let q = primes::ntt_primes(36, 256, 1).unwrap()[0];
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(move || get_or_build(q, 256).unwrap()))
+            .collect();
+        let plans: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for p in &plans[1..] {
+            assert!(Arc::ptr_eq(&plans[0], p), "cache returned different Arcs");
+        }
+    }
+
+    #[test]
+    fn errors_are_propagated_not_cached() {
+        assert!(get_or_build(6, 64).is_err()); // composite q
+        let q = primes::ntt_primes(36, 64, 1).unwrap()[0];
+        assert!(get_or_build(q, 48).is_err()); // degree not a power of two
+    }
+}

@@ -37,6 +37,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod complexity;
 pub mod matrix;
 mod plan;

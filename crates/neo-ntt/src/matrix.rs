@@ -133,7 +133,11 @@ fn dft_rows(
     debug_assert_eq!(data.len(), rows * n);
     let m = plan.modulus();
     let n_total = plan.degree();
-    let pows = if inv { plan.omega_inv_pows() } else { plan.omega_pows() };
+    let pows = if inv {
+        plan.omega_inv_pows()
+    } else {
+        plan.omega_pows()
+    };
     match decomp.split(n) {
         None => {
             // One GEMM against the full n×n DFT matrix W[i][k] = ω^{step·i·k}.
@@ -158,7 +162,16 @@ fn dft_rows(
                 }
             }
             // Inner DFTs of length n2 with root ω^{step·n1}.
-            dft_rows(&mut buf, rows * n1, n2, plan, step * n1, inv, engine, decomp.child());
+            dft_rows(
+                &mut buf,
+                rows * n1,
+                n2,
+                plan,
+                step * n1,
+                inv,
+                engine,
+                decomp.child(),
+            );
             // Twiddle by ω^{step·i1·k2}.
             for r in 0..rows {
                 for i1 in 0..n1 {
@@ -179,7 +192,16 @@ fn dft_rows(
                 }
             }
             // Outer DFTs of length n1 with root ω^{step·n2}.
-            dft_rows(&mut buf2, rows * n2, n1, plan, step * n2, inv, engine, decomp.child());
+            dft_rows(
+                &mut buf2,
+                rows * n2,
+                n1,
+                plan,
+                step * n2,
+                inv,
+                engine,
+                decomp.child(),
+            );
             // Gather: X[k1·n2 + k2] = buf2[(r, k2), k1].
             for r in 0..rows {
                 for k1 in 0..n1 {
@@ -207,7 +229,9 @@ mod tests {
 
     fn random_poly(plan: &NttPlan, seed: u64) -> Vec<u64> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        (0..plan.degree()).map(|_| rng.gen_range(0..plan.modulus().value())).collect()
+        (0..plan.degree())
+            .map(|_| rng.gen_range(0..plan.modulus().value()))
+            .collect()
     }
 
     #[test]

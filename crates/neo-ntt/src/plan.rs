@@ -1,9 +1,13 @@
-use neo_math::{primes, MathError, Modulus};
+use neo_math::{primes, MathError, Modulus, ShoupMul};
 
 /// Precomputed tables for NTTs of degree `n` modulo one prime.
 ///
 /// Holds the primitive `2n`-th root `ψ` (for the negacyclic twist), the
-/// `n`-th root `ω = ψ²`, their full power tables, and `n⁻¹`.
+/// `n`-th root `ω = ψ²`, their full power tables, and `n⁻¹` — plus Shoup
+/// doubles of everything the radix-2 fast path touches: the twist powers,
+/// the merged untwist-and-scale powers `ψ^{-i}·n⁻¹`, and stage-major
+/// twiddle tables laid out in exactly the order the butterfly loops read
+/// them (stage `size` contributes its `size/2` twiddles contiguously).
 #[derive(Debug, Clone)]
 pub struct NttPlan {
     n: usize,
@@ -13,6 +17,11 @@ pub struct NttPlan {
     omega_pows: Vec<u64>,
     omega_inv_pows: Vec<u64>,
     n_inv: u64,
+    bitrev_pairs: Vec<(u32, u32)>,
+    psi_rev_shoup: Vec<ShoupMul>,
+    psi_inv_n_inv_shoup: Vec<ShoupMul>,
+    fwd_twiddles: Vec<ShoupMul>,
+    inv_twiddles: Vec<ShoupMul>,
 }
 
 impl NttPlan {
@@ -29,7 +38,7 @@ impl NttPlan {
             return Err(MathError::InvalidDegree(n));
         }
         let m = Modulus::new(q)?;
-        if (q - 1) % (2 * n as u64) != 0 || !primes::is_prime(q) {
+        if !(q - 1).is_multiple_of(2 * n as u64) || !primes::is_prime(q) {
             return Err(MathError::InvalidModulus(q));
         }
         let psi = primes::primitive_root(q, 2 * n as u64);
@@ -52,7 +61,56 @@ impl NttPlan {
             d = m.mul(d, omega_inv);
         }
         let n_inv = m.inv(n as u64)?;
-        Ok(Self { n, m, psi_pows, psi_inv_pows, omega_pows, omega_inv_pows, n_inv })
+        // Twist powers permuted into bit-reversed position order, so the
+        // forward fast path can fold the twist into its first butterfly
+        // stage (which runs after the bit-reversal permutation).
+        let bits = n.trailing_zeros();
+        // Swap list for the bit-reversal permutation: only the (i, rev(i))
+        // pairs with i < rev(i), so the fast path does one swap per pair
+        // with no per-element bit twiddling.
+        let bitrev_pairs = (0..n)
+            .filter_map(|i| {
+                let r = (i as u64).reverse_bits().wrapping_shr(64 - bits) as usize;
+                (i < r).then_some((i as u32, r as u32))
+            })
+            .collect();
+        let psi_rev_shoup = (0..n)
+            .map(|i| {
+                let r = (i as u64).reverse_bits().wrapping_shr(64 - bits) as usize;
+                m.shoup(psi_pows[r])
+            })
+            .collect();
+        let psi_inv_n_inv_shoup = psi_inv_pows
+            .iter()
+            .map(|&w| m.shoup(m.mul(w, n_inv)))
+            .collect();
+        // Stage-major twiddles: the radix-2 stage of span `size` reads
+        // omega^(j * n/size) for j in 0..size/2, identically in every block.
+        let mut fwd_twiddles = Vec::with_capacity(n - 1);
+        let mut inv_twiddles = Vec::with_capacity(n - 1);
+        let mut size = 2;
+        while size <= n {
+            let step = n / size;
+            for j in 0..size / 2 {
+                fwd_twiddles.push(m.shoup(omega_pows[j * step]));
+                inv_twiddles.push(m.shoup(omega_inv_pows[j * step]));
+            }
+            size *= 2;
+        }
+        Ok(Self {
+            n,
+            m,
+            psi_pows,
+            psi_inv_pows,
+            omega_pows,
+            omega_inv_pows,
+            n_inv,
+            bitrev_pairs,
+            psi_rev_shoup,
+            psi_inv_n_inv_shoup,
+            fwd_twiddles,
+            inv_twiddles,
+        })
     }
 
     /// Ring degree `N`.
@@ -89,6 +147,33 @@ impl NttPlan {
     pub fn n_inv(&self) -> u64 {
         self.n_inv
     }
+
+    /// Shoup doubles of `ψ^{rev(i)}` — the forward twist in bit-reversed
+    /// position order, consumed by the merged first butterfly stage.
+    pub(crate) fn psi_rev_shoup(&self) -> &[ShoupMul] {
+        &self.psi_rev_shoup
+    }
+
+    /// Precomputed `(i, rev(i))` swap pairs (`i < rev(i)`) for the
+    /// bit-reversal permutation.
+    pub(crate) fn bitrev_pairs(&self) -> &[(u32, u32)] {
+        &self.bitrev_pairs
+    }
+
+    /// Shoup doubles of `ψ^{-i}·n⁻¹` — untwist and scale in one multiply.
+    pub(crate) fn psi_inv_n_inv_shoup(&self) -> &[ShoupMul] {
+        &self.psi_inv_n_inv_shoup
+    }
+
+    /// Stage-major forward twiddles (`n - 1` entries).
+    pub(crate) fn fwd_twiddles(&self) -> &[ShoupMul] {
+        &self.fwd_twiddles
+    }
+
+    /// Stage-major inverse twiddles (`n - 1` entries).
+    pub(crate) fn inv_twiddles(&self) -> &[ShoupMul] {
+        &self.inv_twiddles
+    }
 }
 
 #[cfg(test)]
@@ -114,7 +199,7 @@ mod tests {
         let q = primes::ntt_primes(36, 64, 1).unwrap()[0];
         assert!(NttPlan::new(q, 48).is_err()); // not a power of two
         assert!(NttPlan::new(q, 2).is_err()); // too small
-        // q-1 not divisible by 2n for huge n
+                                              // q-1 not divisible by 2n for huge n
         assert!(NttPlan::new(q, 1 << 40).is_err());
         // composite modulus
         assert!(NttPlan::new((1 << 36) - 1, 64).is_err());

@@ -1,17 +1,198 @@
-//! Radix-2 negacyclic NTT — the reference implementation.
+//! Radix-2 negacyclic NTT: Shoup/lazy-reduction fast path plus the plain
+//! reference implementation.
 //!
-//! Forward: twist by `ψ^i`, then an iterative cyclic Cooley–Tukey FFT
-//! (bit-reversal first, so output lands in natural order). Inverse:
-//! cyclic inverse FFT, untwist by `ψ^{-i}`, scale by `N⁻¹`.
+//! Both variants compute the same transform — twist by `ψ^i`, then a
+//! cyclic FFT, with natural order in and out — and produce
+//! **bit-identical** results (enforced by the equivalence tests below and
+//! the workspace property suite).
+//!
+//! The fast path ([`forward`]/[`inverse`]) applies Harvey's lazy-reduction
+//! discipline: every twiddle multiply is a precomputed Shoup multiply
+//! (`mul_shoup_lazy`, one mulhi + two mullo, no division) returning a
+//! representative in `[0, 2q)`, butterflies keep values in `[0, 4q)` with
+//! a single conditional subtraction of `2q` before each multiply, and full
+//! reduction happens once at the end. `q < 2^62` guarantees `4q < 2^64`,
+//! so nothing overflows. The forward path additionally folds the ψ-twist
+//! into its first butterfly stage (via the bit-reversed twist table) and
+//! the final reduction into its last stage, so every element is touched
+//! exactly `log₂ n + 1` times.
+//!
+//! The reference path ([`forward_reference`]/[`inverse_reference`]) reduces
+//! after every operation and serves as the correctness oracle and the
+//! baseline for `benches/ntt.rs`.
 
 use crate::NttPlan;
 
-/// In-place forward negacyclic NTT (natural order in and out).
+/// In-place forward negacyclic NTT (natural order in and out) — Shoup
+/// fast path.
 ///
 /// # Panics
 ///
 /// Panics if `x.len()` differs from the plan's degree.
 pub fn forward(plan: &NttPlan, x: &mut [u64]) {
+    let n = plan.degree();
+    assert_eq!(x.len(), n, "length mismatch");
+    let m = plan.modulus();
+    let q = m.value();
+    let two_q = 2 * q;
+    bit_reverse_planned(x, plan);
+    // Stage 1 with the ψ-twist folded in: after bit-reversal, position i
+    // holds a[rev(i)], which needs twist factor ψ^{rev(i)}; the stage-1
+    // twiddle is ω^0 = 1, so both operands take exactly one lazy Shoup
+    // multiply (landing in [0, 2q)) and no separate twist pass is needed.
+    for (pair, s) in x
+        .chunks_exact_mut(2)
+        .zip(plan.psi_rev_shoup().chunks_exact(2))
+    {
+        let u = m.mul_shoup_lazy(pair[0], s[0]);
+        let t = m.mul_shoup_lazy(pair[1], s[1]);
+        pair[0] = u + t;
+        pair[1] = u + two_q - t;
+    }
+    // Middle stages stay lazy in [0, 4q).
+    let twiddles = plan.fwd_twiddles();
+    let mut size = 4;
+    let mut stage_off = 1;
+    while size < n {
+        let half = size / 2;
+        let stage = &twiddles[stage_off..stage_off + half];
+        for block in x.chunks_exact_mut(size) {
+            let (lo, hi) = block.split_at_mut(half);
+            // j = 0 has w = ω^0 = 1: a conditional subtraction stands in
+            // for the multiply (any [0, 2q) representative works).
+            let mut u = lo[0];
+            if u >= two_q {
+                u -= two_q;
+            }
+            let mut t = hi[0];
+            if t >= two_q {
+                t -= two_q;
+            }
+            lo[0] = u + t;
+            hi[0] = u + two_q - t;
+            for ((a, b), &w) in lo[1..].iter_mut().zip(hi[1..].iter_mut()).zip(&stage[1..]) {
+                let mut u = *a;
+                if u >= two_q {
+                    u -= two_q;
+                }
+                let t = m.mul_shoup_lazy(*b, w);
+                *a = u + t;
+                *b = u + two_q - t;
+            }
+        }
+        stage_off += half;
+        size *= 2;
+    }
+    // Last stage with the final [0, 4q) -> [0, q) reduction folded in.
+    let half = n / 2;
+    let stage = &twiddles[stage_off..stage_off + half];
+    let (lo, hi) = x.split_at_mut(half);
+    for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
+        let mut u = *a;
+        if u >= two_q {
+            u -= two_q;
+        }
+        let t = m.mul_shoup_lazy(*b, w);
+        let mut r0 = u + t;
+        if r0 >= two_q {
+            r0 -= two_q;
+        }
+        if r0 >= q {
+            r0 -= q;
+        }
+        let mut r1 = u + two_q - t;
+        if r1 >= two_q {
+            r1 -= two_q;
+        }
+        if r1 >= q {
+            r1 -= q;
+        }
+        *a = r0;
+        *b = r1;
+    }
+}
+
+/// In-place inverse negacyclic NTT (natural order in and out) — Shoup
+/// fast path. The untwist by `ψ^{-i}` and the `n⁻¹` scaling are merged
+/// into a single Shoup multiply that also performs the final reduction.
+///
+/// # Panics
+///
+/// Panics if `x.len()` differs from the plan's degree.
+pub fn inverse(plan: &NttPlan, x: &mut [u64]) {
+    let n = plan.degree();
+    assert_eq!(x.len(), n, "length mismatch");
+    let m = plan.modulus();
+    bit_reverse_planned(x, plan);
+    lazy_butterflies(x, plan, plan.inv_twiddles());
+    // mul_shoup accepts the unreduced [0, 4q) values directly and returns
+    // the exact representative in [0, q).
+    for (v, &s) in x.iter_mut().zip(plan.psi_inv_n_inv_shoup()) {
+        *v = m.mul_shoup(*v, s);
+    }
+}
+
+/// Cooley–Tukey stages with Harvey lazy butterflies.
+///
+/// Invariant: all values entering a stage are `< 4q`. Each butterfly
+/// conditionally subtracts `2q` from `u` (making it `< 2q`), takes
+/// `t = v * w` in `[0, 2q)` via lazy Shoup, and emits `u + t < 4q` and
+/// `u - t + 2q` in `(0, 4q)`. `twiddles` is stage-major (see `NttPlan`).
+fn lazy_butterflies(x: &mut [u64], plan: &NttPlan, twiddles: &[neo_math::ShoupMul]) {
+    let n = x.len();
+    let m = plan.modulus();
+    let two_q = 2 * m.value();
+    let mut size = 2;
+    let mut stage_off = 0;
+    while size <= n {
+        let half = size / 2;
+        let stage = &twiddles[stage_off..stage_off + half];
+        // chunks_exact + split_at keep the inner loop free of bounds
+        // checks, which is worth ~25% at bootstrapping-sized degrees.
+        for block in x.chunks_exact_mut(size) {
+            let (lo, hi) = block.split_at_mut(half);
+            for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
+                let mut u = *a;
+                if u >= two_q {
+                    u -= two_q;
+                }
+                let t = m.mul_shoup_lazy(*b, w);
+                *a = u + t;
+                *b = u + two_q - t;
+            }
+        }
+        stage_off += half;
+        size *= 2;
+    }
+}
+
+/// Bit-reversal permutation via the plan's precomputed swap list — one
+/// swap per transposition, no per-element bit twiddling.
+fn bit_reverse_planned(x: &mut [u64], plan: &NttPlan) {
+    for &(i, j) in plan.bitrev_pairs() {
+        x.swap(i as usize, j as usize);
+    }
+}
+
+/// Bit-reversal permutation (computed on the fly, reference path).
+fn bit_reverse(x: &mut [u64]) {
+    let n = x.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits().wrapping_shr(64 - bits) as usize;
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+}
+
+/// In-place forward negacyclic NTT, reference implementation (reduces
+/// after every operation).
+///
+/// # Panics
+///
+/// Panics if `x.len()` differs from the plan's degree.
+pub fn forward_reference(plan: &NttPlan, x: &mut [u64]) {
     let n = plan.degree();
     assert_eq!(x.len(), n, "length mismatch");
     let m = plan.modulus();
@@ -22,12 +203,12 @@ pub fn forward(plan: &NttPlan, x: &mut [u64]) {
     cyclic_fft(x, plan, false);
 }
 
-/// In-place inverse negacyclic NTT (natural order in and out).
+/// In-place inverse negacyclic NTT, reference implementation.
 ///
 /// # Panics
 ///
 /// Panics if `x.len()` differs from the plan's degree.
-pub fn inverse(plan: &NttPlan, x: &mut [u64]) {
+pub fn inverse_reference(plan: &NttPlan, x: &mut [u64]) {
     let n = plan.degree();
     assert_eq!(x.len(), n, "length mismatch");
     let m = plan.modulus();
@@ -42,15 +223,12 @@ pub fn inverse(plan: &NttPlan, x: &mut [u64]) {
 fn cyclic_fft(x: &mut [u64], plan: &NttPlan, inverse: bool) {
     let n = x.len();
     let m = plan.modulus();
-    let pows = if inverse { plan.omega_inv_pows() } else { plan.omega_pows() };
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = (i as u64).reverse_bits().wrapping_shr(64 - bits) as usize;
-        if j > i {
-            x.swap(i, j);
-        }
-    }
+    let pows = if inverse {
+        plan.omega_inv_pows()
+    } else {
+        plan.omega_pows()
+    };
+    bit_reverse(x);
     let mut size = 2;
     while size <= n {
         let half = size / 2;
@@ -84,13 +262,49 @@ mod tests {
     fn roundtrip() {
         let p = plan(64);
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let orig: Vec<u64> =
-            (0..64).map(|_| rng.gen_range(0..p.modulus().value())).collect();
+        let orig: Vec<u64> = (0..64)
+            .map(|_| rng.gen_range(0..p.modulus().value()))
+            .collect();
         let mut x = orig.clone();
         forward(&p, &mut x);
         assert_ne!(x, orig);
         inverse(&p, &mut x);
         assert_eq!(x, orig);
+    }
+
+    #[test]
+    fn fast_path_is_bit_identical_to_reference() {
+        for log_n in [2usize, 3, 4, 6, 8, 10] {
+            let n = 1 << log_n;
+            let p = plan(n);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(log_n as u64);
+            let a: Vec<u64> = (0..n)
+                .map(|_| rng.gen_range(0..p.modulus().value()))
+                .collect();
+            let (mut fast, mut reference) = (a.clone(), a.clone());
+            forward(&p, &mut fast);
+            forward_reference(&p, &mut reference);
+            assert_eq!(fast, reference, "forward mismatch at n={n}");
+            inverse(&p, &mut fast);
+            inverse_reference(&p, &mut reference);
+            assert_eq!(fast, reference, "inverse mismatch at n={n}");
+            assert_eq!(fast, a, "roundtrip mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn fast_path_survives_large_moduli() {
+        // Near the 62-bit ceiling the lazy [0, 4q) window is tightest.
+        let q = primes::ntt_primes(61, 64, 1).unwrap()[0];
+        let p = NttPlan::new(q, 64).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let a: Vec<u64> = (0..64).map(|_| rng.gen_range(0..q)).collect();
+        let (mut fast, mut reference) = (a.clone(), a.clone());
+        forward(&p, &mut fast);
+        forward_reference(&p, &mut reference);
+        assert_eq!(fast, reference);
+        inverse(&p, &mut fast);
+        assert_eq!(fast, a);
     }
 
     #[test]
@@ -134,7 +348,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let a: Vec<u64> = (0..128).map(|_| rng.gen_range(0..m.value())).collect();
         let b: Vec<u64> = (0..128).map(|_| rng.gen_range(0..m.value())).collect();
-        assert_eq!(negacyclic_mul(&p, &a, &b), negacyclic_mul_schoolbook(m, &a, &b));
+        assert_eq!(
+            negacyclic_mul(&p, &a, &b),
+            negacyclic_mul_schoolbook(m, &a, &b)
+        );
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Property tests pinning the Shoup/lazy radix-2 fast path to the
+//! reference implementation: bit-identical outputs on random inputs,
+//! random degrees, and primes across the supported width range.
+
+use neo_ntt::{cache, radix2, NttPlan};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn random_input(plan: &NttPlan, seed: u64) -> Vec<u64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..plan.degree())
+        .map(|_| rng.gen_range(0..plan.modulus().value()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Forward fast path == forward reference, bit for bit.
+    #[test]
+    fn forward_matches_reference(seed in any::<u64>(), log_n in 2u32..10, bits in 30u32..61) {
+        let n = 1usize << log_n;
+        // Not every (bits, n) pair yields a prime; skip the rare gaps.
+        let Ok(primes) = neo_math::primes::ntt_primes(bits, n, 1) else { return Ok(()); };
+        let plan = NttPlan::new(primes[0], n).unwrap();
+        let a = random_input(&plan, seed);
+        let (mut fast, mut reference) = (a.clone(), a);
+        radix2::forward(&plan, &mut fast);
+        radix2::forward_reference(&plan, &mut reference);
+        prop_assert_eq!(fast, reference);
+    }
+
+    /// Inverse fast path == inverse reference, and the pair round-trips.
+    #[test]
+    fn inverse_matches_reference(seed in any::<u64>(), log_n in 2u32..10) {
+        let n = 1usize << log_n;
+        let plan = cache::get_or_build(neo_math::primes::ntt_primes(45, n, 1).unwrap()[0], n).unwrap();
+        let a = random_input(&plan, seed);
+        let (mut fast, mut reference) = (a.clone(), a.clone());
+        radix2::inverse(&plan, &mut fast);
+        radix2::inverse_reference(&plan, &mut reference);
+        prop_assert_eq!(&fast, &reference);
+        let mut roundtrip = a.clone();
+        radix2::forward(&plan, &mut roundtrip);
+        radix2::inverse(&plan, &mut roundtrip);
+        prop_assert_eq!(roundtrip, a);
+    }
+
+    /// The cache hands every caller the same plan, and plans from the
+    /// cache behave identically to freshly built ones.
+    #[test]
+    fn cached_plans_are_equivalent(seed in any::<u64>()) {
+        let q = neo_math::primes::ntt_primes(40, 256, 1).unwrap()[0];
+        let cached = cache::get_or_build(q, 256).unwrap();
+        let again = cache::get_or_build(q, 256).unwrap();
+        prop_assert!(std::sync::Arc::ptr_eq(&cached, &again));
+        let fresh = NttPlan::new(q, 256).unwrap();
+        let a = random_input(&fresh, seed);
+        let (mut via_cache, mut via_fresh) = (a.clone(), a);
+        radix2::forward(&cached, &mut via_cache);
+        radix2::forward(&fresh, &mut via_fresh);
+        prop_assert_eq!(via_cache, via_fresh);
+    }
+}

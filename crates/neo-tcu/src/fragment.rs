@@ -41,7 +41,11 @@ pub const FP64_FRAGMENT: FragmentShape = FragmentShape { m: 8, n: 8, k: 4 };
 
 /// The INT8 fragment shapes on A100.
 pub const INT8_FRAGMENTS: [FragmentShape; 3] = [
-    FragmentShape { m: 16, n: 16, k: 16 },
+    FragmentShape {
+        m: 16,
+        n: 16,
+        k: 16,
+    },
     FragmentShape { m: 32, n: 8, k: 16 },
     FragmentShape { m: 8, n: 32, k: 16 },
 ];
@@ -80,7 +84,10 @@ pub fn mma_fp64(a: &[f64], b: &[f64], c: &mut [f64]) {
 /// Panics if `shape` is not one of [`INT8_FRAGMENTS`] or slice lengths
 /// disagree with the shape.
 pub fn mma_int8(shape: FragmentShape, a: &[u8], b: &[u8], c: &mut [i32]) {
-    assert!(INT8_FRAGMENTS.contains(&shape), "unsupported INT8 fragment {shape}");
+    assert!(
+        INT8_FRAGMENTS.contains(&shape),
+        "unsupported INT8 fragment {shape}"
+    );
     assert_eq!(a.len(), shape.m * shape.k);
     assert_eq!(b.len(), shape.k * shape.n);
     assert_eq!(c.len(), shape.m * shape.n);

@@ -17,6 +17,14 @@
 use crate::fragment::{self, FragmentShape, FP64_FRAGMENT, INT8_FRAGMENTS};
 use crate::split::{Fp64SplitScheme, Int8SplitScheme};
 use neo_math::Modulus;
+use std::cell::RefCell;
+
+thread_local! {
+    // Per-plane-pair accumulator tiles, reused across gemm calls so the
+    // hot NTT/BConv paths don't allocate on every invocation.
+    static FP64_TILE: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    static INT8_TILE: RefCell<Vec<i64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A backend that computes `C = A × B (mod q)` for row-major `u64`
 /// matrices: `A` is `m×k`, `B` is `k×n`, `C` is `m×n`.
@@ -27,13 +35,29 @@ pub trait GemmEngine {
     ///
     /// Implementations panic if slice lengths disagree with the dimensions
     /// or operands are not reduced mod `q`.
-    fn gemm(&self, q: &Modulus, a: &[u64], b: &[u64], m: usize, k: usize, n: usize, out: &mut [u64]);
+    #[allow(clippy::too_many_arguments)]
+    fn gemm(
+        &self,
+        q: &Modulus,
+        a: &[u64],
+        b: &[u64],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [u64],
+    );
 
     /// Short name for diagnostics/benches.
     fn name(&self) -> &'static str;
 }
 
-/// Reference modular GEMM on scalar units (CUDA-core path).
+/// Modular GEMM on scalar units (CUDA-core path).
+///
+/// Runs an i-k-j loop over a row of `u128` accumulators with deferred
+/// reduction: inside one K-span no modular reduction happens at all, and
+/// the span length is chosen so the accumulators provably cannot wrap.
+/// Output is bit-identical to [`reference_gemm`] — both land on the
+/// canonical representative in `[0, q)`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ScalarGemm;
 
@@ -49,19 +73,61 @@ impl GemmEngine for ScalarGemm {
         out: &mut [u64],
     ) {
         check_dims(a, b, out, m, k, n);
+        // Each product of reduced operands is at most (q-1)²; after a fold
+        // the accumulator restarts below q, so `span` additions fit in
+        // u128 without wrapping: span·(q-1)² + (q-1) ≤ u128::MAX.
+        let qm1 = u128::from(q.value() - 1);
+        let span = usize::try_from((u128::MAX - qm1) / (qm1 * qm1).max(1))
+            .unwrap_or(usize::MAX)
+            .max(1);
+        let mut acc = vec![0u128; n];
         for i in 0..m {
-            for j in 0..n {
-                let mut acc = 0u64;
-                for t in 0..k {
-                    acc = q.add(acc, q.mul(a[i * k + t], b[t * n + j]));
+            acc.fill(0);
+            let a_row = &a[i * k..(i + 1) * k];
+            for t0 in (0..k).step_by(span) {
+                for (t, &ai) in a_row.iter().enumerate().skip(t0).take(span) {
+                    let ai = u128::from(ai);
+                    for (s, &bj) in acc.iter_mut().zip(&b[t * n..(t + 1) * n]) {
+                        *s += ai * u128::from(bj);
+                    }
                 }
-                out[i * n + j] = acc;
+                // Fold every accumulator back below q before the next span.
+                for s in acc.iter_mut() {
+                    *s = u128::from(q.reduce_u128(*s));
+                }
+            }
+            for (o, &s) in out[i * n..(i + 1) * n].iter_mut().zip(&acc) {
+                *o = s as u64;
             }
         }
     }
 
     fn name(&self) -> &'static str {
         "scalar"
+    }
+}
+
+/// The `O(m·k·n)` fully-reduced oracle: one `mul` + `add` per term, a
+/// modular reduction after every operation. [`ScalarGemm`] is property
+/// tested to match this bit for bit.
+pub fn reference_gemm(
+    q: &Modulus,
+    a: &[u64],
+    b: &[u64],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [u64],
+) {
+    check_dims(a, b, out, m, k, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0u64;
+            for t in 0..k {
+                acc = q.add(acc, q.mul(a[i * k + t], b[t * n + j]));
+            }
+            out[i * n + j] = acc;
+        }
     }
 }
 
@@ -80,7 +146,9 @@ pub struct Fp64TcuGemm {
 impl Fp64TcuGemm {
     /// Engine with the paper's splitting scheme for `word_size`.
     pub fn for_word_size(word_size: u32) -> Self {
-        Self { scheme: Fp64SplitScheme::for_word_size(word_size) }
+        Self {
+            scheme: Fp64SplitScheme::for_word_size(word_size),
+        }
     }
 
     /// Engine with a custom scheme.
@@ -116,20 +184,26 @@ impl GemmEngine for Fp64TcuGemm {
         let kc = self.scheme.max_k();
         // Process the reduction dimension in chunks the exactness bound
         // covers; real kernels interleave a modular reduction the same way.
-        for k0 in (0..k).step_by(kc) {
-            let kw = kc.min(k - k0);
-            for (off_a, pa) in &a_planes {
-                for (off_b, pb) in &b_planes {
-                    let shift = off_a + off_b;
-                    let tile = fragment_tiled_gemm_fp64(pa, pb, m, k, n, k0, kw);
-                    for (o, &v) in out.iter_mut().zip(&tile) {
-                        debug_assert!(v >= 0.0 && v < 9_007_199_254_740_992.0, "exactness broken");
-                        let contrib = q.reduce_u128((v as u128) << shift);
-                        *o = q.add(*o, contrib);
+        FP64_TILE.with(|cell| {
+            let mut tile = cell.borrow_mut();
+            for k0 in (0..k).step_by(kc) {
+                let kw = kc.min(k - k0);
+                for (off_a, pa) in &a_planes {
+                    for (off_b, pb) in &b_planes {
+                        let shift = off_a + off_b;
+                        fragment_tiled_gemm_fp64(pa, pb, m, k, n, k0, kw, &mut tile);
+                        for (o, &v) in out.iter_mut().zip(tile.iter()) {
+                            debug_assert!(
+                                (0.0..9_007_199_254_740_992.0).contains(&v),
+                                "exactness broken"
+                            );
+                            let contrib = q.reduce_u128((v as u128) << shift);
+                            *o = q.add(*o, contrib);
+                        }
                     }
                 }
             }
-        }
+        });
     }
 
     fn name(&self) -> &'static str {
@@ -138,7 +212,9 @@ impl GemmEngine for Fp64TcuGemm {
 }
 
 /// Fragment-tiled plain f64 GEMM of one plane pair over the K slice
-/// `[k0, k0+kw)`. Every multiply goes through [`fragment::mma_fp64`].
+/// `[k0, k0+kw)`, written into the caller-owned scratch `out`. Every
+/// multiply goes through [`fragment::mma_fp64`].
+#[allow(clippy::too_many_arguments)]
 fn fragment_tiled_gemm_fp64(
     pa: &[f64],
     pb: &[f64],
@@ -147,11 +223,13 @@ fn fragment_tiled_gemm_fp64(
     n: usize,
     k0: usize,
     kw: usize,
-) -> Vec<f64> {
+    out: &mut Vec<f64>,
+) {
     let fm = FP64_FRAGMENT.m;
     let fn_ = FP64_FRAGMENT.n;
     let fk = FP64_FRAGMENT.k;
-    let mut out = vec![0.0f64; m * n];
+    out.clear();
+    out.resize(m * n, 0.0);
     let mut fa = [0.0f64; 32];
     let mut fb = [0.0f64; 32];
     let mut fc = [0.0f64; 64];
@@ -181,7 +259,6 @@ fn fragment_tiled_gemm_fp64(
             }
         }
     }
-    out
 }
 
 /// TensorFHE's INT8 tensor-core GEMM.
@@ -195,7 +272,10 @@ impl Int8TcuGemm {
     /// Engine with byte planes for `word_size` and the default `16×16×16`
     /// fragment.
     pub fn for_word_size(word_size: u32) -> Self {
-        Self { scheme: Int8SplitScheme::for_word_size(word_size), shape: INT8_FRAGMENTS[0] }
+        Self {
+            scheme: Int8SplitScheme::for_word_size(word_size),
+            shape: INT8_FRAGMENTS[0],
+        }
     }
 
     /// Chooses a different INT8 fragment shape (e.g. `32×8×16` which the
@@ -205,7 +285,10 @@ impl Int8TcuGemm {
     ///
     /// Panics if `shape` is not an A100 INT8 fragment shape.
     pub fn with_shape(mut self, shape: FragmentShape) -> Self {
-        assert!(INT8_FRAGMENTS.contains(&shape), "unsupported INT8 fragment {shape}");
+        assert!(
+            INT8_FRAGMENTS.contains(&shape),
+            "unsupported INT8 fragment {shape}"
+        );
         self.shape = shape;
         self
     }
@@ -232,16 +315,19 @@ impl GemmEngine for Int8TcuGemm {
         out.fill(0);
         let a_planes = self.scheme.split_a(a);
         let b_planes = self.scheme.split_b(b);
-        for (off_a, pa) in &a_planes {
-            for (off_b, pb) in &b_planes {
-                let shift = off_a + off_b;
-                let tile = fragment_tiled_gemm_int8(self.shape, pa, pb, m, k, n);
-                for (o, &v) in out.iter_mut().zip(&tile) {
-                    let contrib = q.reduce_u128((v as u128) << shift);
-                    *o = q.add(*o, contrib);
+        INT8_TILE.with(|cell| {
+            let mut tile = cell.borrow_mut();
+            for (off_a, pa) in &a_planes {
+                for (off_b, pb) in &b_planes {
+                    let shift = off_a + off_b;
+                    fragment_tiled_gemm_int8(self.shape, pa, pb, m, k, n, &mut tile);
+                    for (o, &v) in out.iter_mut().zip(tile.iter()) {
+                        let contrib = q.reduce_u128((v as u128) << shift);
+                        *o = q.add(*o, contrib);
+                    }
                 }
             }
-        }
+        });
     }
 
     fn name(&self) -> &'static str {
@@ -256,9 +342,11 @@ fn fragment_tiled_gemm_int8(
     m: usize,
     k: usize,
     n: usize,
-) -> Vec<i64> {
+    out: &mut Vec<i64>,
+) {
     let (fm, fn_, fk) = (shape.m, shape.n, shape.k);
-    let mut out = vec![0i64; m * n];
+    out.clear();
+    out.resize(m * n, 0);
     let mut fa = vec![0u8; fm * fk];
     let mut fb = vec![0u8; fk * fn_];
     let mut fc = vec![0i32; fm * fn_];
@@ -287,7 +375,6 @@ fn fragment_tiled_gemm_int8(
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -313,12 +400,32 @@ mod tests {
         let mut c_fp64 = vec![0u64; m * n];
         let mut c_int8 = vec![0u64; m * n];
         ScalarGemm.gemm(&q, &a, &b, m, k, n, &mut c_ref);
-        Fp64TcuGemm::for_word_size(if bits <= 36 { 36 } else { 48 })
-            .gemm(&q, &a, &b, m, k, n, &mut c_fp64);
-        Int8TcuGemm::for_word_size(if bits <= 36 { 36 } else { 48 })
-            .gemm(&q, &a, &b, m, k, n, &mut c_int8);
-        assert_eq!(c_ref, c_fp64, "fp64 path diverged ({bits} bits, {m}x{k}x{n})");
-        assert_eq!(c_ref, c_int8, "int8 path diverged ({bits} bits, {m}x{k}x{n})");
+        Fp64TcuGemm::for_word_size(if bits <= 36 { 36 } else { 48 }).gemm(
+            &q,
+            &a,
+            &b,
+            m,
+            k,
+            n,
+            &mut c_fp64,
+        );
+        Int8TcuGemm::for_word_size(if bits <= 36 { 36 } else { 48 }).gemm(
+            &q,
+            &a,
+            &b,
+            m,
+            k,
+            n,
+            &mut c_int8,
+        );
+        assert_eq!(
+            c_ref, c_fp64,
+            "fp64 path diverged ({bits} bits, {m}x{k}x{n})"
+        );
+        assert_eq!(
+            c_ref, c_int8,
+            "int8 path diverged ({bits} bits, {m}x{k}x{n})"
+        );
     }
 
     #[test]
@@ -353,6 +460,55 @@ mod tests {
         assert_eq!(Fp64TcuGemm::for_word_size(36).name(), "tcu-fp64");
         assert_eq!(Int8TcuGemm::for_word_size(36).name(), "tcu-int8");
     }
+
+    #[test]
+    fn blocked_scalar_matches_reference_on_wide_modulus() {
+        // A 61-bit prime keeps the accumulation span short (~hundreds of
+        // products), so K = 600 forces several mid-row folds.
+        let q = Modulus::new(primes::ntt_primes(61, 1 << 10, 1).unwrap()[0]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let (m, k, n) = (3usize, 600usize, 5usize);
+        let a = random_mat(&mut rng, &q, m * k);
+        let b = random_mat(&mut rng, &q, k * n);
+        let mut blocked = vec![0u64; m * n];
+        let mut naive = vec![0u64; m * n];
+        ScalarGemm.gemm(&q, &a, &b, m, k, n, &mut blocked);
+        reference_gemm(&q, &a, &b, m, k, n, &mut naive);
+        assert_eq!(blocked, naive);
+    }
+}
+
+#[cfg(test)]
+mod blocked_property_tests {
+    use super::*;
+    use neo_math::primes;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The deferred-reduction i-k-j kernel is bit-identical to the
+        /// fully-reduced oracle across shapes and prime widths.
+        #[test]
+        fn blocked_matches_reference(
+            seed in any::<u64>(),
+            bits in 30u32..=61,
+            m in 1usize..12,
+            k in 1usize..40,
+            n in 1usize..12,
+        ) {
+            let q = Modulus::new(primes::ntt_primes(bits, 1 << 10, 1).unwrap()[0]).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a: Vec<u64> = (0..m * k).map(|_| rng.gen_range(0..q.value())).collect();
+            let b: Vec<u64> = (0..k * n).map(|_| rng.gen_range(0..q.value())).collect();
+            let mut blocked = vec![0u64; m * n];
+            let mut naive = vec![0u64; m * n];
+            ScalarGemm.gemm(&q, &a, &b, m, k, n, &mut blocked);
+            reference_gemm(&q, &a, &b, m, k, n, &mut naive);
+            prop_assert_eq!(blocked, naive);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -372,7 +528,9 @@ mod shape_tests {
         ScalarGemm.gemm(&q, &a, &b, m, k, n, &mut want);
         for shape in crate::INT8_FRAGMENTS {
             let mut got = vec![0u64; m * n];
-            Int8TcuGemm::for_word_size(36).with_shape(shape).gemm(&q, &a, &b, m, k, n, &mut got);
+            Int8TcuGemm::for_word_size(36)
+                .with_shape(shape)
+                .gemm(&q, &a, &b, m, k, n, &mut got);
             assert_eq!(got, want, "shape {shape}");
         }
     }

@@ -48,7 +48,7 @@ pub mod split;
 pub mod stats;
 
 pub use fragment::{FragmentShape, FP64_FRAGMENT, INT8_FRAGMENTS};
-pub use gemm::{Fp64TcuGemm, GemmEngine, Int8TcuGemm, ScalarGemm};
+pub use gemm::{reference_gemm, Fp64TcuGemm, GemmEngine, Int8TcuGemm, ScalarGemm};
 pub use multimod::{gemm_multi_mod_fp64, gemm_multi_mod_int8, gemm_multi_mod_scalar};
 pub use split::{Fp64SplitScheme, Int8SplitScheme};
 pub use stats::{booth_complexity_fp64, booth_complexity_int8, valid_proportion, GemmDims};

@@ -32,7 +32,10 @@ pub fn gemm_multi_mod_scalar(
         for (j, t) in cols.iter().enumerate() {
             let mut acc = 0u64;
             for x in 0..k {
-                acc = t.add(acc, t.reduce_u128(a[i * k + x] as u128 * b[x * n + j] as u128));
+                acc = t.add(
+                    acc,
+                    t.reduce_u128(a[i * k + x] as u128 * b[x * n + j] as u128),
+                );
             }
             out[i * n + j] = acc;
         }
@@ -47,6 +50,7 @@ pub fn gemm_multi_mod_scalar(
 /// # Panics
 ///
 /// Panics on shape mismatch.
+#[allow(clippy::too_many_arguments)]
 pub fn gemm_multi_mod_fp64(
     scheme: &Fp64SplitScheme,
     cols: &[Modulus],
@@ -74,7 +78,7 @@ pub fn gemm_multi_mod_fp64(
                 for i in 0..m {
                     for (j, t) in cols.iter().enumerate() {
                         let v = tile[i * n + j];
-                        debug_assert!(v >= 0.0 && v < 9_007_199_254_740_992.0);
+                        debug_assert!((0.0..9_007_199_254_740_992.0).contains(&v));
                         let contrib = t.reduce_u128((v as u128) << shift);
                         out[i * n + j] = t.add(out[i * n + j], contrib);
                     }
@@ -84,7 +88,15 @@ pub fn gemm_multi_mod_fp64(
     }
 }
 
-fn tiled_fp64(pa: &[f64], pb: &[f64], m: usize, k: usize, n: usize, k0: usize, kw: usize) -> Vec<f64> {
+fn tiled_fp64(
+    pa: &[f64],
+    pb: &[f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    k0: usize,
+    kw: usize,
+) -> Vec<f64> {
     let (fm, fn_, fk) = (FP64_FRAGMENT.m, FP64_FRAGMENT.n, FP64_FRAGMENT.k);
     let mut out = vec![0.0f64; m * n];
     let mut fa = [0.0f64; 32];
@@ -124,6 +136,7 @@ fn tiled_fp64(pa: &[f64], pb: &[f64], m: usize, k: usize, n: usize, k0: usize, k
 /// # Panics
 ///
 /// Panics on shape mismatch or an unsupported fragment shape.
+#[allow(clippy::too_many_arguments)]
 pub fn gemm_multi_mod_int8(
     scheme: &Int8SplitScheme,
     shape: FragmentShape,
@@ -135,7 +148,10 @@ pub fn gemm_multi_mod_int8(
     n: usize,
     out: &mut [u64],
 ) {
-    assert!(INT8_FRAGMENTS.contains(&shape), "unsupported INT8 fragment {shape}");
+    assert!(
+        INT8_FRAGMENTS.contains(&shape),
+        "unsupported INT8 fragment {shape}"
+    );
     assert_eq!(cols.len(), n, "one modulus per output column");
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), k * n);
@@ -157,7 +173,14 @@ pub fn gemm_multi_mod_int8(
     }
 }
 
-fn tiled_int8(shape: FragmentShape, pa: &[u8], pb: &[u8], m: usize, k: usize, n: usize) -> Vec<u64> {
+fn tiled_int8(
+    shape: FragmentShape,
+    pa: &[u8],
+    pb: &[u8],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<u64> {
     let (fm, fn_, fk) = (shape.m, shape.n, shape.k);
     let mut out = vec![0u64; m * n];
     let mut fa = vec![0u8; fm * fk];
@@ -253,7 +276,17 @@ mod tests {
         let mut got = vec![0u64; 16 * 8];
         gemm_multi_mod_scalar(&cols, &a, &b, 16, 4, 8, &mut want);
         let scheme = Int8SplitScheme::for_operands(36, 40);
-        gemm_multi_mod_int8(&scheme, INT8_FRAGMENTS[1], &cols, &a, &b, 16, 4, 8, &mut got);
+        gemm_multi_mod_int8(
+            &scheme,
+            INT8_FRAGMENTS[1],
+            &cols,
+            &a,
+            &b,
+            16,
+            4,
+            8,
+            &mut got,
+        );
         assert_eq!(want, got);
     }
 }

@@ -50,7 +50,10 @@ impl Fp64SplitScheme {
     ///
     /// Panics if either width exceeds 64 bits.
     pub fn for_operands(wa: u32, wb: u32) -> Self {
-        assert!((1..=64).contains(&wa) && (1..=64).contains(&wb), "widths {wa}/{wb} unsupported");
+        assert!(
+            (1..=64).contains(&wa) && (1..=64).contains(&wb),
+            "widths {wa}/{wb} unsupported"
+        );
         if wa + 12 + 4 <= 53 {
             Self::new(wa, wb, vec![wa], vec![12; wb.div_ceil(12) as usize], 16)
         } else {
@@ -73,8 +76,14 @@ impl Fp64SplitScheme {
     /// Panics if the chunks do not cover their operand widths or exactness
     /// would break.
     pub fn new(wa: u32, wb: u32, a_chunks: Vec<u32>, b_chunks: Vec<u32>, max_k: usize) -> Self {
-        assert!(a_chunks.iter().sum::<u32>() >= wa, "A chunks must cover the word");
-        assert!(b_chunks.iter().sum::<u32>() >= wb, "B chunks must cover the word");
+        assert!(
+            a_chunks.iter().sum::<u32>() >= wa,
+            "A chunks must cover the word"
+        );
+        assert!(
+            b_chunks.iter().sum::<u32>() >= wb,
+            "B chunks must cover the word"
+        );
         let ca = *a_chunks.iter().max().expect("at least one A chunk");
         let cb = *b_chunks.iter().max().expect("at least one B chunk");
         let log_k = (max_k.max(2) as f64).log2().ceil() as u32;
@@ -82,7 +91,13 @@ impl Fp64SplitScheme {
             ca + cb + log_k <= 53,
             "scheme not exact: {ca} + {cb} + log2({max_k}) exceeds 53 bits"
         );
-        Self { wa, wb, a_chunks, b_chunks, max_k }
+        Self {
+            wa,
+            wb,
+            a_chunks,
+            b_chunks,
+            max_k,
+        }
     }
 
     /// Width of operand A in bits.
@@ -138,7 +153,10 @@ fn split_planes(data: &[u64], chunks: &[u32]) -> Vec<(u32, Vec<f64>)> {
     let mut offset = 0u32;
     for &w in chunks {
         let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
-        let plane = data.iter().map(|&v| ((v >> offset) & mask) as f64).collect();
+        let plane = data
+            .iter()
+            .map(|&v| ((v >> offset) & mask) as f64)
+            .collect();
         out.push((offset, plane));
         offset += w;
     }
@@ -219,7 +237,10 @@ fn split_bytes(data: &[u64], planes: usize) -> Vec<(u32, Vec<u8>)> {
     (0..planes)
         .map(|p| {
             let off = 8 * p as u32;
-            (off, data.iter().map(|&v| ((v >> off) & 0xFF) as u8).collect())
+            (
+                off,
+                data.iter().map(|&v| ((v >> off) & 0xFF) as u8).collect(),
+            )
         })
         .collect()
 }
@@ -267,7 +288,7 @@ mod tests {
     #[test]
     fn fp64_planes_reassemble() {
         let s = Fp64SplitScheme::for_word_size(36);
-        let data = vec![0x0ABC_DEF0_12u64, (1 << 36) - 1, 0];
+        let data = vec![0x0A_BC_DE_F0_12u64, (1 << 36) - 1, 0];
         let planes = s.split_b(&data);
         assert_eq!(planes.len(), 3);
         for (i, &v) in data.iter().enumerate() {

@@ -21,8 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A vertical-edge test pattern: left half dark, right half bright.
     let (h, w) = (8usize, 16usize);
-    let image: Vec<f64> =
-        (0..h * w).map(|i| if (i % w) < w / 2 { 0.1 } else { 0.9 }).collect();
+    let image: Vec<f64> = (0..h * w)
+        .map(|i| if (i % w) < w / 2 { 0.1 } else { 0.9 })
+        .collect();
     let sobel = [[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]];
     let conv = Conv2d::new(h, w, sobel);
     println!(
@@ -44,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let i = row * w + x;
         println!("{x:3} | {:+9.4} | {:+9.4}", got[i].re, want[i]);
     }
-    let max_err = (0..h * w).map(|i| (got[i].re - want[i]).abs()).fold(0.0, f64::max);
+    let max_err = (0..h * w)
+        .map(|i| (got[i].re - want[i]).abs())
+        .fold(0.0, f64::max);
     println!("\nmax error across all pixels: {max_err:.2e}");
     Ok(())
 }

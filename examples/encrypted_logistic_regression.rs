@@ -57,8 +57,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .count();
         correct as f64 / SAMPLES as f64
     };
-    println!("\nfinal weights (encrypted path): {:?}", &w_enc[..4.min(FEATURES)]);
-    println!("training accuracy: encrypted {:.0}%, plaintext {:.0}%",
-        accuracy(&w_enc) * 100.0, accuracy(&w_ref) * 100.0);
+    println!(
+        "\nfinal weights (encrypted path): {:?}",
+        &w_enc[..4.min(FEATURES)]
+    );
+    println!(
+        "training accuracy: encrypted {:.0}%, plaintext {:.0}%",
+        accuracy(&w_enc) * 100.0,
+        accuracy(&w_ref) * 100.0
+    );
     Ok(())
 }

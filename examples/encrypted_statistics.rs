@@ -66,12 +66,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let var = mean_sq - mean * mean;
 
     let true_mean = data.iter().sum::<f64>() / slots as f64;
-    let true_var =
-        data.iter().map(|v| (v - true_mean) * (v - true_mean)).sum::<f64>() / slots as f64;
+    let true_var = data
+        .iter()
+        .map(|v| (v - true_mean) * (v - true_mean))
+        .sum::<f64>()
+        / slots as f64;
 
     println!("{} samples packed into one ciphertext", slots);
     println!("mean:     encrypted {mean:+.6}, plaintext {true_mean:+.6}");
     println!("variance: encrypted {var:+.6}, plaintext {true_var:+.6}");
-    println!("errors:   {:.2e} / {:.2e}", (mean - true_mean).abs(), (var - true_var).abs());
+    println!(
+        "errors:   {:.2e} / {:.2e}",
+        (mean - true_mean).abs(),
+        (var - true_var).abs()
+    );
     Ok(())
 }

@@ -15,8 +15,11 @@ fn main() {
     let dev = DeviceModel::a100();
     println!("== HMult time vs level (us per ciphertext, batch-amortized) ==");
     println!("level |  TensorFHE-A |  HEonGPU-E |    Neo-C");
-    let (tf, he, neo) =
-        (SchemeModel::tensorfhe(ParamSet::A), SchemeModel::heongpu(), SchemeModel::neo(ParamSet::C));
+    let (tf, he, neo) = (
+        SchemeModel::tensorfhe(ParamSet::A),
+        SchemeModel::heongpu(),
+        SchemeModel::neo(ParamSet::C),
+    );
     for l in (5..=35).step_by(5) {
         println!(
             "  {l:3} | {:12.0} | {:10.0} | {:8.0}",

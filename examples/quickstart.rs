@@ -21,12 +21,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let enc = Encoder::new(ctx.degree());
 
     println!("ring degree N = {}, slots = {}", ctx.degree(), enc.slots());
-    println!("modulus chain: {} data primes + {} special primes", ctx.q_primes().len(), ctx.p_primes().len());
-    println!("KLSS auxiliary basis: {} primes of 48 bits\n", ctx.t_primes().len());
+    println!(
+        "modulus chain: {} data primes + {} special primes",
+        ctx.q_primes().len(),
+        ctx.p_primes().len()
+    );
+    println!(
+        "KLSS auxiliary basis: {} primes of 48 bits\n",
+        ctx.t_primes().len()
+    );
 
     // Pack two small vectors into slots.
-    let x: Vec<Complex64> = (0..8).map(|i| Complex64::new(i as f64 * 0.1, 0.0)).collect();
-    let y: Vec<Complex64> = (0..8).map(|i| Complex64::new(1.0 - i as f64 * 0.05, 0.0)).collect();
+    let x: Vec<Complex64> = (0..8)
+        .map(|i| Complex64::new(i as f64 * 0.1, 0.0))
+        .collect();
+    let y: Vec<Complex64> = (0..8)
+        .map(|i| Complex64::new(1.0 - i as f64 * 0.05, 0.0))
+        .collect();
     let scale = ctx.params().scale();
     let level = 3;
     let ct_x = ops::encrypt(&ctx, &pk, &enc.encode(&ctx, &x, scale, level), &mut rng);
@@ -46,6 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             want.re, out[i].re
         );
     }
-    println!("\nciphertext level after multiply+rescale: {}", prod.level());
+    println!(
+        "\nciphertext level after multiply+rescale: {}",
+        prod.level()
+    );
     Ok(())
 }

@@ -14,20 +14,20 @@
 //! See the crate READMEs and `DESIGN.md` for the architecture overview and
 //! the experiment index mapping each paper table/figure to a bench target.
 
+/// Application workloads: PackBootstrap, HELR, ResNet-20/32/56.
+pub use neo_apps as apps;
+/// TensorFHE / HEonGPU / CPU baseline execution models.
+pub use neo_baselines as baselines;
+/// The CKKS scheme: encoding, keys, operations, Hybrid/KLSS key-switching,
+/// rescaling, and bootstrapping.
+pub use neo_ckks as ckks;
+/// A100 analytic device model and kernel timing.
+pub use neo_gpu_sim as gpu_sim;
+/// The six Neo kernels in original and matrix-multiplication form.
+pub use neo_kernels as kernels;
 /// Modular arithmetic, RNS bases, base conversion, RNS polynomials.
 pub use neo_math as math;
 /// Negacyclic NTTs: radix-2, four-step, and radix-16 (ten-step) matrix form.
 pub use neo_ntt as ntt;
 /// Tensor-core fragment emulation (FP64 / INT8) and splitting schemes.
 pub use neo_tcu as tcu;
-/// A100 analytic device model and kernel timing.
-pub use neo_gpu_sim as gpu_sim;
-/// The six Neo kernels in original and matrix-multiplication form.
-pub use neo_kernels as kernels;
-/// The CKKS scheme: encoding, keys, operations, Hybrid/KLSS key-switching,
-/// rescaling, and bootstrapping.
-pub use neo_ckks as ckks;
-/// Application workloads: PackBootstrap, HELR, ResNet-20/32/56.
-pub use neo_apps as apps;
-/// TensorFHE / HEonGPU / CPU baseline execution models.
-pub use neo_baselines as baselines;

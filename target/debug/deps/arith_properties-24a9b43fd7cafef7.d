@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arith_properties-24a9b43fd7cafef7.d: crates/neo-math/tests/arith_properties.rs
+
+/root/repo/target/debug/deps/arith_properties-24a9b43fd7cafef7: crates/neo-math/tests/arith_properties.rs
+
+crates/neo-math/tests/arith_properties.rs:

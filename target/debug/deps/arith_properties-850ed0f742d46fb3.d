@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arith_properties-850ed0f742d46fb3.d: crates/neo-math/tests/arith_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarith_properties-850ed0f742d46fb3.rmeta: crates/neo-math/tests/arith_properties.rs Cargo.toml
+
+crates/neo-math/tests/arith_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

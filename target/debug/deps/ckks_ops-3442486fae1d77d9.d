@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ckks_ops-3442486fae1d77d9.d: crates/neo-bench/benches/ckks_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libckks_ops-3442486fae1d77d9.rmeta: crates/neo-bench/benches/ckks_ops.rs Cargo.toml
+
+crates/neo-bench/benches/ckks_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02-94d399e281319840.d: crates/neo-bench/src/bin/fig02.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02-94d399e281319840.rmeta: crates/neo-bench/src/bin/fig02.rs Cargo.toml
+
+crates/neo-bench/src/bin/fig02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

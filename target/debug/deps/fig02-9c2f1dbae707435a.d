@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-9c2f1dbae707435a.d: crates/neo-bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-9c2f1dbae707435a: crates/neo-bench/src/bin/fig02.rs
+
+crates/neo-bench/src/bin/fig02.rs:

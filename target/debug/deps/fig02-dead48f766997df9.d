@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-dead48f766997df9.d: crates/neo-bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-dead48f766997df9: crates/neo-bench/src/bin/fig02.rs
+
+crates/neo-bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-3539477009c6b253.d: crates/neo-bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/fig03-3539477009c6b253: crates/neo-bench/src/bin/fig03.rs
+
+crates/neo-bench/src/bin/fig03.rs:

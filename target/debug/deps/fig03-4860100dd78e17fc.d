@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03-4860100dd78e17fc.d: crates/neo-bench/src/bin/fig03.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03-4860100dd78e17fc.rmeta: crates/neo-bench/src/bin/fig03.rs Cargo.toml
+
+crates/neo-bench/src/bin/fig03.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

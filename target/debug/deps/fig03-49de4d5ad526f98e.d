@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03-49de4d5ad526f98e.d: crates/neo-bench/src/bin/fig03.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03-49de4d5ad526f98e.rmeta: crates/neo-bench/src/bin/fig03.rs Cargo.toml
+
+crates/neo-bench/src/bin/fig03.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

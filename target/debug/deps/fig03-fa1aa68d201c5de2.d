@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-fa1aa68d201c5de2.d: crates/neo-bench/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/fig03-fa1aa68d201c5de2: crates/neo-bench/src/bin/fig03.rs
+
+crates/neo-bench/src/bin/fig03.rs:

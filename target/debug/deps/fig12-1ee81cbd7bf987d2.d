@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-1ee81cbd7bf987d2.d: crates/neo-bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-1ee81cbd7bf987d2: crates/neo-bench/src/bin/fig12.rs
+
+crates/neo-bench/src/bin/fig12.rs:

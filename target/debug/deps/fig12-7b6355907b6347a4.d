@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12-7b6355907b6347a4.d: crates/neo-bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-7b6355907b6347a4.rmeta: crates/neo-bench/src/bin/fig12.rs Cargo.toml
+
+crates/neo-bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-7e0b0ed9a356a4db.d: crates/neo-bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-7e0b0ed9a356a4db: crates/neo-bench/src/bin/fig12.rs
+
+crates/neo-bench/src/bin/fig12.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12-a51937a1c6337fa3.d: crates/neo-bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-a51937a1c6337fa3.rmeta: crates/neo-bench/src/bin/fig12.rs Cargo.toml
+
+crates/neo-bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13-37638009e41a59af.d: crates/neo-bench/src/bin/fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13-37638009e41a59af.rmeta: crates/neo-bench/src/bin/fig13.rs Cargo.toml
+
+crates/neo-bench/src/bin/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

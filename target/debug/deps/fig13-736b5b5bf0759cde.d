@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-736b5b5bf0759cde.d: crates/neo-bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-736b5b5bf0759cde: crates/neo-bench/src/bin/fig13.rs
+
+crates/neo-bench/src/bin/fig13.rs:

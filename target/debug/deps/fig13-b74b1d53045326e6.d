@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-b74b1d53045326e6.d: crates/neo-bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-b74b1d53045326e6: crates/neo-bench/src/bin/fig13.rs
+
+crates/neo-bench/src/bin/fig13.rs:

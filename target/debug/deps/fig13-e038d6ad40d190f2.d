@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13-e038d6ad40d190f2.d: crates/neo-bench/src/bin/fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13-e038d6ad40d190f2.rmeta: crates/neo-bench/src/bin/fig13.rs Cargo.toml
+
+crates/neo-bench/src/bin/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

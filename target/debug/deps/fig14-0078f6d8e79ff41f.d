@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14-0078f6d8e79ff41f.d: crates/neo-bench/src/bin/fig14.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14-0078f6d8e79ff41f.rmeta: crates/neo-bench/src/bin/fig14.rs Cargo.toml
+
+crates/neo-bench/src/bin/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

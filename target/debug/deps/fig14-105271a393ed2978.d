@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-105271a393ed2978.d: crates/neo-bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-105271a393ed2978: crates/neo-bench/src/bin/fig14.rs
+
+crates/neo-bench/src/bin/fig14.rs:

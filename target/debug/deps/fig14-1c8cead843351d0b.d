@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14-1c8cead843351d0b.d: crates/neo-bench/src/bin/fig14.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14-1c8cead843351d0b.rmeta: crates/neo-bench/src/bin/fig14.rs Cargo.toml
+
+crates/neo-bench/src/bin/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-f3b81624e5624874.d: crates/neo-bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-f3b81624e5624874: crates/neo-bench/src/bin/fig14.rs
+
+crates/neo-bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-85664c500d2eede7.d: crates/neo-bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-85664c500d2eede7: crates/neo-bench/src/bin/fig15.rs
+
+crates/neo-bench/src/bin/fig15.rs:

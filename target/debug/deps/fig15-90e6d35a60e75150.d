@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-90e6d35a60e75150.d: crates/neo-bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-90e6d35a60e75150: crates/neo-bench/src/bin/fig15.rs
+
+crates/neo-bench/src/bin/fig15.rs:

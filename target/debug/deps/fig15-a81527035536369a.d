@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15-a81527035536369a.d: crates/neo-bench/src/bin/fig15.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15-a81527035536369a.rmeta: crates/neo-bench/src/bin/fig15.rs Cargo.toml
+
+crates/neo-bench/src/bin/fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-678c82627fc2d44b.d: crates/neo-bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/fig16-678c82627fc2d44b: crates/neo-bench/src/bin/fig16.rs
+
+crates/neo-bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-c5e948a1429f3ce0.d: crates/neo-bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/fig16-c5e948a1429f3ce0: crates/neo-bench/src/bin/fig16.rs
+
+crates/neo-bench/src/bin/fig16.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16-fa43b03352dc82cc.d: crates/neo-bench/src/bin/fig16.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16-fa43b03352dc82cc.rmeta: crates/neo-bench/src/bin/fig16.rs Cargo.toml
+
+crates/neo-bench/src/bin/fig16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17-2af68a7d64651a12.d: crates/neo-bench/src/bin/fig17.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17-2af68a7d64651a12.rmeta: crates/neo-bench/src/bin/fig17.rs Cargo.toml
+
+crates/neo-bench/src/bin/fig17.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17-ad76a6498642efd1.d: crates/neo-bench/src/bin/fig17.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17-ad76a6498642efd1.rmeta: crates/neo-bench/src/bin/fig17.rs Cargo.toml
+
+crates/neo-bench/src/bin/fig17.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-b0a15798c466ebd8.d: crates/neo-bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-b0a15798c466ebd8: crates/neo-bench/src/bin/fig17.rs
+
+crates/neo-bench/src/bin/fig17.rs:

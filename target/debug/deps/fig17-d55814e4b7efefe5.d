@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-d55814e4b7efefe5.d: crates/neo-bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-d55814e4b7efefe5: crates/neo-bench/src/bin/fig17.rs
+
+crates/neo-bench/src/bin/fig17.rs:

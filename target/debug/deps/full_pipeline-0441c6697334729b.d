@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-0441c6697334729b.d: tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-0441c6697334729b: tests/full_pipeline.rs
+
+tests/full_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-9becfb25c827e26d.d: tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-9becfb25c827e26d: tests/full_pipeline.rs
+
+tests/full_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/helr_functional-0fd22506c9dbeb43.d: crates/neo-apps/tests/helr_functional.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhelr_functional-0fd22506c9dbeb43.rmeta: crates/neo-apps/tests/helr_functional.rs Cargo.toml
+
+crates/neo-apps/tests/helr_functional.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/helr_functional-3676472e0467d8ee.d: crates/neo-apps/tests/helr_functional.rs
+
+/root/repo/target/debug/deps/helr_functional-3676472e0467d8ee: crates/neo-apps/tests/helr_functional.rs
+
+crates/neo-apps/tests/helr_functional.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/helr_functional-7aed421b97669c2a.d: crates/neo-apps/tests/helr_functional.rs
+
+/root/repo/target/debug/deps/helr_functional-7aed421b97669c2a: crates/neo-apps/tests/helr_functional.rs
+
+crates/neo-apps/tests/helr_functional.rs:

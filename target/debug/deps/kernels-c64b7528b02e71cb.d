@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-c64b7528b02e71cb.d: crates/neo-bench/benches/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-c64b7528b02e71cb.rmeta: crates/neo-bench/benches/kernels.rs Cargo.toml
+
+crates/neo-bench/benches/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

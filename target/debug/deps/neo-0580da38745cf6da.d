@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neo-0580da38745cf6da.d: src/lib.rs
+
+/root/repo/target/debug/deps/neo-0580da38745cf6da: src/lib.rs
+
+src/lib.rs:

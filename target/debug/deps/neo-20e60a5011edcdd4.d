@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neo-20e60a5011edcdd4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libneo-20e60a5011edcdd4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libneo-20e60a5011edcdd4.rmeta: src/lib.rs
+
+src/lib.rs:

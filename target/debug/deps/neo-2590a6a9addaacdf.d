@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neo-2590a6a9addaacdf.d: src/lib.rs
+
+/root/repo/target/debug/deps/neo-2590a6a9addaacdf: src/lib.rs
+
+src/lib.rs:

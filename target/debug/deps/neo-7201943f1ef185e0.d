@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neo-7201943f1ef185e0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libneo-7201943f1ef185e0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libneo-7201943f1ef185e0.rmeta: src/lib.rs
+
+src/lib.rs:

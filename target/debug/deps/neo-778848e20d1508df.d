@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neo-778848e20d1508df.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo-778848e20d1508df.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

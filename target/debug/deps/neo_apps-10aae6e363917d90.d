@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/neo_apps-10aae6e363917d90.d: crates/neo-apps/src/lib.rs crates/neo-apps/src/conv.rs crates/neo-apps/src/helr.rs crates/neo-apps/src/resnet.rs crates/neo-apps/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_apps-10aae6e363917d90.rmeta: crates/neo-apps/src/lib.rs crates/neo-apps/src/conv.rs crates/neo-apps/src/helr.rs crates/neo-apps/src/resnet.rs crates/neo-apps/src/workload.rs Cargo.toml
+
+crates/neo-apps/src/lib.rs:
+crates/neo-apps/src/conv.rs:
+crates/neo-apps/src/helr.rs:
+crates/neo-apps/src/resnet.rs:
+crates/neo-apps/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neo_apps-2b57723a127a9c7e.d: crates/neo-apps/src/lib.rs crates/neo-apps/src/conv.rs crates/neo-apps/src/helr.rs crates/neo-apps/src/resnet.rs crates/neo-apps/src/workload.rs
+
+/root/repo/target/debug/deps/neo_apps-2b57723a127a9c7e: crates/neo-apps/src/lib.rs crates/neo-apps/src/conv.rs crates/neo-apps/src/helr.rs crates/neo-apps/src/resnet.rs crates/neo-apps/src/workload.rs
+
+crates/neo-apps/src/lib.rs:
+crates/neo-apps/src/conv.rs:
+crates/neo-apps/src/helr.rs:
+crates/neo-apps/src/resnet.rs:
+crates/neo-apps/src/workload.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/neo_apps-5f5472f771cad715.d: crates/neo-apps/src/lib.rs crates/neo-apps/src/conv.rs crates/neo-apps/src/helr.rs crates/neo-apps/src/resnet.rs crates/neo-apps/src/workload.rs
+
+/root/repo/target/debug/deps/libneo_apps-5f5472f771cad715.rlib: crates/neo-apps/src/lib.rs crates/neo-apps/src/conv.rs crates/neo-apps/src/helr.rs crates/neo-apps/src/resnet.rs crates/neo-apps/src/workload.rs
+
+/root/repo/target/debug/deps/libneo_apps-5f5472f771cad715.rmeta: crates/neo-apps/src/lib.rs crates/neo-apps/src/conv.rs crates/neo-apps/src/helr.rs crates/neo-apps/src/resnet.rs crates/neo-apps/src/workload.rs
+
+crates/neo-apps/src/lib.rs:
+crates/neo-apps/src/conv.rs:
+crates/neo-apps/src/helr.rs:
+crates/neo-apps/src/resnet.rs:
+crates/neo-apps/src/workload.rs:

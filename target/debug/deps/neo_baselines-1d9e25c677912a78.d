@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neo_baselines-1d9e25c677912a78.d: crates/neo-baselines/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_baselines-1d9e25c677912a78.rmeta: crates/neo-baselines/src/lib.rs Cargo.toml
+
+crates/neo-baselines/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neo_baselines-46c84bf21a7c231f.d: crates/neo-baselines/src/lib.rs
+
+/root/repo/target/debug/deps/libneo_baselines-46c84bf21a7c231f.rlib: crates/neo-baselines/src/lib.rs
+
+/root/repo/target/debug/deps/libneo_baselines-46c84bf21a7c231f.rmeta: crates/neo-baselines/src/lib.rs
+
+crates/neo-baselines/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neo_baselines-8ea190c0658035ad.d: crates/neo-baselines/src/lib.rs
+
+/root/repo/target/debug/deps/neo_baselines-8ea190c0658035ad: crates/neo-baselines/src/lib.rs
+
+crates/neo-baselines/src/lib.rs:

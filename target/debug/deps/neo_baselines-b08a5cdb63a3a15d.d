@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neo_baselines-b08a5cdb63a3a15d.d: crates/neo-baselines/src/lib.rs
+
+/root/repo/target/debug/deps/neo_baselines-b08a5cdb63a3a15d: crates/neo-baselines/src/lib.rs
+
+crates/neo-baselines/src/lib.rs:

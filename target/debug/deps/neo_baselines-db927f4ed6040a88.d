@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neo_baselines-db927f4ed6040a88.d: crates/neo-baselines/src/lib.rs
+
+/root/repo/target/debug/deps/libneo_baselines-db927f4ed6040a88.rlib: crates/neo-baselines/src/lib.rs
+
+/root/repo/target/debug/deps/libneo_baselines-db927f4ed6040a88.rmeta: crates/neo-baselines/src/lib.rs
+
+crates/neo-baselines/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neo_bench-08d3836ea07c8b78.d: crates/neo-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libneo_bench-08d3836ea07c8b78.rlib: crates/neo-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libneo_bench-08d3836ea07c8b78.rmeta: crates/neo-bench/src/lib.rs
+
+crates/neo-bench/src/lib.rs:

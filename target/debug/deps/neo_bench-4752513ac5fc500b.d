@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neo_bench-4752513ac5fc500b.d: crates/neo-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_bench-4752513ac5fc500b.rmeta: crates/neo-bench/src/lib.rs Cargo.toml
+
+crates/neo-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

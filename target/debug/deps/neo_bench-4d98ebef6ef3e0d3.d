@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neo_bench-4d98ebef6ef3e0d3.d: crates/neo-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_bench-4d98ebef6ef3e0d3.rmeta: crates/neo-bench/src/lib.rs Cargo.toml
+
+crates/neo-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/neo_bench-b1a62a1840d4bca4.d: crates/neo-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libneo_bench-b1a62a1840d4bca4.rlib: crates/neo-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libneo_bench-b1a62a1840d4bca4.rmeta: crates/neo-bench/src/lib.rs
+
+crates/neo-bench/src/lib.rs:

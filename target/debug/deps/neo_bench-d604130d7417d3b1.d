@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neo_bench-d604130d7417d3b1.d: crates/neo-bench/src/lib.rs
+
+/root/repo/target/debug/deps/neo_bench-d604130d7417d3b1: crates/neo-bench/src/lib.rs
+
+crates/neo-bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neo_bench-d8f9a0008fdb5ea4.d: crates/neo-bench/src/lib.rs
+
+/root/repo/target/debug/deps/neo_bench-d8f9a0008fdb5ea4: crates/neo-bench/src/lib.rs
+
+crates/neo-bench/src/lib.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/neo_ckks-022bb7f7c702a203.d: crates/neo-ckks/src/lib.rs crates/neo-ckks/src/bootstrap.rs crates/neo-ckks/src/ciphertext.rs crates/neo-ckks/src/complexity.rs crates/neo-ckks/src/context.rs crates/neo-ckks/src/cost.rs crates/neo-ckks/src/encoding.rs crates/neo-ckks/src/keys.rs crates/neo-ckks/src/keyswitch/mod.rs crates/neo-ckks/src/keyswitch/hybrid.rs crates/neo-ckks/src/keyswitch/klss.rs crates/neo-ckks/src/linear.rs crates/neo-ckks/src/noise.rs crates/neo-ckks/src/ops.rs crates/neo-ckks/src/params.rs
+
+/root/repo/target/debug/deps/libneo_ckks-022bb7f7c702a203.rlib: crates/neo-ckks/src/lib.rs crates/neo-ckks/src/bootstrap.rs crates/neo-ckks/src/ciphertext.rs crates/neo-ckks/src/complexity.rs crates/neo-ckks/src/context.rs crates/neo-ckks/src/cost.rs crates/neo-ckks/src/encoding.rs crates/neo-ckks/src/keys.rs crates/neo-ckks/src/keyswitch/mod.rs crates/neo-ckks/src/keyswitch/hybrid.rs crates/neo-ckks/src/keyswitch/klss.rs crates/neo-ckks/src/linear.rs crates/neo-ckks/src/noise.rs crates/neo-ckks/src/ops.rs crates/neo-ckks/src/params.rs
+
+/root/repo/target/debug/deps/libneo_ckks-022bb7f7c702a203.rmeta: crates/neo-ckks/src/lib.rs crates/neo-ckks/src/bootstrap.rs crates/neo-ckks/src/ciphertext.rs crates/neo-ckks/src/complexity.rs crates/neo-ckks/src/context.rs crates/neo-ckks/src/cost.rs crates/neo-ckks/src/encoding.rs crates/neo-ckks/src/keys.rs crates/neo-ckks/src/keyswitch/mod.rs crates/neo-ckks/src/keyswitch/hybrid.rs crates/neo-ckks/src/keyswitch/klss.rs crates/neo-ckks/src/linear.rs crates/neo-ckks/src/noise.rs crates/neo-ckks/src/ops.rs crates/neo-ckks/src/params.rs
+
+crates/neo-ckks/src/lib.rs:
+crates/neo-ckks/src/bootstrap.rs:
+crates/neo-ckks/src/ciphertext.rs:
+crates/neo-ckks/src/complexity.rs:
+crates/neo-ckks/src/context.rs:
+crates/neo-ckks/src/cost.rs:
+crates/neo-ckks/src/encoding.rs:
+crates/neo-ckks/src/keys.rs:
+crates/neo-ckks/src/keyswitch/mod.rs:
+crates/neo-ckks/src/keyswitch/hybrid.rs:
+crates/neo-ckks/src/keyswitch/klss.rs:
+crates/neo-ckks/src/linear.rs:
+crates/neo-ckks/src/noise.rs:
+crates/neo-ckks/src/ops.rs:
+crates/neo-ckks/src/params.rs:

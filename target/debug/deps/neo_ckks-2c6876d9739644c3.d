@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/neo_ckks-2c6876d9739644c3.d: crates/neo-ckks/src/lib.rs crates/neo-ckks/src/bootstrap.rs crates/neo-ckks/src/ciphertext.rs crates/neo-ckks/src/complexity.rs crates/neo-ckks/src/context.rs crates/neo-ckks/src/cost.rs crates/neo-ckks/src/encoding.rs crates/neo-ckks/src/keys.rs crates/neo-ckks/src/keyswitch/mod.rs crates/neo-ckks/src/keyswitch/hybrid.rs crates/neo-ckks/src/keyswitch/klss.rs crates/neo-ckks/src/linear.rs crates/neo-ckks/src/noise.rs crates/neo-ckks/src/ops.rs crates/neo-ckks/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_ckks-2c6876d9739644c3.rmeta: crates/neo-ckks/src/lib.rs crates/neo-ckks/src/bootstrap.rs crates/neo-ckks/src/ciphertext.rs crates/neo-ckks/src/complexity.rs crates/neo-ckks/src/context.rs crates/neo-ckks/src/cost.rs crates/neo-ckks/src/encoding.rs crates/neo-ckks/src/keys.rs crates/neo-ckks/src/keyswitch/mod.rs crates/neo-ckks/src/keyswitch/hybrid.rs crates/neo-ckks/src/keyswitch/klss.rs crates/neo-ckks/src/linear.rs crates/neo-ckks/src/noise.rs crates/neo-ckks/src/ops.rs crates/neo-ckks/src/params.rs Cargo.toml
+
+crates/neo-ckks/src/lib.rs:
+crates/neo-ckks/src/bootstrap.rs:
+crates/neo-ckks/src/ciphertext.rs:
+crates/neo-ckks/src/complexity.rs:
+crates/neo-ckks/src/context.rs:
+crates/neo-ckks/src/cost.rs:
+crates/neo-ckks/src/encoding.rs:
+crates/neo-ckks/src/keys.rs:
+crates/neo-ckks/src/keyswitch/mod.rs:
+crates/neo-ckks/src/keyswitch/hybrid.rs:
+crates/neo-ckks/src/keyswitch/klss.rs:
+crates/neo-ckks/src/linear.rs:
+crates/neo-ckks/src/noise.rs:
+crates/neo-ckks/src/ops.rs:
+crates/neo-ckks/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

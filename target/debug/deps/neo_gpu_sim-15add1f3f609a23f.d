@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neo_gpu_sim-15add1f3f609a23f.d: crates/neo-gpu-sim/src/lib.rs crates/neo-gpu-sim/src/model.rs crates/neo-gpu-sim/src/profile.rs crates/neo-gpu-sim/src/spec.rs
+
+/root/repo/target/debug/deps/libneo_gpu_sim-15add1f3f609a23f.rlib: crates/neo-gpu-sim/src/lib.rs crates/neo-gpu-sim/src/model.rs crates/neo-gpu-sim/src/profile.rs crates/neo-gpu-sim/src/spec.rs
+
+/root/repo/target/debug/deps/libneo_gpu_sim-15add1f3f609a23f.rmeta: crates/neo-gpu-sim/src/lib.rs crates/neo-gpu-sim/src/model.rs crates/neo-gpu-sim/src/profile.rs crates/neo-gpu-sim/src/spec.rs
+
+crates/neo-gpu-sim/src/lib.rs:
+crates/neo-gpu-sim/src/model.rs:
+crates/neo-gpu-sim/src/profile.rs:
+crates/neo-gpu-sim/src/spec.rs:

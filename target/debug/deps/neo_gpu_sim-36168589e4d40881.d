@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neo_gpu_sim-36168589e4d40881.d: crates/neo-gpu-sim/src/lib.rs crates/neo-gpu-sim/src/model.rs crates/neo-gpu-sim/src/profile.rs crates/neo-gpu-sim/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_gpu_sim-36168589e4d40881.rmeta: crates/neo-gpu-sim/src/lib.rs crates/neo-gpu-sim/src/model.rs crates/neo-gpu-sim/src/profile.rs crates/neo-gpu-sim/src/spec.rs Cargo.toml
+
+crates/neo-gpu-sim/src/lib.rs:
+crates/neo-gpu-sim/src/model.rs:
+crates/neo-gpu-sim/src/profile.rs:
+crates/neo-gpu-sim/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/neo_gpu_sim-c746782d1b728a7e.d: crates/neo-gpu-sim/src/lib.rs crates/neo-gpu-sim/src/model.rs crates/neo-gpu-sim/src/profile.rs crates/neo-gpu-sim/src/spec.rs
+
+/root/repo/target/debug/deps/neo_gpu_sim-c746782d1b728a7e: crates/neo-gpu-sim/src/lib.rs crates/neo-gpu-sim/src/model.rs crates/neo-gpu-sim/src/profile.rs crates/neo-gpu-sim/src/spec.rs
+
+crates/neo-gpu-sim/src/lib.rs:
+crates/neo-gpu-sim/src/model.rs:
+crates/neo-gpu-sim/src/profile.rs:
+crates/neo-gpu-sim/src/spec.rs:

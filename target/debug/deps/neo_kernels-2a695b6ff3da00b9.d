@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neo_kernels-2a695b6ff3da00b9.d: crates/neo-kernels/src/lib.rs crates/neo-kernels/src/bconv.rs crates/neo-kernels/src/elementwise.rs crates/neo-kernels/src/geometry.rs crates/neo-kernels/src/ip.rs crates/neo-kernels/src/ntt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_kernels-2a695b6ff3da00b9.rmeta: crates/neo-kernels/src/lib.rs crates/neo-kernels/src/bconv.rs crates/neo-kernels/src/elementwise.rs crates/neo-kernels/src/geometry.rs crates/neo-kernels/src/ip.rs crates/neo-kernels/src/ntt.rs Cargo.toml
+
+crates/neo-kernels/src/lib.rs:
+crates/neo-kernels/src/bconv.rs:
+crates/neo-kernels/src/elementwise.rs:
+crates/neo-kernels/src/geometry.rs:
+crates/neo-kernels/src/ip.rs:
+crates/neo-kernels/src/ntt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neo_kernels-4013ab79761cf144.d: crates/neo-kernels/src/lib.rs crates/neo-kernels/src/bconv.rs crates/neo-kernels/src/elementwise.rs crates/neo-kernels/src/geometry.rs crates/neo-kernels/src/ip.rs crates/neo-kernels/src/ntt.rs
+
+/root/repo/target/debug/deps/libneo_kernels-4013ab79761cf144.rlib: crates/neo-kernels/src/lib.rs crates/neo-kernels/src/bconv.rs crates/neo-kernels/src/elementwise.rs crates/neo-kernels/src/geometry.rs crates/neo-kernels/src/ip.rs crates/neo-kernels/src/ntt.rs
+
+/root/repo/target/debug/deps/libneo_kernels-4013ab79761cf144.rmeta: crates/neo-kernels/src/lib.rs crates/neo-kernels/src/bconv.rs crates/neo-kernels/src/elementwise.rs crates/neo-kernels/src/geometry.rs crates/neo-kernels/src/ip.rs crates/neo-kernels/src/ntt.rs
+
+crates/neo-kernels/src/lib.rs:
+crates/neo-kernels/src/bconv.rs:
+crates/neo-kernels/src/elementwise.rs:
+crates/neo-kernels/src/geometry.rs:
+crates/neo-kernels/src/ip.rs:
+crates/neo-kernels/src/ntt.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neo_kernels-605cbbcaca3a5042.d: crates/neo-kernels/src/lib.rs crates/neo-kernels/src/bconv.rs crates/neo-kernels/src/elementwise.rs crates/neo-kernels/src/geometry.rs crates/neo-kernels/src/ip.rs crates/neo-kernels/src/ntt.rs
+
+/root/repo/target/debug/deps/neo_kernels-605cbbcaca3a5042: crates/neo-kernels/src/lib.rs crates/neo-kernels/src/bconv.rs crates/neo-kernels/src/elementwise.rs crates/neo-kernels/src/geometry.rs crates/neo-kernels/src/ip.rs crates/neo-kernels/src/ntt.rs
+
+crates/neo-kernels/src/lib.rs:
+crates/neo-kernels/src/bconv.rs:
+crates/neo-kernels/src/elementwise.rs:
+crates/neo-kernels/src/geometry.rs:
+crates/neo-kernels/src/ip.rs:
+crates/neo-kernels/src/ntt.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neo_kernels-f246acf2167fccf4.d: crates/neo-kernels/src/lib.rs crates/neo-kernels/src/bconv.rs crates/neo-kernels/src/elementwise.rs crates/neo-kernels/src/geometry.rs crates/neo-kernels/src/ip.rs crates/neo-kernels/src/ntt.rs
+
+/root/repo/target/debug/deps/libneo_kernels-f246acf2167fccf4.rlib: crates/neo-kernels/src/lib.rs crates/neo-kernels/src/bconv.rs crates/neo-kernels/src/elementwise.rs crates/neo-kernels/src/geometry.rs crates/neo-kernels/src/ip.rs crates/neo-kernels/src/ntt.rs
+
+/root/repo/target/debug/deps/libneo_kernels-f246acf2167fccf4.rmeta: crates/neo-kernels/src/lib.rs crates/neo-kernels/src/bconv.rs crates/neo-kernels/src/elementwise.rs crates/neo-kernels/src/geometry.rs crates/neo-kernels/src/ip.rs crates/neo-kernels/src/ntt.rs
+
+crates/neo-kernels/src/lib.rs:
+crates/neo-kernels/src/bconv.rs:
+crates/neo-kernels/src/elementwise.rs:
+crates/neo-kernels/src/geometry.rs:
+crates/neo-kernels/src/ip.rs:
+crates/neo-kernels/src/ntt.rs:

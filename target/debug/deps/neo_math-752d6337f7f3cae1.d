@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neo_math-752d6337f7f3cae1.d: crates/neo-math/src/lib.rs crates/neo-math/src/bconv.rs crates/neo-math/src/biguint.rs crates/neo-math/src/error.rs crates/neo-math/src/modulus.rs crates/neo-math/src/poly.rs crates/neo-math/src/primes.rs crates/neo-math/src/rns.rs
+
+/root/repo/target/debug/deps/libneo_math-752d6337f7f3cae1.rlib: crates/neo-math/src/lib.rs crates/neo-math/src/bconv.rs crates/neo-math/src/biguint.rs crates/neo-math/src/error.rs crates/neo-math/src/modulus.rs crates/neo-math/src/poly.rs crates/neo-math/src/primes.rs crates/neo-math/src/rns.rs
+
+/root/repo/target/debug/deps/libneo_math-752d6337f7f3cae1.rmeta: crates/neo-math/src/lib.rs crates/neo-math/src/bconv.rs crates/neo-math/src/biguint.rs crates/neo-math/src/error.rs crates/neo-math/src/modulus.rs crates/neo-math/src/poly.rs crates/neo-math/src/primes.rs crates/neo-math/src/rns.rs
+
+crates/neo-math/src/lib.rs:
+crates/neo-math/src/bconv.rs:
+crates/neo-math/src/biguint.rs:
+crates/neo-math/src/error.rs:
+crates/neo-math/src/modulus.rs:
+crates/neo-math/src/poly.rs:
+crates/neo-math/src/primes.rs:
+crates/neo-math/src/rns.rs:

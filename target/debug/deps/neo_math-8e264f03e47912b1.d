@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/neo_math-8e264f03e47912b1.d: crates/neo-math/src/lib.rs crates/neo-math/src/bconv.rs crates/neo-math/src/biguint.rs crates/neo-math/src/error.rs crates/neo-math/src/modulus.rs crates/neo-math/src/poly.rs crates/neo-math/src/primes.rs crates/neo-math/src/rns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_math-8e264f03e47912b1.rmeta: crates/neo-math/src/lib.rs crates/neo-math/src/bconv.rs crates/neo-math/src/biguint.rs crates/neo-math/src/error.rs crates/neo-math/src/modulus.rs crates/neo-math/src/poly.rs crates/neo-math/src/primes.rs crates/neo-math/src/rns.rs Cargo.toml
+
+crates/neo-math/src/lib.rs:
+crates/neo-math/src/bconv.rs:
+crates/neo-math/src/biguint.rs:
+crates/neo-math/src/error.rs:
+crates/neo-math/src/modulus.rs:
+crates/neo-math/src/poly.rs:
+crates/neo-math/src/primes.rs:
+crates/neo-math/src/rns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neo_math-d8e1208e53d0e759.d: crates/neo-math/src/lib.rs crates/neo-math/src/bconv.rs crates/neo-math/src/biguint.rs crates/neo-math/src/error.rs crates/neo-math/src/modulus.rs crates/neo-math/src/poly.rs crates/neo-math/src/primes.rs crates/neo-math/src/rns.rs
+
+/root/repo/target/debug/deps/neo_math-d8e1208e53d0e759: crates/neo-math/src/lib.rs crates/neo-math/src/bconv.rs crates/neo-math/src/biguint.rs crates/neo-math/src/error.rs crates/neo-math/src/modulus.rs crates/neo-math/src/poly.rs crates/neo-math/src/primes.rs crates/neo-math/src/rns.rs
+
+crates/neo-math/src/lib.rs:
+crates/neo-math/src/bconv.rs:
+crates/neo-math/src/biguint.rs:
+crates/neo-math/src/error.rs:
+crates/neo-math/src/modulus.rs:
+crates/neo-math/src/poly.rs:
+crates/neo-math/src/primes.rs:
+crates/neo-math/src/rns.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neo_ntt-068fa4ade63d551f.d: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/cache.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_ntt-068fa4ade63d551f.rmeta: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/cache.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs Cargo.toml
+
+crates/neo-ntt/src/lib.rs:
+crates/neo-ntt/src/cache.rs:
+crates/neo-ntt/src/complexity.rs:
+crates/neo-ntt/src/matrix.rs:
+crates/neo-ntt/src/plan.rs:
+crates/neo-ntt/src/radix2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

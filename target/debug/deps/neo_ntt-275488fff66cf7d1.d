@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neo_ntt-275488fff66cf7d1.d: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/cache.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+/root/repo/target/debug/deps/neo_ntt-275488fff66cf7d1: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/cache.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+crates/neo-ntt/src/lib.rs:
+crates/neo-ntt/src/cache.rs:
+crates/neo-ntt/src/complexity.rs:
+crates/neo-ntt/src/matrix.rs:
+crates/neo-ntt/src/plan.rs:
+crates/neo-ntt/src/radix2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neo_ntt-337fe0abc91dd860.d: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+/root/repo/target/debug/deps/neo_ntt-337fe0abc91dd860: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+crates/neo-ntt/src/lib.rs:
+crates/neo-ntt/src/complexity.rs:
+crates/neo-ntt/src/matrix.rs:
+crates/neo-ntt/src/plan.rs:
+crates/neo-ntt/src/radix2.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/neo_ntt-a694557e29994746.d: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+/root/repo/target/debug/deps/libneo_ntt-a694557e29994746.rlib: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+/root/repo/target/debug/deps/libneo_ntt-a694557e29994746.rmeta: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+crates/neo-ntt/src/lib.rs:
+crates/neo-ntt/src/complexity.rs:
+crates/neo-ntt/src/matrix.rs:
+crates/neo-ntt/src/plan.rs:
+crates/neo-ntt/src/radix2.rs:

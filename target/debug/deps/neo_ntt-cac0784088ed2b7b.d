@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neo_ntt-cac0784088ed2b7b.d: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/cache.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+/root/repo/target/debug/deps/libneo_ntt-cac0784088ed2b7b.rlib: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/cache.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+/root/repo/target/debug/deps/libneo_ntt-cac0784088ed2b7b.rmeta: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/cache.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+crates/neo-ntt/src/lib.rs:
+crates/neo-ntt/src/cache.rs:
+crates/neo-ntt/src/complexity.rs:
+crates/neo-ntt/src/matrix.rs:
+crates/neo-ntt/src/plan.rs:
+crates/neo-ntt/src/radix2.rs:

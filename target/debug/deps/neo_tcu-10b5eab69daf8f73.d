@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neo_tcu-10b5eab69daf8f73.d: crates/neo-tcu/src/lib.rs crates/neo-tcu/src/fragment.rs crates/neo-tcu/src/gemm.rs crates/neo-tcu/src/multimod.rs crates/neo-tcu/src/split.rs crates/neo-tcu/src/stats.rs
+
+/root/repo/target/debug/deps/libneo_tcu-10b5eab69daf8f73.rlib: crates/neo-tcu/src/lib.rs crates/neo-tcu/src/fragment.rs crates/neo-tcu/src/gemm.rs crates/neo-tcu/src/multimod.rs crates/neo-tcu/src/split.rs crates/neo-tcu/src/stats.rs
+
+/root/repo/target/debug/deps/libneo_tcu-10b5eab69daf8f73.rmeta: crates/neo-tcu/src/lib.rs crates/neo-tcu/src/fragment.rs crates/neo-tcu/src/gemm.rs crates/neo-tcu/src/multimod.rs crates/neo-tcu/src/split.rs crates/neo-tcu/src/stats.rs
+
+crates/neo-tcu/src/lib.rs:
+crates/neo-tcu/src/fragment.rs:
+crates/neo-tcu/src/gemm.rs:
+crates/neo-tcu/src/multimod.rs:
+crates/neo-tcu/src/split.rs:
+crates/neo-tcu/src/stats.rs:

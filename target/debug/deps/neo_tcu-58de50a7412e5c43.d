@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/neo_tcu-58de50a7412e5c43.d: crates/neo-tcu/src/lib.rs crates/neo-tcu/src/fragment.rs crates/neo-tcu/src/gemm.rs crates/neo-tcu/src/multimod.rs crates/neo-tcu/src/split.rs crates/neo-tcu/src/stats.rs
+
+/root/repo/target/debug/deps/neo_tcu-58de50a7412e5c43: crates/neo-tcu/src/lib.rs crates/neo-tcu/src/fragment.rs crates/neo-tcu/src/gemm.rs crates/neo-tcu/src/multimod.rs crates/neo-tcu/src/split.rs crates/neo-tcu/src/stats.rs
+
+crates/neo-tcu/src/lib.rs:
+crates/neo-tcu/src/fragment.rs:
+crates/neo-tcu/src/gemm.rs:
+crates/neo-tcu/src/multimod.rs:
+crates/neo-tcu/src/split.rs:
+crates/neo-tcu/src/stats.rs:

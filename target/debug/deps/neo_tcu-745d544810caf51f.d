@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neo_tcu-745d544810caf51f.d: crates/neo-tcu/src/lib.rs crates/neo-tcu/src/fragment.rs crates/neo-tcu/src/gemm.rs crates/neo-tcu/src/multimod.rs crates/neo-tcu/src/split.rs crates/neo-tcu/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneo_tcu-745d544810caf51f.rmeta: crates/neo-tcu/src/lib.rs crates/neo-tcu/src/fragment.rs crates/neo-tcu/src/gemm.rs crates/neo-tcu/src/multimod.rs crates/neo-tcu/src/split.rs crates/neo-tcu/src/stats.rs Cargo.toml
+
+crates/neo-tcu/src/lib.rs:
+crates/neo-tcu/src/fragment.rs:
+crates/neo-tcu/src/gemm.rs:
+crates/neo-tcu/src/multimod.rs:
+crates/neo-tcu/src/split.rs:
+crates/neo-tcu/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

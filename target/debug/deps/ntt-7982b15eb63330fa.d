@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntt-7982b15eb63330fa.d: crates/neo-bench/benches/ntt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntt-7982b15eb63330fa.rmeta: crates/neo-bench/benches/ntt.rs Cargo.toml
+
+crates/neo-bench/benches/ntt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

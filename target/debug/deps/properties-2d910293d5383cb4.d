@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2d910293d5383cb4.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2d910293d5383cb4: tests/properties.rs
+
+tests/properties.rs:

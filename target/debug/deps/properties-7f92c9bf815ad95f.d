@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7f92c9bf815ad95f.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7f92c9bf815ad95f: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rayon-9e23b6a48ca708cd.d: vendor/rayon/src/lib.rs vendor/rayon/src/pool.rs
+
+/root/repo/target/debug/deps/librayon-9e23b6a48ca708cd.rlib: vendor/rayon/src/lib.rs vendor/rayon/src/pool.rs
+
+/root/repo/target/debug/deps/librayon-9e23b6a48ca708cd.rmeta: vendor/rayon/src/lib.rs vendor/rayon/src/pool.rs
+
+vendor/rayon/src/lib.rs:
+vendor/rayon/src/pool.rs:

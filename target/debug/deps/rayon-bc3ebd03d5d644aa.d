@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rayon-bc3ebd03d5d644aa.d: vendor/rayon/src/lib.rs vendor/rayon/src/pool.rs
+
+/root/repo/target/debug/deps/rayon-bc3ebd03d5d644aa: vendor/rayon/src/lib.rs vendor/rayon/src/pool.rs
+
+vendor/rayon/src/lib.rs:
+vendor/rayon/src/pool.rs:

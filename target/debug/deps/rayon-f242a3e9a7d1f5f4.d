@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rayon-f242a3e9a7d1f5f4.d: vendor/rayon/src/lib.rs vendor/rayon/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-f242a3e9a7d1f5f4.rmeta: vendor/rayon/src/lib.rs vendor/rayon/src/pool.rs Cargo.toml
+
+vendor/rayon/src/lib.rs:
+vendor/rayon/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_invariants-277b358d00772971.d: crates/neo-baselines/tests/scheme_invariants.rs
+
+/root/repo/target/debug/deps/scheme_invariants-277b358d00772971: crates/neo-baselines/tests/scheme_invariants.rs
+
+crates/neo-baselines/tests/scheme_invariants.rs:

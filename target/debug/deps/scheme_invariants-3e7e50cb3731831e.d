@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheme_invariants-3e7e50cb3731831e.d: crates/neo-baselines/tests/scheme_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheme_invariants-3e7e50cb3731831e.rmeta: crates/neo-baselines/tests/scheme_invariants.rs Cargo.toml
+
+crates/neo-baselines/tests/scheme_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_invariants-4d7376f78c6f649f.d: crates/neo-baselines/tests/scheme_invariants.rs
+
+/root/repo/target/debug/deps/scheme_invariants-4d7376f78c6f649f: crates/neo-baselines/tests/scheme_invariants.rs
+
+crates/neo-baselines/tests/scheme_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_roundtrip-587fa2d8a5210874.d: crates/neo-ckks/tests/scheme_roundtrip.rs
+
+/root/repo/target/debug/deps/scheme_roundtrip-587fa2d8a5210874: crates/neo-ckks/tests/scheme_roundtrip.rs
+
+crates/neo-ckks/tests/scheme_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheme_roundtrip-a34c1a12ff8bd409.d: crates/neo-ckks/tests/scheme_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheme_roundtrip-a34c1a12ff8bd409.rmeta: crates/neo-ckks/tests/scheme_roundtrip.rs Cargo.toml
+
+crates/neo-ckks/tests/scheme_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_roundtrip-b4195bff3d2ca1c0.d: crates/neo-ckks/tests/scheme_roundtrip.rs
+
+/root/repo/target/debug/deps/scheme_roundtrip-b4195bff3d2ca1c0: crates/neo-ckks/tests/scheme_roundtrip.rs
+
+crates/neo-ckks/tests/scheme_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_roundtrip-e39befbf29ae07cf.d: crates/neo-ckks/tests/scheme_roundtrip.rs
+
+/root/repo/target/debug/deps/scheme_roundtrip-e39befbf29ae07cf: crates/neo-ckks/tests/scheme_roundtrip.rs
+
+crates/neo-ckks/tests/scheme_roundtrip.rs:

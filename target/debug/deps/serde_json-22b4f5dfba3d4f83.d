@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-22b4f5dfba3d4f83.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-22b4f5dfba3d4f83: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-d6f78656cba66ac2.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d6f78656cba66ac2.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d6f78656cba66ac2.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shoup_equivalence-6b0cf61b09ca2936.d: crates/neo-ntt/tests/shoup_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshoup_equivalence-6b0cf61b09ca2936.rmeta: crates/neo-ntt/tests/shoup_equivalence.rs Cargo.toml
+
+crates/neo-ntt/tests/shoup_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

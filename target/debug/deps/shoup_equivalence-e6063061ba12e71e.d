@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shoup_equivalence-e6063061ba12e71e.d: crates/neo-ntt/tests/shoup_equivalence.rs
+
+/root/repo/target/debug/deps/shoup_equivalence-e6063061ba12e71e: crates/neo-ntt/tests/shoup_equivalence.rs
+
+crates/neo-ntt/tests/shoup_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-d127fec8e5cd8ab0.d: crates/neo-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-d127fec8e5cd8ab0: crates/neo-bench/src/bin/table2.rs
+
+crates/neo-bench/src/bin/table2.rs:

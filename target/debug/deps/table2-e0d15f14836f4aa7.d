@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-e0d15f14836f4aa7.d: crates/neo-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-e0d15f14836f4aa7: crates/neo-bench/src/bin/table2.rs
+
+crates/neo-bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-e1482ae6bfef1715.d: crates/neo-bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-e1482ae6bfef1715.rmeta: crates/neo-bench/src/bin/table2.rs Cargo.toml
+
+crates/neo-bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

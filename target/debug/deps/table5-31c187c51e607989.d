@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5-31c187c51e607989.d: crates/neo-bench/src/bin/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5-31c187c51e607989.rmeta: crates/neo-bench/src/bin/table5.rs Cargo.toml
+
+crates/neo-bench/src/bin/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

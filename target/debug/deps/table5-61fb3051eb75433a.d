@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-61fb3051eb75433a.d: crates/neo-bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-61fb3051eb75433a: crates/neo-bench/src/bin/table5.rs
+
+crates/neo-bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-c7e5d6822a8e56bf.d: crates/neo-bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-c7e5d6822a8e56bf: crates/neo-bench/src/bin/table5.rs
+
+crates/neo-bench/src/bin/table5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6-160c71a82d44c5dd.d: crates/neo-bench/src/bin/table6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6-160c71a82d44c5dd.rmeta: crates/neo-bench/src/bin/table6.rs Cargo.toml
+
+crates/neo-bench/src/bin/table6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-721be55f710be3bf.d: crates/neo-bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-721be55f710be3bf: crates/neo-bench/src/bin/table6.rs
+
+crates/neo-bench/src/bin/table6.rs:

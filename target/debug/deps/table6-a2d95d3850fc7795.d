@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-a2d95d3850fc7795.d: crates/neo-bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-a2d95d3850fc7795: crates/neo-bench/src/bin/table6.rs
+
+crates/neo-bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-91376c69d32f2da6.d: crates/neo-bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-91376c69d32f2da6: crates/neo-bench/src/bin/table7.rs
+
+crates/neo-bench/src/bin/table7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7-b6c60a18fcc7c872.d: crates/neo-bench/src/bin/table7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7-b6c60a18fcc7c872.rmeta: crates/neo-bench/src/bin/table7.rs Cargo.toml
+
+crates/neo-bench/src/bin/table7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

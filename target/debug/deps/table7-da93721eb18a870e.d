@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7-da93721eb18a870e.d: crates/neo-bench/src/bin/table7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7-da93721eb18a870e.rmeta: crates/neo-bench/src/bin/table7.rs Cargo.toml
+
+crates/neo-bench/src/bin/table7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-f7ba4c6bc0e0751d.d: crates/neo-bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-f7ba4c6bc0e0751d: crates/neo-bench/src/bin/table7.rs
+
+crates/neo-bench/src/bin/table7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8-246446c5bd2cf4de.d: crates/neo-bench/src/bin/table8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8-246446c5bd2cf4de.rmeta: crates/neo-bench/src/bin/table8.rs Cargo.toml
+
+crates/neo-bench/src/bin/table8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-847dac022af46389.d: crates/neo-bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-847dac022af46389: crates/neo-bench/src/bin/table8.rs
+
+crates/neo-bench/src/bin/table8.rs:

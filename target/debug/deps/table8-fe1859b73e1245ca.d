@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-fe1859b73e1245ca.d: crates/neo-bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-fe1859b73e1245ca: crates/neo-bench/src/bin/table8.rs
+
+crates/neo-bench/src/bin/table8.rs:

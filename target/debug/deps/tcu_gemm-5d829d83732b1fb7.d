@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tcu_gemm-5d829d83732b1fb7.d: crates/neo-bench/benches/tcu_gemm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcu_gemm-5d829d83732b1fb7.rmeta: crates/neo-bench/benches/tcu_gemm.rs Cargo.toml
+
+crates/neo-bench/benches/tcu_gemm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/encrypted_convolution-22d1a992e8b3ef28.d: examples/encrypted_convolution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libencrypted_convolution-22d1a992e8b3ef28.rmeta: examples/encrypted_convolution.rs Cargo.toml
+
+examples/encrypted_convolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_convolution-559c355a2ec3b2f6.d: examples/encrypted_convolution.rs
+
+/root/repo/target/debug/examples/encrypted_convolution-559c355a2ec3b2f6: examples/encrypted_convolution.rs
+
+examples/encrypted_convolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_convolution-7606906fe3a55b40.d: examples/encrypted_convolution.rs
+
+/root/repo/target/debug/examples/encrypted_convolution-7606906fe3a55b40: examples/encrypted_convolution.rs
+
+examples/encrypted_convolution.rs:

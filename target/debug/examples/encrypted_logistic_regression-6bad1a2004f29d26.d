@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_logistic_regression-6bad1a2004f29d26.d: examples/encrypted_logistic_regression.rs
+
+/root/repo/target/debug/examples/encrypted_logistic_regression-6bad1a2004f29d26: examples/encrypted_logistic_regression.rs
+
+examples/encrypted_logistic_regression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_logistic_regression-9ff82e6c8157df17.d: examples/encrypted_logistic_regression.rs
+
+/root/repo/target/debug/examples/encrypted_logistic_regression-9ff82e6c8157df17: examples/encrypted_logistic_regression.rs
+
+examples/encrypted_logistic_regression.rs:

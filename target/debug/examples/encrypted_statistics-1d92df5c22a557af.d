@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_statistics-1d92df5c22a557af.d: examples/encrypted_statistics.rs
+
+/root/repo/target/debug/examples/encrypted_statistics-1d92df5c22a557af: examples/encrypted_statistics.rs
+
+examples/encrypted_statistics.rs:

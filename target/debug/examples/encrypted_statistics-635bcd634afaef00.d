@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_statistics-635bcd634afaef00.d: examples/encrypted_statistics.rs
+
+/root/repo/target/debug/examples/encrypted_statistics-635bcd634afaef00: examples/encrypted_statistics.rs
+
+examples/encrypted_statistics.rs:

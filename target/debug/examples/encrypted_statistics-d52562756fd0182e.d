@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/encrypted_statistics-d52562756fd0182e.d: examples/encrypted_statistics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libencrypted_statistics-d52562756fd0182e.rmeta: examples/encrypted_statistics.rs Cargo.toml
+
+examples/encrypted_statistics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/performance_model-05f7efdd0f4a785a.d: examples/performance_model.rs
+
+/root/repo/target/debug/examples/performance_model-05f7efdd0f4a785a: examples/performance_model.rs
+
+examples/performance_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/performance_model-266b7b245925bd3c.d: examples/performance_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/libperformance_model-266b7b245925bd3c.rmeta: examples/performance_model.rs Cargo.toml
+
+examples/performance_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/performance_model-c2abb7a962354140.d: examples/performance_model.rs
+
+/root/repo/target/debug/examples/performance_model-c2abb7a962354140: examples/performance_model.rs
+
+examples/performance_model.rs:

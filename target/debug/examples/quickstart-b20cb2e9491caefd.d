@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b20cb2e9491caefd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b20cb2e9491caefd: examples/quickstart.rs
+
+examples/quickstart.rs:

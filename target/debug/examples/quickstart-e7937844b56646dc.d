@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e7937844b56646dc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e7937844b56646dc: examples/quickstart.rs
+
+examples/quickstart.rs:

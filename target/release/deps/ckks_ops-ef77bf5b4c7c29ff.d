@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ckks_ops-ef77bf5b4c7c29ff.d: crates/neo-bench/benches/ckks_ops.rs
+
+/root/repo/target/release/deps/ckks_ops-ef77bf5b4c7c29ff: crates/neo-bench/benches/ckks_ops.rs
+
+crates/neo-bench/benches/ckks_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-0784b76c5332d7ce.d: crates/neo-bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-0784b76c5332d7ce: crates/neo-bench/src/bin/fig02.rs
+
+crates/neo-bench/src/bin/fig02.rs:

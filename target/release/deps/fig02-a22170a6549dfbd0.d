@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-a22170a6549dfbd0.d: crates/neo-bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-a22170a6549dfbd0: crates/neo-bench/src/bin/fig02.rs
+
+crates/neo-bench/src/bin/fig02.rs:

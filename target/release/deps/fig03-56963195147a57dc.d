@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03-56963195147a57dc.d: crates/neo-bench/src/bin/fig03.rs
+
+/root/repo/target/release/deps/fig03-56963195147a57dc: crates/neo-bench/src/bin/fig03.rs
+
+crates/neo-bench/src/bin/fig03.rs:

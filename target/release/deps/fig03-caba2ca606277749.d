@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03-caba2ca606277749.d: crates/neo-bench/src/bin/fig03.rs
+
+/root/repo/target/release/deps/fig03-caba2ca606277749: crates/neo-bench/src/bin/fig03.rs
+
+crates/neo-bench/src/bin/fig03.rs:

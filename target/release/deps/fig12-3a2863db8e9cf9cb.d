@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-3a2863db8e9cf9cb.d: crates/neo-bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-3a2863db8e9cf9cb: crates/neo-bench/src/bin/fig12.rs
+
+crates/neo-bench/src/bin/fig12.rs:

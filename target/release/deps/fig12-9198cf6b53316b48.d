@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-9198cf6b53316b48.d: crates/neo-bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-9198cf6b53316b48: crates/neo-bench/src/bin/fig12.rs
+
+crates/neo-bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-4d119b75f774c6ae.d: crates/neo-bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-4d119b75f774c6ae: crates/neo-bench/src/bin/fig13.rs
+
+crates/neo-bench/src/bin/fig13.rs:

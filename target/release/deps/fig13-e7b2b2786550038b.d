@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-e7b2b2786550038b.d: crates/neo-bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-e7b2b2786550038b: crates/neo-bench/src/bin/fig13.rs
+
+crates/neo-bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-35996ea328056d75.d: crates/neo-bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-35996ea328056d75: crates/neo-bench/src/bin/fig14.rs
+
+crates/neo-bench/src/bin/fig14.rs:

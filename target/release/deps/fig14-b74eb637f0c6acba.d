@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-b74eb637f0c6acba.d: crates/neo-bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-b74eb637f0c6acba: crates/neo-bench/src/bin/fig14.rs
+
+crates/neo-bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-ceef0b91b08e0fa4.d: crates/neo-bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-ceef0b91b08e0fa4: crates/neo-bench/src/bin/fig15.rs
+
+crates/neo-bench/src/bin/fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-d89d0ab4291bbfcd.d: crates/neo-bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-d89d0ab4291bbfcd: crates/neo-bench/src/bin/fig15.rs
+
+crates/neo-bench/src/bin/fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-3d945eab764a50ea.d: crates/neo-bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-3d945eab764a50ea: crates/neo-bench/src/bin/fig16.rs
+
+crates/neo-bench/src/bin/fig16.rs:

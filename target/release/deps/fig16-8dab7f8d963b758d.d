@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-8dab7f8d963b758d.d: crates/neo-bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-8dab7f8d963b758d: crates/neo-bench/src/bin/fig16.rs
+
+crates/neo-bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-1669de8ed19e3afc.d: crates/neo-bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-1669de8ed19e3afc: crates/neo-bench/src/bin/fig17.rs
+
+crates/neo-bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-4d8438ba3595df3a.d: crates/neo-bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-4d8438ba3595df3a: crates/neo-bench/src/bin/fig17.rs
+
+crates/neo-bench/src/bin/fig17.rs:

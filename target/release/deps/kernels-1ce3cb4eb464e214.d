@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-1ce3cb4eb464e214.d: crates/neo-bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-1ce3cb4eb464e214: crates/neo-bench/benches/kernels.rs
+
+crates/neo-bench/benches/kernels.rs:

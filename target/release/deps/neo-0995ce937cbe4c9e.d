@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/neo-0995ce937cbe4c9e.d: src/lib.rs
+
+/root/repo/target/release/deps/libneo-0995ce937cbe4c9e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libneo-0995ce937cbe4c9e.rmeta: src/lib.rs
+
+src/lib.rs:

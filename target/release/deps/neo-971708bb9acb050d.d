@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/neo-971708bb9acb050d.d: src/lib.rs
+
+/root/repo/target/release/deps/libneo-971708bb9acb050d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libneo-971708bb9acb050d.rmeta: src/lib.rs
+
+src/lib.rs:

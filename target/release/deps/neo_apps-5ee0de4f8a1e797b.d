@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/neo_apps-5ee0de4f8a1e797b.d: crates/neo-apps/src/lib.rs crates/neo-apps/src/conv.rs crates/neo-apps/src/helr.rs crates/neo-apps/src/resnet.rs crates/neo-apps/src/workload.rs
+
+/root/repo/target/release/deps/libneo_apps-5ee0de4f8a1e797b.rlib: crates/neo-apps/src/lib.rs crates/neo-apps/src/conv.rs crates/neo-apps/src/helr.rs crates/neo-apps/src/resnet.rs crates/neo-apps/src/workload.rs
+
+/root/repo/target/release/deps/libneo_apps-5ee0de4f8a1e797b.rmeta: crates/neo-apps/src/lib.rs crates/neo-apps/src/conv.rs crates/neo-apps/src/helr.rs crates/neo-apps/src/resnet.rs crates/neo-apps/src/workload.rs
+
+crates/neo-apps/src/lib.rs:
+crates/neo-apps/src/conv.rs:
+crates/neo-apps/src/helr.rs:
+crates/neo-apps/src/resnet.rs:
+crates/neo-apps/src/workload.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/neo_apps-a1d9f2cd4c2c5520.d: crates/neo-apps/src/lib.rs crates/neo-apps/src/conv.rs crates/neo-apps/src/helr.rs crates/neo-apps/src/resnet.rs crates/neo-apps/src/workload.rs
+
+/root/repo/target/release/deps/libneo_apps-a1d9f2cd4c2c5520.rlib: crates/neo-apps/src/lib.rs crates/neo-apps/src/conv.rs crates/neo-apps/src/helr.rs crates/neo-apps/src/resnet.rs crates/neo-apps/src/workload.rs
+
+/root/repo/target/release/deps/libneo_apps-a1d9f2cd4c2c5520.rmeta: crates/neo-apps/src/lib.rs crates/neo-apps/src/conv.rs crates/neo-apps/src/helr.rs crates/neo-apps/src/resnet.rs crates/neo-apps/src/workload.rs
+
+crates/neo-apps/src/lib.rs:
+crates/neo-apps/src/conv.rs:
+crates/neo-apps/src/helr.rs:
+crates/neo-apps/src/resnet.rs:
+crates/neo-apps/src/workload.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/neo_baselines-eb08a4c1d2449eba.d: crates/neo-baselines/src/lib.rs
+
+/root/repo/target/release/deps/libneo_baselines-eb08a4c1d2449eba.rlib: crates/neo-baselines/src/lib.rs
+
+/root/repo/target/release/deps/libneo_baselines-eb08a4c1d2449eba.rmeta: crates/neo-baselines/src/lib.rs
+
+crates/neo-baselines/src/lib.rs:

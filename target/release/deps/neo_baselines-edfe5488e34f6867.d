@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/neo_baselines-edfe5488e34f6867.d: crates/neo-baselines/src/lib.rs
+
+/root/repo/target/release/deps/libneo_baselines-edfe5488e34f6867.rlib: crates/neo-baselines/src/lib.rs
+
+/root/repo/target/release/deps/libneo_baselines-edfe5488e34f6867.rmeta: crates/neo-baselines/src/lib.rs
+
+crates/neo-baselines/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/neo_bench-cf1c0a757fba04f9.d: crates/neo-bench/src/lib.rs
+
+/root/repo/target/release/deps/libneo_bench-cf1c0a757fba04f9.rlib: crates/neo-bench/src/lib.rs
+
+/root/repo/target/release/deps/libneo_bench-cf1c0a757fba04f9.rmeta: crates/neo-bench/src/lib.rs
+
+crates/neo-bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/neo_bench-e41798db9b6f2239.d: crates/neo-bench/src/lib.rs
+
+/root/repo/target/release/deps/neo_bench-e41798db9b6f2239: crates/neo-bench/src/lib.rs
+
+crates/neo-bench/src/lib.rs:

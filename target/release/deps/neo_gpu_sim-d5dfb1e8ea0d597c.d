@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/neo_gpu_sim-d5dfb1e8ea0d597c.d: crates/neo-gpu-sim/src/lib.rs crates/neo-gpu-sim/src/model.rs crates/neo-gpu-sim/src/profile.rs crates/neo-gpu-sim/src/spec.rs
+
+/root/repo/target/release/deps/libneo_gpu_sim-d5dfb1e8ea0d597c.rlib: crates/neo-gpu-sim/src/lib.rs crates/neo-gpu-sim/src/model.rs crates/neo-gpu-sim/src/profile.rs crates/neo-gpu-sim/src/spec.rs
+
+/root/repo/target/release/deps/libneo_gpu_sim-d5dfb1e8ea0d597c.rmeta: crates/neo-gpu-sim/src/lib.rs crates/neo-gpu-sim/src/model.rs crates/neo-gpu-sim/src/profile.rs crates/neo-gpu-sim/src/spec.rs
+
+crates/neo-gpu-sim/src/lib.rs:
+crates/neo-gpu-sim/src/model.rs:
+crates/neo-gpu-sim/src/profile.rs:
+crates/neo-gpu-sim/src/spec.rs:

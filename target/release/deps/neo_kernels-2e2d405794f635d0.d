@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/neo_kernels-2e2d405794f635d0.d: crates/neo-kernels/src/lib.rs crates/neo-kernels/src/bconv.rs crates/neo-kernels/src/elementwise.rs crates/neo-kernels/src/geometry.rs crates/neo-kernels/src/ip.rs crates/neo-kernels/src/ntt.rs
+
+/root/repo/target/release/deps/libneo_kernels-2e2d405794f635d0.rlib: crates/neo-kernels/src/lib.rs crates/neo-kernels/src/bconv.rs crates/neo-kernels/src/elementwise.rs crates/neo-kernels/src/geometry.rs crates/neo-kernels/src/ip.rs crates/neo-kernels/src/ntt.rs
+
+/root/repo/target/release/deps/libneo_kernels-2e2d405794f635d0.rmeta: crates/neo-kernels/src/lib.rs crates/neo-kernels/src/bconv.rs crates/neo-kernels/src/elementwise.rs crates/neo-kernels/src/geometry.rs crates/neo-kernels/src/ip.rs crates/neo-kernels/src/ntt.rs
+
+crates/neo-kernels/src/lib.rs:
+crates/neo-kernels/src/bconv.rs:
+crates/neo-kernels/src/elementwise.rs:
+crates/neo-kernels/src/geometry.rs:
+crates/neo-kernels/src/ip.rs:
+crates/neo-kernels/src/ntt.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/neo_math-0b858aee6e170eb2.d: crates/neo-math/src/lib.rs crates/neo-math/src/bconv.rs crates/neo-math/src/biguint.rs crates/neo-math/src/error.rs crates/neo-math/src/modulus.rs crates/neo-math/src/poly.rs crates/neo-math/src/primes.rs crates/neo-math/src/rns.rs
+
+/root/repo/target/release/deps/libneo_math-0b858aee6e170eb2.rlib: crates/neo-math/src/lib.rs crates/neo-math/src/bconv.rs crates/neo-math/src/biguint.rs crates/neo-math/src/error.rs crates/neo-math/src/modulus.rs crates/neo-math/src/poly.rs crates/neo-math/src/primes.rs crates/neo-math/src/rns.rs
+
+/root/repo/target/release/deps/libneo_math-0b858aee6e170eb2.rmeta: crates/neo-math/src/lib.rs crates/neo-math/src/bconv.rs crates/neo-math/src/biguint.rs crates/neo-math/src/error.rs crates/neo-math/src/modulus.rs crates/neo-math/src/poly.rs crates/neo-math/src/primes.rs crates/neo-math/src/rns.rs
+
+crates/neo-math/src/lib.rs:
+crates/neo-math/src/bconv.rs:
+crates/neo-math/src/biguint.rs:
+crates/neo-math/src/error.rs:
+crates/neo-math/src/modulus.rs:
+crates/neo-math/src/poly.rs:
+crates/neo-math/src/primes.rs:
+crates/neo-math/src/rns.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/neo_ntt-0bf27292f00b6e05.d: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/cache.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+/root/repo/target/release/deps/libneo_ntt-0bf27292f00b6e05.rlib: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/cache.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+/root/repo/target/release/deps/libneo_ntt-0bf27292f00b6e05.rmeta: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/cache.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+crates/neo-ntt/src/lib.rs:
+crates/neo-ntt/src/cache.rs:
+crates/neo-ntt/src/complexity.rs:
+crates/neo-ntt/src/matrix.rs:
+crates/neo-ntt/src/plan.rs:
+crates/neo-ntt/src/radix2.rs:

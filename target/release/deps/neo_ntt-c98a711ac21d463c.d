@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/neo_ntt-c98a711ac21d463c.d: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+/root/repo/target/release/deps/libneo_ntt-c98a711ac21d463c.rlib: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+/root/repo/target/release/deps/libneo_ntt-c98a711ac21d463c.rmeta: crates/neo-ntt/src/lib.rs crates/neo-ntt/src/complexity.rs crates/neo-ntt/src/matrix.rs crates/neo-ntt/src/plan.rs crates/neo-ntt/src/radix2.rs
+
+crates/neo-ntt/src/lib.rs:
+crates/neo-ntt/src/complexity.rs:
+crates/neo-ntt/src/matrix.rs:
+crates/neo-ntt/src/plan.rs:
+crates/neo-ntt/src/radix2.rs:

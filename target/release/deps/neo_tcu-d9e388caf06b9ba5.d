@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/neo_tcu-d9e388caf06b9ba5.d: crates/neo-tcu/src/lib.rs crates/neo-tcu/src/fragment.rs crates/neo-tcu/src/gemm.rs crates/neo-tcu/src/multimod.rs crates/neo-tcu/src/split.rs crates/neo-tcu/src/stats.rs
+
+/root/repo/target/release/deps/libneo_tcu-d9e388caf06b9ba5.rlib: crates/neo-tcu/src/lib.rs crates/neo-tcu/src/fragment.rs crates/neo-tcu/src/gemm.rs crates/neo-tcu/src/multimod.rs crates/neo-tcu/src/split.rs crates/neo-tcu/src/stats.rs
+
+/root/repo/target/release/deps/libneo_tcu-d9e388caf06b9ba5.rmeta: crates/neo-tcu/src/lib.rs crates/neo-tcu/src/fragment.rs crates/neo-tcu/src/gemm.rs crates/neo-tcu/src/multimod.rs crates/neo-tcu/src/split.rs crates/neo-tcu/src/stats.rs
+
+crates/neo-tcu/src/lib.rs:
+crates/neo-tcu/src/fragment.rs:
+crates/neo-tcu/src/gemm.rs:
+crates/neo-tcu/src/multimod.rs:
+crates/neo-tcu/src/split.rs:
+crates/neo-tcu/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ntt-cbc67cac1f8a0fc5.d: crates/neo-bench/benches/ntt.rs
+
+/root/repo/target/release/deps/ntt-cbc67cac1f8a0fc5: crates/neo-bench/benches/ntt.rs
+
+crates/neo-bench/benches/ntt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-a591f2ee066afde7.d: crates/neo-bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-a591f2ee066afde7: crates/neo-bench/src/bin/table2.rs
+
+crates/neo-bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-b8fa1351b617fc59.d: crates/neo-bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-b8fa1351b617fc59: crates/neo-bench/src/bin/table2.rs
+
+crates/neo-bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-111387a41ebe3a26.d: crates/neo-bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-111387a41ebe3a26: crates/neo-bench/src/bin/table5.rs
+
+crates/neo-bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-387250a5f57c3cad.d: crates/neo-bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-387250a5f57c3cad: crates/neo-bench/src/bin/table5.rs
+
+crates/neo-bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-80673dab0d769dbf.d: crates/neo-bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-80673dab0d769dbf: crates/neo-bench/src/bin/table6.rs
+
+crates/neo-bench/src/bin/table6.rs:

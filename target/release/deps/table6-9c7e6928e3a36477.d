@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-9c7e6928e3a36477.d: crates/neo-bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-9c7e6928e3a36477: crates/neo-bench/src/bin/table6.rs
+
+crates/neo-bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-03d396be390ccdee.d: crates/neo-bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-03d396be390ccdee: crates/neo-bench/src/bin/table7.rs
+
+crates/neo-bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-1da09841685de3ad.d: crates/neo-bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-1da09841685de3ad: crates/neo-bench/src/bin/table7.rs
+
+crates/neo-bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-7befa10fe4d3ade2.d: crates/neo-bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-7befa10fe4d3ade2: crates/neo-bench/src/bin/table8.rs
+
+crates/neo-bench/src/bin/table8.rs:

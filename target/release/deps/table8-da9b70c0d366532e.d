@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-da9b70c0d366532e.d: crates/neo-bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-da9b70c0d366532e: crates/neo-bench/src/bin/table8.rs
+
+crates/neo-bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tcu_gemm-2d3929efd8e9ffc4.d: crates/neo-bench/benches/tcu_gemm.rs
+
+/root/repo/target/release/deps/tcu_gemm-2d3929efd8e9ffc4: crates/neo-bench/benches/tcu_gemm.rs
+
+crates/neo-bench/benches/tcu_gemm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/encrypted_convolution-3dec8e87c978a475.d: examples/encrypted_convolution.rs
+
+/root/repo/target/release/examples/encrypted_convolution-3dec8e87c978a475: examples/encrypted_convolution.rs
+
+examples/encrypted_convolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/encrypted_logistic_regression-946a7bdd451fb772.d: examples/encrypted_logistic_regression.rs
+
+/root/repo/target/release/examples/encrypted_logistic_regression-946a7bdd451fb772: examples/encrypted_logistic_regression.rs
+
+examples/encrypted_logistic_regression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/encrypted_statistics-86bbcd64135fbc10.d: examples/encrypted_statistics.rs
+
+/root/repo/target/release/examples/encrypted_statistics-86bbcd64135fbc10: examples/encrypted_statistics.rs
+
+examples/encrypted_statistics.rs:

@@ -79,10 +79,12 @@ fn mixed_operation_pipeline() {
     let chest = KeyChest::new(ctx.clone(), sk, 4);
     let enc = Encoder::new(ctx.degree());
     let slots = enc.slots();
-    let x: Vec<Complex64> =
-        (0..slots).map(|i| Complex64::new(0.5 * (i as f64 * 0.2).cos(), 0.1)).collect();
-    let y: Vec<Complex64> =
-        (0..slots).map(|i| Complex64::new(0.3, 0.4 * (i as f64 * 0.15).sin())).collect();
+    let x: Vec<Complex64> = (0..slots)
+        .map(|i| Complex64::new(0.5 * (i as f64 * 0.2).cos(), 0.1))
+        .collect();
+    let y: Vec<Complex64> = (0..slots)
+        .map(|i| Complex64::new(0.3, 0.4 * (i as f64 * 0.15).sin()))
+        .collect();
     let scale = ctx.params().scale();
     let ct_x = ops::encrypt(&ctx, &pk, &enc.encode(&ctx, &x, scale, 5), &mut rng);
     let ct_y = ops::encrypt(&ctx, &pk, &enc.encode(&ctx, &y, scale, 5), &mut rng);
@@ -98,7 +100,11 @@ fn mixed_operation_pipeline() {
     for i in 0..slots {
         let want = (x[(i + 3) % slots] * y[(i + 3) % slots] + x[i]) * x[i].conj();
         let err = (got[i] - want).abs();
-        assert!(err < 5e-2, "slot {i}: {:?} vs {want:?} (err {err:.2e})", got[i]);
+        assert!(
+            err < 5e-2,
+            "slot {i}: {:?} vs {want:?} (err {err:.2e})",
+            got[i]
+        );
     }
 }
 
@@ -108,7 +114,11 @@ fn mixed_operation_pipeline() {
 fn cost_model_headline_consistency() {
     use neo::ckks::cost::{op_time_us, CostConfig, Operation};
     let dev = DeviceModel::a100();
-    let (pa, pc, pe) = (ParamSet::A.params(), ParamSet::C.params(), ParamSet::E.params());
+    let (pa, pc, pe) = (
+        ParamSet::A.params(),
+        ParamSet::C.params(),
+        ParamSet::E.params(),
+    );
     for l in [11usize, 23, 35] {
         let neo_t = op_time_us(&dev, &pc, l, Operation::HMult, &CostConfig::neo());
         let tf = op_time_us(&dev, &pa, l, Operation::HMult, &CostConfig::tensorfhe());

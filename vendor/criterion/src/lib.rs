@@ -1,0 +1,286 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! A simple wall-clock harness behind criterion's interface: adaptive
+//! batch sizing, a warm-up phase, and median/mean statistics over fixed
+//! sample counts. Results print in criterion's familiar
+//! `name  time: [lo mid hi]` shape and are also written as one JSON file
+//! per benchmark under `target/criterion-stub/` so scripts can collect
+//! numbers without parsing stdout. See `vendor/README.md`.
+//!
+//! Tuning via environment: `NEO_BENCH_WARMUP_MS` (default 200),
+//! `NEO_BENCH_MEASURE_MS` (default 1000), `NEO_BENCH_SAMPLES` (default 20).
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier: function name plus a parameter tag.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as criterion renders it.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Measurement settings shared by all groups of one run.
+#[derive(Clone)]
+struct Settings {
+    warmup: Duration,
+    measure: Duration,
+    samples: usize,
+}
+
+fn env_ms(key: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            warmup: env_ms("NEO_BENCH_WARMUP_MS", 200),
+            measure: env_ms("NEO_BENCH_MEASURE_MS", 1000),
+            samples: std::env::var("NEO_BENCH_SAMPLES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(20),
+        }
+    }
+}
+
+/// The harness entry point (created by `criterion_group!`).
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n{name}");
+        BenchmarkGroup {
+            name,
+            settings: self.settings.clone(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.samples = n.max(2);
+        self
+    }
+
+    /// Overrides the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measure = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (display symmetry with upstream; stats are already out).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            settings: self.settings.clone(),
+            result: None,
+        };
+        f(&mut bencher);
+        let Some(stats) = bencher.result else {
+            eprintln!("  {id:40} (no measurement: Bencher::iter never called)");
+            return;
+        };
+        eprintln!(
+            "  {id:40} time: [{} {} {}]",
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.max_ns)
+        );
+        self.persist(&id, &stats);
+    }
+
+    fn persist(&self, id: &str, stats: &Stats) {
+        let dir = std::path::Path::new("target").join("criterion-stub");
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let sanitize = |s: &str| -> String {
+            s.chars()
+                .map(|c| {
+                    if c.is_alphanumeric() || c == '-' || c == '_' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        };
+        let path = dir.join(format!("{}__{}.json", sanitize(&self.name), sanitize(id)));
+        let body = format!(
+            "{{\n  \"group\": \"{}\",\n  \"bench\": \"{}\",\n  \"min_ns\": {:.1},\n  \"median_ns\": {:.1},\n  \"mean_ns\": {:.1},\n  \"max_ns\": {:.1},\n  \"samples\": {}\n}}\n",
+            self.name, id, stats.min_ns, stats.median_ns, stats.mean_ns, stats.max_ns, stats.samples
+        );
+        let _ = std::fs::write(path, body);
+    }
+}
+
+struct Stats {
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+/// Runs the closed-over workload and records timing samples.
+pub struct Bencher {
+    settings: Settings,
+    result: Option<Stats>,
+}
+
+impl Bencher {
+    /// Measures `f`, batching iterations so each sample is long enough to
+    /// time reliably.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until the budget elapses, estimating per-iter cost.
+        let warm_start = Instant::now();
+        let mut iters_done = 0u64;
+        loop {
+            black_box(f());
+            iters_done += 1;
+            if warm_start.elapsed() >= self.settings.warmup {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+
+        // Size batches so samples + budget fit the measurement window.
+        let samples = self.settings.samples.max(2);
+        let sample_time = self.settings.measure.as_secs_f64() / samples as f64;
+        let batch = ((sample_time / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut times_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            times_ns.push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        times_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let stats = Stats {
+            min_ns: times_ns[0],
+            median_ns: times_ns[times_ns.len() / 2],
+            mean_ns: times_ns.iter().sum::<f64>() / times_ns.len() as f64,
+            max_ns: *times_ns.last().unwrap(),
+            samples,
+        };
+        self.result = Some(stats);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("NEO_BENCH_WARMUP_MS", "5");
+        std::env::set_var("NEO_BENCH_MEASURE_MS", "20");
+        std::env::set_var("NEO_BENCH_SAMPLES", "4");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub_smoke");
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_n", 500), &500u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_format_matches_upstream() {
+        assert_eq!(BenchmarkId::new("radix2", 4096).id, "radix2/4096");
+    }
+}

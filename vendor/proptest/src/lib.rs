@@ -1,0 +1,263 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Implements the surface this workspace uses — the [`proptest!`] macro,
+//! `ProptestConfig::with_cases`, `any::<T>()`, range strategies, and the
+//! `prop_assert*` macros — as straightforward randomized testing over a
+//! deterministic per-test RNG. No shrinking: a failing case reports its
+//! seed and generated inputs instead. See `vendor/README.md`.
+
+/// Strategies: deterministic generators of test inputs.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange, Standard};
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values for one `proptest!` argument.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    /// Strategy for the full domain of `T` (see [`any`]).
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The `any::<T>()` strategy: uniform over all of `T`.
+    pub fn any<T: Standard + Debug>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Standard + Debug> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Debug,
+        Range<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Debug,
+        RangeInclusive<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+/// Test execution: configuration, case errors, and the runner loop.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to execute.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure carrying `msg`.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Drives one property over `config.cases` deterministic random cases.
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        /// A runner with the given configuration.
+        pub fn new(config: Config) -> Self {
+            Self { config }
+        }
+
+        /// Runs `case` for every seed derived from `name`; panics on the
+        /// first failure, reporting the case index and seed so the run can
+        /// be reproduced.
+        pub fn run_named<F>(&mut self, name: &str, mut case: F)
+        where
+            F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+        {
+            let base = fnv1a(name.as_bytes());
+            for i in 0..self.config.cases {
+                let seed = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+                let mut rng = StdRng::seed_from_u64(seed);
+                if let Err(e) = case(&mut rng) {
+                    panic!("proptest property {name} failed at case {i} (seed {seed:#x}): {e}");
+                }
+            }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( config = $config:expr; ) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            runner.run_named(
+                concat!(module_path!(), "::", stringify!($name)),
+                |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)*
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the case, not the
+/// whole process, so the runner can report the generating seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// The glob-import surface used by test files.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Generated ranges respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 5u64..100, y in 1usize..4, f in -2.0..2.0) {
+            prop_assert!((5..100).contains(&x));
+            prop_assert!((1..4).contains(&y));
+            prop_assert!((-2.0..2.0).contains(&f), "f out of range: {}", f);
+        }
+
+        /// any::<u64>() round-trips through a value identity.
+        #[test]
+        fn any_is_deterministic_per_case(a in any::<u64>(), b in any::<i64>()) {
+            prop_assert_eq!(a, a);
+            prop_assert_eq!(b, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::Config::with_cases(4));
+        runner.run_named("always_fails", |_| {
+            Err(crate::test_runner::TestCaseError::fail("nope"))
+        });
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! This workspace builds in an environment with no crates.io access, so the
+//! external crates it depends on are vendored as minimal, dependency-free
+//! implementations under `vendor/` (see `vendor/README.md`). This crate
+//! covers exactly the surface the workspace uses: the [`Rng`] and
+//! [`SeedableRng`] traits, [`rngs::StdRng`], and [`thread_rng`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream `rand`'s ChaCha12-based `StdRng`, which is fine
+//! here: every use in the workspace treats seeded RNGs as "arbitrary but
+//! deterministic" input data, never as a cross-implementation fixture.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Uniform sampling support for the range types used with
+/// [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from `self` using `rng`.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a "standard" distribution for [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one standard sample.
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for i64 {
+    #[inline]
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Unbiased sampling of `x` uniform in `[0, bound)` by rejection on the
+/// widening multiply (Lemire's method).
+#[inline]
+fn uniform_u64_below<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = x as u128 * bound as u128;
+        let lo = m as u64;
+        if lo >= bound || lo >= (u64::MAX - bound + 1) % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = uniform_u64_below(rng, span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let off = uniform_u64_below(rng, span as u64);
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::standard(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::standard(rng) as f32;
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// The raw 64-bit source all other methods derive from.
+    fn next_u64(&mut self) -> u64;
+
+    /// A value uniform in `range`.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// A standard-distribution value (`f64` in `[0,1)`, full-width ints).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::standard(self) < p
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let b = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&b[..rem.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The subset of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Constructs the generator from OS-ish entropy (time + address).
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(entropy_seed())
+    }
+}
+
+fn entropy_seed() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let t = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    let stack_probe = 0u8;
+    (t.as_nanos() as u64) ^ ((&stack_probe as *const u8 as u64).rotate_left(32))
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — fast, 256-bit state, excellent statistical quality.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_state(mut sm: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state.
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self::from_state(seed)
+        }
+    }
+
+    /// Per-call RNG handed out by [`crate::thread_rng`].
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng(pub(crate) StdRng);
+
+    impl Rng for ThreadRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// A fresh entropy-seeded RNG (upstream returns a thread-local handle; a
+/// per-call generator is indistinguishable for this workspace's usage).
+pub fn thread_rng() -> rngs::ThreadRng {
+    use std::cell::Cell;
+    thread_local! {
+        static COUNTER: Cell<u64> = const { Cell::new(0) };
+    }
+    let salt = COUNTER.with(|c| {
+        let v = c.get();
+        c.set(v.wrapping_add(1));
+        v
+    });
+    rngs::ThreadRng(<rngs::StdRng as SeedableRng>::seed_from_u64(
+        entropy_seed().wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..17);
+            assert!((10..17).contains(&v));
+            let s = rng.gen_range(-1i64..=1);
+            assert!((-1..=1).contains(&s));
+            let f = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,667 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! Backed by a small global thread pool (see [`pool`]); implements the
+//! data-parallel iterator surface this workspace uses: `par_iter`,
+//! `par_iter_mut`, `par_chunks(_mut)`, ranges, `zip`, `enumerate`, `map`,
+//! `for_each`, and `collect::<Vec<_>>()`. Splitting is eager (one piece per
+//! worker) rather than work-stealing; for the homogeneous per-limb loops in
+//! this workspace the difference is noise. See `vendor/README.md`.
+
+mod pool;
+
+pub use pool::current_num_threads;
+
+use std::mem::MaybeUninit;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Core abstraction: an exactly-sized, splittable, sequentially-drainable
+/// iterator. `for_each`/`collect` split it into roughly one piece per
+/// worker and drain the pieces on the pool.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type.
+    type Item: Send;
+    /// Sequential drain of one piece.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Exact number of remaining elements.
+    fn pi_len(&self) -> usize;
+    /// Splits into `[0, mid)` and `[mid, len)`.
+    fn pi_split_at(self, mid: usize) -> (Self, Self);
+    /// Sequential iterator over this piece.
+    fn pi_seq(self) -> Self::Seq;
+
+    /// Pairs elements with `other` (truncating to the shorter side).
+    fn zip<B: IntoParallelIterator>(self, other: B) -> Zip<Self, B::Iter> {
+        let b = other.into_par_iter();
+        Zip { a: self, b }
+    }
+
+    /// Pairs each element with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            inner: self,
+            offset: 0,
+        }
+    }
+
+    /// Maps each element through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Map {
+            inner: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Compatibility no-op (the stub already splits coarsely).
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Consumes every element on the pool.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let pieces = split_even(self);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = pieces
+            .into_iter()
+            .map(|p| {
+                let f = &f;
+                Box::new(move || p.pi_seq().for_each(f)) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool::run_batch(jobs);
+    }
+
+    /// Collects into a container (only `Vec<T>` is supported).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Splits `it` into roughly one piece per pool worker.
+fn split_even<I: ParallelIterator>(it: I) -> Vec<I> {
+    let n = it.pi_len();
+    let workers = pool::current_num_threads().max(1);
+    let chunk = n.div_ceil(workers).max(1);
+    let mut pieces = Vec::with_capacity(workers);
+    let mut rest = it;
+    while rest.pi_len() > chunk {
+        let (head, tail) = rest.pi_split_at(chunk);
+        pieces.push(head);
+        rest = tail;
+    }
+    pieces.push(rest);
+    pieces
+}
+
+/// Parallel `FromIterator` analogue (Vec only).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the container from a parallel iterator.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self {
+        let n = it.pi_len();
+        let mut buf: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+        buf.resize_with(n, MaybeUninit::uninit);
+        let base = SendPtr(buf.as_mut_ptr());
+        let mut pieces = Vec::new();
+        let mut offset = 0usize;
+        for p in split_even(it) {
+            let len = p.pi_len();
+            pieces.push((offset, p));
+            offset += len;
+        }
+        debug_assert_eq!(offset, n);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = pieces
+            .into_iter()
+            .map(|(off, p)| {
+                Box::new(move || {
+                    // Bind the wrapper itself so the closure captures the
+                    // `Send` SendPtr, not the raw pointer field.
+                    let base = base;
+                    // SAFETY: pieces cover disjoint index ranges of `buf`,
+                    // and `run_batch` completes before `buf` is consumed.
+                    let mut ptr = unsafe { base.0.add(off) };
+                    for item in p.pi_seq() {
+                        unsafe {
+                            ptr.write(MaybeUninit::new(item));
+                            ptr = ptr.add(1);
+                        }
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool::run_batch(jobs);
+        // SAFETY: every slot was initialized exactly once (run_batch
+        // panics — aborting this path — if any job failed).
+        unsafe {
+            let mut buf = std::mem::ManuallyDrop::new(buf);
+            Vec::from_raw_parts(buf.as_mut_ptr() as *mut T, n, buf.capacity())
+        }
+    }
+}
+
+struct SendPtr<T>(*mut T);
+
+// Manual Clone/Copy: the derive would add an unwanted `T: Copy` bound.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: the pointer is only dereferenced at disjoint offsets while the
+// owning Vec outlives the batch.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+// ---------------------------------------------------------------------------
+// Conversions
+// ---------------------------------------------------------------------------
+
+/// Types convertible into a [`ParallelIterator`].
+pub trait IntoParallelIterator {
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: ParallelIterator> IntoParallelIterator for I {
+    type Iter = I;
+    type Item = I::Item;
+    fn into_par_iter(self) -> I {
+        self
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Iter = Iter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> Iter<'a, T> {
+        Iter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Iter = Iter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> Iter<'a, T> {
+        Iter { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut [T] {
+    type Iter = IterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> IterMut<'a, T> {
+        IterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = IterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> IterMut<'a, T> {
+        IterMut { slice: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+/// `x.par_iter()` sugar for `(&x).into_par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send + 'a;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, I: 'a + ?Sized> IntoParallelRefIterator<'a> for I
+where
+    &'a I: IntoParallelIterator,
+{
+    type Iter = <&'a I as IntoParallelIterator>::Iter;
+    type Item = <&'a I as IntoParallelIterator>::Item;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `x.par_iter_mut()` sugar for `(&mut x).into_par_iter()`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send + 'a;
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, I: 'a + ?Sized> IntoParallelRefMutIterator<'a> for I
+where
+    &'a mut I: IntoParallelIterator,
+{
+    type Iter = <&'a mut I as IntoParallelIterator>::Iter;
+    type Item = <&'a mut I as IntoParallelIterator>::Item;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Chunked read access for slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        Chunks { slice: self, size }
+    }
+}
+
+/// Chunked write access for slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ChunksMut { slice: self, size }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Iterator types
+// ---------------------------------------------------------------------------
+
+/// Parallel shared-slice iterator.
+pub struct Iter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(mid);
+        (Iter { slice: a }, Iter { slice: b })
+    }
+    fn pi_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Parallel mutable-slice iterator.
+pub struct IterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for IterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(mid);
+        (IterMut { slice: a }, IterMut { slice: b })
+    }
+    fn pi_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel `Range<usize>` iterator.
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    type Seq = Range<usize>;
+    fn pi_len(&self) -> usize {
+        self.range.len()
+    }
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let pivot = self.range.start + mid;
+        (
+            RangeIter {
+                range: self.range.start..pivot,
+            },
+            RangeIter {
+                range: pivot..self.range.end,
+            },
+        )
+    }
+    fn pi_seq(self) -> Self::Seq {
+        self.range
+    }
+}
+
+/// Parallel owning `Vec` iterator.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+    fn pi_len(&self) -> usize {
+        self.items.len()
+    }
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let mut items = self.items;
+        let tail = items.split_off(mid);
+        (VecIter { items }, VecIter { items: tail })
+    }
+    fn pi_seq(self) -> Self::Seq {
+        self.items.into_iter()
+    }
+}
+
+/// Parallel chunk iterator.
+pub struct Chunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(at);
+        (
+            Chunks {
+                slice: a,
+                size: self.size,
+            },
+            Chunks {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn pi_seq(self) -> Self::Seq {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Parallel mutable chunk iterator.
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(at);
+        (
+            ChunksMut {
+                slice: a,
+                size: self.size,
+            },
+            ChunksMut {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn pi_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Lock-step pairing of two parallel iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.pi_split_at(mid);
+        let (b1, b2) = self.b.pi_split_at(mid);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+    fn pi_seq(self) -> Self::Seq {
+        self.a.pi_seq().zip(self.b.pi_seq())
+    }
+}
+
+/// Index-tagged parallel iterator.
+pub struct Enumerate<A> {
+    inner: A,
+    offset: usize,
+}
+
+/// Sequential side of [`Enumerate`].
+pub struct EnumerateSeq<S> {
+    inner: S,
+    next: usize,
+}
+
+impl<S: Iterator> Iterator for EnumerateSeq<S> {
+    type Item = (usize, S::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, item))
+    }
+}
+
+impl<A: ParallelIterator> ParallelIterator for Enumerate<A> {
+    type Item = (usize, A::Item);
+    type Seq = EnumerateSeq<A::Seq>;
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.inner.pi_split_at(mid);
+        (
+            Enumerate {
+                inner: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                inner: b,
+                offset: self.offset + mid,
+            },
+        )
+    }
+    fn pi_seq(self) -> Self::Seq {
+        EnumerateSeq {
+            inner: self.inner.pi_seq(),
+            next: self.offset,
+        }
+    }
+}
+
+/// Mapped parallel iterator.
+pub struct Map<A, F> {
+    inner: A,
+    f: Arc<F>,
+}
+
+/// Sequential side of [`Map`].
+pub struct MapSeq<S, F> {
+    inner: S,
+    f: Arc<F>,
+}
+
+impl<S: Iterator, R, F: Fn(S::Item) -> R> Iterator for MapSeq<S, F> {
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        self.inner.next().map(|x| (self.f)(x))
+    }
+}
+
+impl<A, R, F> ParallelIterator for Map<A, F>
+where
+    A: ParallelIterator,
+    F: Fn(A::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type Seq = MapSeq<A::Seq, F>;
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.inner.pi_split_at(mid);
+        (
+            Map {
+                inner: a,
+                f: self.f.clone(),
+            },
+            Map {
+                inner: b,
+                f: self.f,
+            },
+        )
+    }
+    fn pi_seq(self) -> Self::Seq {
+        MapSeq {
+            inner: self.inner.pi_seq(),
+            f: self.f,
+        }
+    }
+}
+
+/// Everything needed for `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn for_each_mutates_all() {
+        let mut v: Vec<u64> = (0..10_000).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn zip_pairs_lockstep() {
+        let mut a = vec![0u64; 4096];
+        let b: Vec<u64> = (0..4096).collect();
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(x, &y)| *x = y * 2);
+        assert!(a.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..5000usize).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(out.len(), 5000);
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn enumerate_offsets_survive_splits() {
+        let v = vec![7u8; 1000];
+        let out: Vec<usize> = v.par_iter().enumerate().map(|(i, _)| i).collect();
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let outer: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0..100usize).into_par_iter().map(|j| i + j).collect();
+                inner.len()
+            })
+            .collect();
+        assert!(outer.iter().all(|&n| n == 100));
+    }
+
+    #[test]
+    fn chunks_cover_slice() {
+        let mut v = vec![0u32; 1037];
+        v.par_chunks_mut(64).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk {
+                *x = ci as u32;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[64], 1);
+        assert_eq!(v[1036], (1036 / 64) as u32);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let v = vec![1u64; 64];
+        // On multi-core hosts this dispatches to the pool (message
+        // "a rayon task panicked"); on single-core hosts it runs inline
+        // and the original payload ("boom") unwinds directly. Either way
+        // the caller must observe a panic.
+        let result = std::panic::catch_unwind(|| {
+            v.par_iter().for_each(|&x| {
+                if x == 1 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+}

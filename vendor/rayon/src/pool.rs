@@ -1,0 +1,139 @@
+//! A small global thread pool executing batches of borrowed closures.
+//!
+//! `run_batch` is the only entry point: it submits every job, blocks until
+//! all of them finish, and propagates panics. Because the caller always
+//! waits for completion before returning, jobs may safely borrow from the
+//! caller's stack even though worker threads require `'static` closures —
+//! the lifetime is erased with one well-contained `transmute`.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+struct Pool {
+    queue: Arc<Queue>,
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Set on pool workers so nested batches run inline instead of
+    /// deadlocking on a queue drained only by blocked workers.
+    static IS_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        for i in 0..workers {
+            let q = queue.clone();
+            std::thread::Builder::new()
+                .name(format!("rayon-stub-{i}"))
+                .spawn(move || {
+                    IS_WORKER.with(|w| w.set(true));
+                    loop {
+                        let job = {
+                            let mut jobs = q.jobs.lock().unwrap_or_else(|e| e.into_inner());
+                            loop {
+                                if let Some(j) = jobs.pop_front() {
+                                    break j;
+                                }
+                                jobs = q.available.wait(jobs).unwrap_or_else(|e| e.into_inner());
+                            }
+                        };
+                        job();
+                    }
+                })
+                .expect("spawn pool worker");
+        }
+        Pool { queue, workers }
+    })
+}
+
+/// Number of worker threads in the global pool.
+pub fn current_num_threads() -> usize {
+    pool().workers
+}
+
+struct Latch {
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    mutex: Mutex<()>,
+    done: Condvar,
+}
+
+/// Runs every job to completion, in parallel when worthwhile.
+///
+/// # Panics
+///
+/// Panics (in the caller) if any job panicked.
+pub fn run_batch<'scope>(jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    if jobs.len() <= 1 || IS_WORKER.with(|w| w.get()) {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+    let pool = pool();
+    if pool.workers <= 1 {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+    let latch = Arc::new(Latch {
+        remaining: AtomicUsize::new(jobs.len()),
+        panicked: AtomicBool::new(false),
+        mutex: Mutex::new(()),
+        done: Condvar::new(),
+    });
+    {
+        let mut queue = pool.queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        for job in jobs {
+            let latch = latch.clone();
+            let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    latch.panicked.store(true, Ordering::SeqCst);
+                }
+                if latch.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    let _g = latch.mutex.lock().unwrap_or_else(|e| e.into_inner());
+                    latch.done.notify_all();
+                }
+            });
+            // SAFETY: this function blocks on the latch until every job has
+            // run, so borrows living for `'scope` outlive all job
+            // executions. Nothing retains the job after it runs.
+            let job: Job = unsafe {
+                std::mem::transmute::<
+                    Box<dyn FnOnce() + Send + 'scope>,
+                    Box<dyn FnOnce() + Send + 'static>,
+                >(wrapped)
+            };
+            queue.push_back(job);
+        }
+        pool.queue.available.notify_all();
+    }
+    let mut guard = latch.mutex.lock().unwrap_or_else(|e| e.into_inner());
+    while latch.remaining.load(Ordering::SeqCst) != 0 {
+        guard = latch.done.wait(guard).unwrap_or_else(|e| e.into_inner());
+    }
+    drop(guard);
+    if latch.panicked.load(Ordering::SeqCst) {
+        panic!("a rayon task panicked");
+    }
+}

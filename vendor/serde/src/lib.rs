@@ -1,0 +1,15 @@
+//! Offline vendored subset of the `serde` facade.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both namespaces the
+//! workspace imports: marker traits (type namespace) and no-op derive
+//! macros re-exported from `serde_derive` (macro namespace). The workspace
+//! only ever serializes `serde_json::Value`, so no trait machinery is
+//! needed behind the derives. See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

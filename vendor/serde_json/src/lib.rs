@@ -1,0 +1,458 @@
+//! Offline vendored subset of the `serde_json` API.
+//!
+//! Implements the surface this workspace uses: the [`Value`] tree, the
+//! [`json!`] constructor macro, and [`to_string_pretty`]. Matches upstream
+//! conventions where observable: objects print with sorted keys and
+//! 2-space indentation, non-finite floats map to `null`, and integral
+//! floats print with a trailing `.0`. See `vendor/README.md`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object representation (sorted keys, like upstream's default).
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number: integer or finite float.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Finite float.
+    Float(f64),
+}
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// The float value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v as f64),
+            Value::Number(Number::NegInt(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The unsigned integer value, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Indexes into an object by key (`Value::Null` if absent/not an object).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::PosInt(v as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v as i64))
+                }
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        if v.is_finite() {
+            Value::Number(Number::Float(v))
+        } else {
+            // Upstream serde_json also maps NaN/inf to null.
+            Value::Null
+        }
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::from(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Self {
+        Value::String((*v).to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone, const N: usize> From<&[T; N]> for Value {
+    fn from(v: &[T; N]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// Serialization error (the stub never actually fails).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pretty-prints `value` with 2-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, true);
+    Ok(out)
+}
+
+/// Prints `value` in compact form.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, false);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, depth: usize, pretty: bool) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, depth + 1, pretty);
+                write_value(out, item, depth + 1, pretty);
+            }
+            newline_indent(out, depth, pretty);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, depth + 1, pretty);
+                write_escaped(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, item, depth + 1, pretty);
+            }
+            newline_indent(out, depth, pretty);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize, pretty: bool) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match n {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(v) => {
+            if *v == v.trunc() && v.abs() < 1e15 {
+                out.push_str(&format!("{v:.1}"));
+            } else {
+                out.push_str(&format!("{v}"));
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] from a JSON-ish literal. Object values and array
+/// elements may be nested `{...}`/`[...]` literals, `null`, or arbitrary
+/// Rust expressions convertible via `Into<Value>`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #![allow(clippy::vec_init_then_push)]
+        #[allow(unused_mut)]
+        let mut list: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::__json_array!(list $($tt)*);
+        $crate::Value::Array(list)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::__json_object!(map $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    ($map:ident) => {};
+    ($map:ident $key:literal : null , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $crate::__json_object!($map $($rest)*);
+    };
+    ($map:ident $key:literal : null) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+    };
+    ($map:ident $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::__json_object!($map $($rest)*);
+    };
+    ($map:ident $key:literal : { $($inner:tt)* }) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+    };
+    ($map:ident $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::__json_object!($map $($rest)*);
+    };
+    ($map:ident $key:literal : [ $($inner:tt)* ]) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+    };
+    ($map:ident $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::Value::from($value));
+        $crate::__json_object!($map $($rest)*);
+    };
+    ($map:ident $key:literal : $value:expr) => {
+        $map.insert($key.to_string(), $crate::Value::from($value));
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    ($list:ident) => {};
+    ($list:ident null , $($rest:tt)*) => {
+        $list.push($crate::Value::Null);
+        $crate::__json_array!($list $($rest)*);
+    };
+    ($list:ident null) => {
+        $list.push($crate::Value::Null);
+    };
+    ($list:ident { $($inner:tt)* } , $($rest:tt)*) => {
+        $list.push($crate::json!({ $($inner)* }));
+        $crate::__json_array!($list $($rest)*);
+    };
+    ($list:ident { $($inner:tt)* }) => {
+        $list.push($crate::json!({ $($inner)* }));
+    };
+    ($list:ident [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $list.push($crate::json!([ $($inner)* ]));
+        $crate::__json_array!($list $($rest)*);
+    };
+    ($list:ident [ $($inner:tt)* ]) => {
+        $list.push($crate::json!([ $($inner)* ]));
+    };
+    ($list:ident $value:expr , $($rest:tt)*) => {
+        $list.push($crate::Value::from($value));
+        $crate::__json_array!($list $($rest)*);
+    };
+    ($list:ident $value:expr) => {
+        $list.push($crate::Value::from($value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let rows = vec![json!({ "a": 1u64, "b": 2.5f64 })];
+        let v = json!({ "rows": rows, "name": "x", "flag": true, "none": null });
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.len(), 4);
+        assert_eq!(v.get("name").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("none"), Some(&Value::Null));
+        assert_eq!(
+            v.get("rows").unwrap().as_array().unwrap()[0]
+                .get("b")
+                .unwrap()
+                .as_f64(),
+            Some(2.5)
+        );
+    }
+
+    #[test]
+    fn json_macro_nests_inline() {
+        let x = 2.0f64;
+        let v = json!({
+            "outer": { "inner": [1u64, 2u64, { "deep": x / 2.0 }], "n": null },
+            "arr": [[1u64], []],
+            "expr": x * 3.0,
+        });
+        assert_eq!(
+            v.get("outer")
+                .unwrap()
+                .get("inner")
+                .unwrap()
+                .as_array()
+                .unwrap()[2]
+                .get("deep")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(v.get("expr").unwrap().as_f64(), Some(6.0));
+    }
+
+    #[test]
+    fn pretty_output_is_stable() {
+        let v = json!({ "b": 1u64, "a": [1u64, 2u64], "s": "hi\"x" });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            s,
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": 1,\n  \"s\": \"hi\\\"x\"\n}"
+        );
+    }
+
+    #[test]
+    fn floats_follow_upstream_conventions() {
+        assert_eq!(to_string(&json!(1.0f64)).unwrap(), "1.0");
+        assert_eq!(to_string(&json!(0.25f64)).unwrap(), "0.25");
+        assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&json!(-3i64)).unwrap(), "-3");
+    }
+}
