@@ -1,0 +1,50 @@
+//! Overhead guard for the `neo-trace` instrumentation: the radix-2 NTT
+//! with the trace gate disabled (the default — one relaxed atomic load per
+//! counter site) vs enabled (relaxed `fetch_add`s). The disabled cost is
+//! the price every non-profiled run pays, so it must stay under ~2% of the
+//! uninstrumented kernel; numbers from this group feed `BENCH_trace.json`
+//! at the repo root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neo_ntt::{radix2, NttPlan};
+use rand::{Rng, SeedableRng};
+
+fn random_poly(plan: &NttPlan, seed: u64) -> Vec<u64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..plan.degree())
+        .map(|_| rng.gen_range(0..plan.modulus().value()))
+        .collect()
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead_ntt");
+    for log_n in [12u32, 14] {
+        let n = 1usize << log_n;
+        let q = neo_math::primes::ntt_primes(55, n, 1).unwrap()[0];
+        let plan = NttPlan::new(q, n).unwrap();
+        let a = random_poly(&plan, u64::from(log_n));
+        neo_trace::disable();
+        group.bench_with_input(BenchmarkId::new("disabled", n), &a, |b, a| {
+            b.iter(|| {
+                let mut x = a.clone();
+                radix2::forward(&plan, &mut x);
+                radix2::inverse(&plan, &mut x);
+                x
+            })
+        });
+        neo_trace::enable();
+        group.bench_with_input(BenchmarkId::new("enabled", n), &a, |b, a| {
+            b.iter(|| {
+                let mut x = a.clone();
+                radix2::forward(&plan, &mut x);
+                radix2::inverse(&plan, &mut x);
+                x
+            })
+        });
+        neo_trace::disable();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -26,6 +26,8 @@ pub fn keyswitch_hybrid(ctx: &CkksContext, key: &HybridKey, d: &RnsPoly) -> (Rns
     let q_primes = &ctx.q_primes()[..=level];
     let ranges = digit_ranges(ctx.params().alpha(), level + 1);
     let n = d.degree();
+    let dnum = ranges.len();
+    let _s = neo_trace::span!("keyswitch.hybrid", level = level, dnum = dnum);
     // Mod Up each digit independently (approximate BConv into the
     // complement basis, reassemble, forward NTT) — digits never touch each
     // other's limbs, so the whole stage fans out across the pool.

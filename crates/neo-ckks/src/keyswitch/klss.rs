@@ -41,6 +41,8 @@ pub fn keyswitch_klss(ctx: &CkksContext, key: &KlssKey, d: &RnsPoly) -> (RnsPoly
     let n = d.degree();
     let ranges = digit_ranges(params.alpha(), level + 1);
     let beta_t = ctx.params().beta_tilde(level);
+    let dnum = ranges.len();
+    let _s = neo_trace::span!("keyswitch.klss", level = level, dnum = dnum);
 
     // --- Mod Up: exact conversion of each digit into R_T, then NTT. ---
     // Digits are independent, so the conversions fan out across the pool.

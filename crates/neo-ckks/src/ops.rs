@@ -8,7 +8,35 @@ use crate::keys::{KeyChest, KeyTarget, PublicKey, SecretKey};
 use crate::keyswitch::{hybrid::keyswitch_hybrid, klss::keyswitch_klss};
 use crate::params::KsMethod;
 use neo_math::{Domain, RnsPoly};
+use neo_trace::span;
 use rand::Rng;
+
+/// Remaining noise budget of a ciphertext in bits, estimated without the
+/// secret key: `Σ_{i ≤ level} log2(q_i) − log2(scale)`. Emitted as a
+/// `noise.budget` trace event after the noise-affecting operations so a
+/// profile run shows the budget draining along the op sequence.
+pub fn noise_budget_bits(ctx: &CkksContext, ct: &Ciphertext) -> f64 {
+    let total: f64 = ctx
+        .q_moduli(ct.level())
+        .iter()
+        .map(|m| (m.value() as f64).log2())
+        .sum();
+    total - ct.scale().log2()
+}
+
+fn emit_budget(ctx: &CkksContext, op: &str, ct: &Ciphertext) {
+    if neo_trace::enabled() {
+        neo_trace::event(
+            "noise.budget",
+            format!(
+                "op={} level={} budget_bits={:.1}",
+                op,
+                ct.level(),
+                noise_budget_bits(ctx, ct)
+            ),
+        );
+    }
+}
 
 /// Encrypts a plaintext under the public key:
 /// `ct = (v·p0 + e0 + m, v·p1 + e1)`.
@@ -19,6 +47,7 @@ pub fn encrypt<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Ciphertext {
     let level = pt.level();
+    let _s = span!("ckks.encrypt", level = level);
     let moduli = ctx.q_moduli(level).to_vec();
     let mut v = RnsPoly::from_signed(&ctx.sample_ternary(rng), &moduli);
     ctx.ntt_forward(&mut v, &moduli);
@@ -33,11 +62,14 @@ pub fn encrypt<R: Rng + ?Sized>(
     c0.add_assign(&e0, &moduli);
     c0.add_assign(pt.poly(), &moduli);
     c1.add_assign(&e1, &moduli);
-    Ciphertext::new(c0, c1, pt.scale(), level)
+    let ct = Ciphertext::new(c0, c1, pt.scale(), level);
+    emit_budget(ctx, "encrypt", &ct);
+    ct
 }
 
 /// Decrypts: `m = c0 + c1·s`.
 pub fn decrypt(ctx: &CkksContext, sk: &SecretKey, ct: &Ciphertext) -> Plaintext {
+    let _s = span!("ckks.decrypt", level = ct.level());
     let moduli = ctx.q_moduli(ct.level()).to_vec();
     let s = sk.poly_ntt(ctx, &moduli);
     let mut c1 = ct.c1().clone();
@@ -122,6 +154,7 @@ pub fn padd(ctx: &CkksContext, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
 /// Panics on level mismatch.
 pub fn pmult(ctx: &CkksContext, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
     assert_eq!(a.level(), pt.level(), "level mismatch");
+    let _s = span!("ckks.pmult", level = a.level());
     let moduli = ctx.q_moduli(a.level()).to_vec();
     let mut m = pt.poly().clone();
     ctx.ntt_forward(&mut m, &moduli);
@@ -147,6 +180,7 @@ pub fn hmult(chest: &KeyChest, a: &Ciphertext, b: &Ciphertext, method: KsMethod)
     assert_eq!(a.level(), b.level(), "level mismatch");
     let ctx = chest.context();
     let level = a.level();
+    let _s = span!("ckks.hmult", level = level);
     let moduli = ctx.q_moduli(level).to_vec();
     // Tensor product in NTT domain.
     let mut a0 = a.c0().clone();
@@ -173,7 +207,9 @@ pub fn hmult(chest: &KeyChest, a: &Ciphertext, b: &Ciphertext, method: KsMethod)
     let (u0, u1) = switch(chest, level, KeyTarget::Relin, &d2, method);
     d0.add_assign(&u0, &moduli);
     d1.add_assign(&u1, &moduli);
-    Ciphertext::new(d0, d1, a.scale() * b.scale(), level)
+    let out = Ciphertext::new(d0, d1, a.scale() * b.scale(), level);
+    emit_budget(ctx, "hmult", &out);
+    out
 }
 
 /// HROTATE: rotates slots left by `steps` via the automorphism
@@ -198,6 +234,7 @@ pub fn hconjugate(chest: &KeyChest, a: &Ciphertext, method: KsMethod) -> Ciphert
 fn apply_galois(chest: &KeyChest, a: &Ciphertext, g: usize, method: KsMethod) -> Ciphertext {
     let ctx = chest.context();
     let level = a.level();
+    let _s = span!("ckks.galois", level = level, g = g);
     let moduli = ctx.q_moduli(level).to_vec();
     let mut c0 = a.c0().automorphism(g, &moduli);
     let c1 = a.c1().automorphism(g, &moduli);
@@ -235,6 +272,7 @@ fn switch(
 pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Ciphertext {
     let level = ct.level();
     assert!(level >= 1, "cannot rescale at level 0");
+    let _s = span!("ckks.rescale", level = level);
     let q_last = ctx.q_moduli(level)[level];
     let moduli = ctx.q_moduli(level - 1).to_vec();
     let rescale_poly = |p: &RnsPoly| -> RnsPoly {
@@ -255,7 +293,9 @@ pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Ciphertext {
     };
     let c0 = rescale_poly(ct.c0());
     let c1 = rescale_poly(ct.c1());
-    Ciphertext::new(c0, c1, ct.scale() / q_last.value() as f64, level - 1)
+    let out = Ciphertext::new(c0, c1, ct.scale() / q_last.value() as f64, level - 1);
+    emit_budget(ctx, "rescale", &out);
+    out
 }
 
 /// Double Rescale (DS): two consecutive rescales, consuming two levels —

@@ -1,0 +1,26 @@
+//! Shared analytic cost constants.
+//!
+//! One canonical home for the CUDA-core cost weights that the kernel
+//! profiles in `neo-kernels` apply to auxiliary (non-MAC) work, so the
+//! analytic model and the measured-counter mapping
+//! ([`KernelProfile::from_counters`](crate::KernelProfile::from_counters))
+//! can never drift apart. All weights are relative to one modular MAC on a
+//! CUDA core.
+
+/// Bytes per machine word (all limb data is `u64`).
+pub const WORD_BYTES: f64 = 8.0;
+
+/// Cost of a pure data-movement op (layout reorder) relative to a modular
+/// MAC.
+pub const REORDER_COST: f64 = 0.25;
+
+/// Cost of a bit-split op (extracting one plane element) relative to a
+/// modular MAC.
+pub const SPLIT_COST: f64 = 0.25;
+
+/// Cost of a shift-merge-reduce op (recombining one output element from
+/// one partial-product plane) relative to a modular MAC.
+pub const MERGE_COST: f64 = 0.5;
+
+/// Cost of a transpose element move relative to a modular MAC.
+pub const TRANSPOSE_COST: f64 = 0.25;

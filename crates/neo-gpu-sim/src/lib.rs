@@ -34,6 +34,7 @@
 //! assert!(t > 0.0);
 //! ```
 
+pub mod costs;
 mod model;
 mod profile;
 mod spec;

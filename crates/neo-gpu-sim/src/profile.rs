@@ -1,3 +1,5 @@
+use crate::costs::{MERGE_COST, REORDER_COST, SPLIT_COST};
+use neo_trace::{Counter, WorkCounters};
 use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Mul};
 
@@ -34,6 +36,31 @@ impl KernelProfile {
             name: name.into(),
             ..Default::default()
         }
+    }
+
+    /// Builds a *measured* profile from `neo-trace` work counters, using
+    /// the same cost weights ([`crate::costs`]) that the analytic profiles
+    /// in `neo-kernels` apply: modular MACs/muls, butterflies, and scalar
+    /// GEMM MACs count 1 CUDA MAC each; reorder, split, and merge ops are
+    /// weighted by their relative costs; tensor-core MACs, bytes, and
+    /// launches map through directly. This is what makes measured and
+    /// analytic profiles directly comparable.
+    pub fn from_counters(name: impl Into<String>, w: &WorkCounters) -> Self {
+        let c = |counter: Counter| w.get(counter) as f64;
+        Self::new(name)
+            .cuda_modmacs(
+                c(Counter::ModMacs)
+                    + c(Counter::ModMuls)
+                    + c(Counter::NttButterflies)
+                    + c(Counter::GemmMacs)
+                    + REORDER_COST * c(Counter::ReorderOps)
+                    + SPLIT_COST * c(Counter::SplitOps)
+                    + MERGE_COST * c(Counter::MergeOps),
+            )
+            .tcu_fp64_macs(c(Counter::TcuFp64Macs))
+            .tcu_int8_macs(c(Counter::TcuInt8Macs))
+            .bytes(c(Counter::BytesRead), c(Counter::BytesWritten))
+            .launches(c(Counter::Launches))
     }
 
     /// Sets CUDA-core modular MAC count.
@@ -155,5 +182,26 @@ mod tests {
     fn empty_detection() {
         assert!(KernelProfile::new("x").is_empty());
         assert!(!KernelProfile::new("x").launches(1.0).is_empty());
+    }
+
+    #[test]
+    fn from_counters_applies_cost_weights() {
+        let (_, w) = neo_trace::record(|| {
+            neo_trace::add(Counter::GemmMacs, 100);
+            neo_trace::add(Counter::MergeOps, 10);
+            neo_trace::add(Counter::ReorderOps, 8);
+            neo_trace::add(Counter::TcuFp64Macs, 256);
+            neo_trace::add(Counter::BytesRead, 640);
+            neo_trace::add(Counter::Launches, 2);
+        });
+        let p = KernelProfile::from_counters("measured", &w);
+        assert_eq!(
+            p.cuda_modmacs,
+            100.0 + MERGE_COST * 10.0 + REORDER_COST * 8.0
+        );
+        assert_eq!(p.tcu_fp64_macs, 256.0);
+        assert_eq!(p.bytes_read, 640.0);
+        assert_eq!(p.launches, 2.0);
+        assert_eq!(p.name, "measured");
     }
 }

@@ -8,12 +8,14 @@
 //! `q̂` matrix — each datum is fetched exactly once (Fig. 6).
 
 use crate::geometry::{BconvGeom, MatmulTarget};
+use neo_gpu_sim::costs::{MERGE_COST, REORDER_COST, SPLIT_COST, WORD_BYTES};
 use neo_gpu_sim::KernelProfile;
 use neo_math::BconvTable;
 use neo_tcu::{
     gemm_multi_mod_fp64, gemm_multi_mod_int8, gemm_multi_mod_scalar, Fp64SplitScheme, GemmDims,
     Int8SplitScheme, FP64_FRAGMENT, INT8_FRAGMENTS,
 };
+use neo_trace::{span, Counter};
 use rayon::prelude::*;
 
 /// Original element-wise BConv (Algorithm 1): per output limb, walk every
@@ -23,6 +25,20 @@ use rayon::prelude::*;
 ///
 /// Panics if `input.len()` differs from the table's source basis size.
 pub fn bconv_original(table: &BconvTable, input: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    let (alpha, alpha_out) = (table.src().len(), table.dst().len());
+    let n = input.first().map_or(0, Vec::len) as u64;
+    let _s = span!(
+        "kernel.bconv.orig",
+        n = n,
+        alpha = alpha,
+        alpha_out = alpha_out
+    );
+    // Algorithm 1 re-reads every input coefficient once per output limb
+    // and launches one kernel per output limb.
+    let word = WORD_BYTES as u64;
+    neo_trace::add(Counter::BytesRead, word * n * (alpha * alpha_out) as u64);
+    neo_trace::add(Counter::BytesWritten, word * n * alpha_out as u64);
+    neo_trace::add(Counter::Launches, alpha_out as u64);
     // The element-wise reference in neo-math implements exactly the
     // Algorithm-1 data access pattern.
     table.convert_approx(input)
@@ -67,6 +83,22 @@ fn bconv_matrix_impl(
     let alpha_out = table.dst().len();
     assert_eq!(input.len(), alpha, "source limb count mismatch");
     let n = input[0].len();
+    let _s = span!(
+        "kernel.bconv.matrix",
+        n = n,
+        alpha = alpha,
+        alpha_out = alpha_out
+    );
+    // One fused launch: input and the q̂ matrix read once, output written
+    // once, two layout reorders.
+    let word = WORD_BYTES as u64;
+    neo_trace::add(
+        Counter::BytesRead,
+        word * (n * alpha + alpha * alpha_out) as u64,
+    );
+    neo_trace::add(Counter::BytesWritten, word * (n * alpha_out) as u64);
+    neo_trace::add(Counter::Launches, 1);
+    neo_trace::add(Counter::ReorderOps, (n * alpha + n * alpha_out) as u64);
     // Step 1: scalar multiplication y_i = [x_i * q̂_i^{-1}]_{q_i}.
     let scaled = table.scale_limbs(input);
     // Step 2: data reorder — α innermost: A[(coeff), i] (Fig. 6).
@@ -119,14 +151,6 @@ fn bconv_matrix_impl(
     });
     out
 }
-
-const WORD_BYTES: f64 = 8.0;
-/// Cost of a pure data-movement op relative to a modular MAC.
-const REORDER_COST: f64 = 0.25;
-/// Cost of a bit-split op relative to a modular MAC.
-const SPLIT_COST: f64 = 0.25;
-/// Cost of a shift-merge-reduce op relative to a modular MAC.
-const MERGE_COST: f64 = 0.5;
 
 /// Profile of the original element-wise BConv: every input coefficient is
 /// re-read once per output limb, and one kernel is launched per output

@@ -18,11 +18,13 @@
 //! * output:            `out[i][k]` — `batch · n` coefficients.
 
 use crate::geometry::{IpGeom, MatmulTarget};
+use neo_gpu_sim::costs::{MERGE_COST, REORDER_COST, SPLIT_COST, WORD_BYTES};
 use neo_gpu_sim::KernelProfile;
 use neo_math::Modulus;
 use neo_tcu::{
     Fp64TcuGemm, GemmDims, GemmEngine, Int8TcuGemm, ScalarGemm, FP64_FRAGMENT, INT8_FRAGMENTS,
 };
+use neo_trace::{span, Counter};
 use rayon::prelude::*;
 
 /// Original element-wise IP (Algorithm 3): for every output digit `i`,
@@ -39,10 +41,24 @@ pub fn ip_original(
     evk: &[Vec<Vec<Vec<u64>>>],
 ) -> Vec<Vec<Vec<u64>>> {
     let alpha_p = c[0].len();
+    let beta = c.len();
     let beta_t = evk.len();
     let bn = c[0][0].len();
     let n = bn / batch;
     assert_eq!(moduli.len(), alpha_p, "one modulus per R_T limb");
+    let _s = span!("kernel.ip.orig", beta, beta_t, alpha_p, batch, n);
+    // Algorithm 3: one ModMUL launch per (i, j) pair; ciphertext re-read
+    // per output digit, accumulator round-trips per reduction step.
+    let word = WORD_BYTES as u64;
+    let vol = (bn * alpha_p) as u64;
+    let key_vol = (n * alpha_p) as u64;
+    neo_trace::add(Counter::ModMacs, (beta_t * beta) as u64 * vol);
+    neo_trace::add(
+        Counter::BytesRead,
+        word * ((beta_t * beta) as u64 * (vol + key_vol) + (beta_t * (beta - 1)) as u64 * vol),
+    );
+    neo_trace::add(Counter::BytesWritten, word * (beta_t * beta) as u64 * vol);
+    neo_trace::add(Counter::Launches, (beta * beta_t) as u64);
     let mut out = vec![vec![vec![0u64; bn]; alpha_p]; beta_t];
     for (i, out_i) in out.iter_mut().enumerate() {
         for (j, c_j) in c.iter().enumerate() {
@@ -82,6 +98,17 @@ pub fn ip_matrix(
     let bn = c[0][0].len();
     let n = bn / batch;
     assert_eq!(moduli.len(), alpha_p, "one modulus per R_T limb");
+    let _s = span!("kernel.ip.matrix", beta, beta_t, alpha_p, batch, n);
+    // One fused launch: ciphertext and keys read once, output written once.
+    let word = WORD_BYTES as u64;
+    let vol = (bn * alpha_p) as u64;
+    let key_vol = (n * alpha_p) as u64;
+    neo_trace::add(
+        Counter::BytesRead,
+        word * (beta as u64 * vol + (beta_t * beta) as u64 * key_vol),
+    );
+    neo_trace::add(Counter::BytesWritten, word * beta_t as u64 * vol);
+    neo_trace::add(Counter::Launches, 1);
     let w = moduli.iter().map(|m| m.bits()).max().unwrap();
     let engine: Box<dyn GemmEngine + Sync> = match target {
         MatmulTarget::Cuda => Box::new(ScalarGemm),
@@ -98,6 +125,12 @@ pub fn ip_matrix(
             let mut bmat = vec![0u64; beta * beta_t];
             let mut cmat = vec![0u64; batch * beta_t];
             let mut out_k = vec![vec![0u64; bn]; beta_t];
+            // Per-coefficient gather of A and B plus the scatter of C are
+            // the Fig. 8 reorders (counted once per limb, n coefficients).
+            neo_trace::add(
+                Counter::ReorderOps,
+                (n * (batch * beta + beta * beta_t + batch * beta_t)) as u64,
+            );
             for l in 0..n {
                 // A[b][j] = c[j][k][b·n + l]  (limbs reordered, Fig. 8 top)
                 for b in 0..batch {
@@ -130,11 +163,6 @@ pub fn ip_matrix(
     }
     out
 }
-
-const WORD_BYTES: f64 = 8.0;
-const REORDER_COST: f64 = 0.25;
-const SPLIT_COST: f64 = 0.25;
-const MERGE_COST: f64 = 0.5;
 
 /// Profile of the original element-wise IP: built from independent ModMUL
 /// kernels (Algorithm 3), so ciphertext limbs are re-read once per output

@@ -34,9 +34,11 @@
 //! ```
 
 pub mod bconv;
+pub mod crosscheck;
 pub mod elementwise;
 pub mod geometry;
 pub mod ip;
 pub mod ntt;
 
+pub use crosscheck::{measured_vs_analytic, CheckOp, DeltaEntry, ProfileDelta};
 pub use geometry::{BconvGeom, ElemGeom, IpGeom, MatmulTarget, NttAlgorithm, NttGeom};

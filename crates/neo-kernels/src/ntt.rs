@@ -6,14 +6,10 @@
 //! the "+ten-step NTT" / "+FP64 TCU" ablation steps of Fig. 14.
 
 use crate::geometry::{MatmulTarget, NttAlgorithm, NttGeom};
+use neo_gpu_sim::costs::{MERGE_COST, SPLIT_COST, TRANSPOSE_COST, WORD_BYTES};
 use neo_gpu_sim::KernelProfile;
 use neo_ntt::complexity;
 use neo_tcu::{Fp64SplitScheme, Int8SplitScheme};
-
-const WORD_BYTES: f64 = 8.0;
-const SPLIT_COST: f64 = 0.25;
-const MERGE_COST: f64 = 0.5;
-const TRANSPOSE_COST: f64 = 0.25;
 
 /// Cost profile of a batched NTT (or INTT — identical structure).
 ///

@@ -26,6 +26,7 @@
 //! rounding boundary while the f64 accumulation error is below `k·2⁻⁴⁰`.
 
 use crate::{MathError, RnsBasis};
+use neo_trace::Counter;
 
 /// Precomputed constants for converting from one RNS basis to another.
 #[derive(Debug, Clone)]
@@ -181,6 +182,11 @@ impl BconvTable {
                 limb[c] = ocol[j];
             }
         }
+        // One MAC per (coeff, src, dst) triple plus the per-source residue
+        // scaling; the exact flavour multiplies one correction per target.
+        let (s, d) = (self.src.len() as u64, self.dst.len() as u64);
+        neo_trace::add(Counter::ModMacs, n as u64 * s * d);
+        neo_trace::add(Counter::ModMuls, n as u64 * (s + if exact { d } else { 0 }));
         out
     }
 
@@ -206,6 +212,8 @@ impl BconvTable {
     /// Panics if the limb count differs from the source basis.
     pub fn scale_limbs(&self, x: &[Vec<u64>]) -> Vec<Vec<u64>> {
         assert_eq!(x.len(), self.src.len(), "source limb count mismatch");
+        let elems: u64 = x.iter().map(|l| l.len() as u64).sum();
+        neo_trace::add(Counter::ModMuls, elems);
         self.src
             .moduli()
             .iter()

@@ -5,33 +5,71 @@
 //! same handful of `(prime, degree)` pairs from many call sites (context
 //! setup, key switching, kernels, tests). The cache hands out `Arc`s so a
 //! plan is built once per process and shared freely across threads.
+//!
+//! The cache keeps its own hit/miss/discard tallies (see [`stats`]) and
+//! mirrors them into `neo-trace` counters when tracing is enabled, so
+//! profile reports show cache behaviour alongside kernel work.
 
 use crate::NttPlan;
 use neo_math::MathError;
+use neo_trace::Counter;
 use parking_lot::RwLock;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, LazyLock};
 
 type PlanMap = HashMap<(u64, usize), Arc<NttPlan>>;
 
 static PLAN_CACHE: LazyLock<RwLock<PlanMap>> = LazyLock::new(|| RwLock::new(HashMap::new()));
 
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static DISCARDED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the cache's lifetime behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to build a plan.
+    pub misses: u64,
+    /// Plans built by a thread that lost the insertion race and were
+    /// thrown away (each one is wasted `O(n)` work — benign, but visible).
+    pub discarded_builds: u64,
+    /// Plans currently resident.
+    pub entries: usize,
+}
+
 /// Returns the cached plan for `(q, n)`, building and inserting it on the
 /// first request. Concurrent callers for the same key all receive the same
-/// `Arc` (a race may build a plan twice, but only one instance is kept).
+/// `Arc`. A race may build a plan twice; only one instance is kept and the
+/// loser is counted in [`CacheStats::discarded_builds`].
 ///
 /// # Errors
 ///
 /// Propagates [`NttPlan::new`] errors; failures are not cached.
 pub fn get_or_build(q: u64, n: usize) -> Result<Arc<NttPlan>, MathError> {
     if let Some(plan) = PLAN_CACHE.read().get(&(q, n)) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        neo_trace::add(Counter::PlanCacheHits, 1);
         return Ok(plan.clone());
     }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    neo_trace::add(Counter::PlanCacheMisses, 1);
     // Build outside the write lock: construction costs O(n) multiplies
     // and other keys shouldn't wait on it.
     let built = Arc::new(NttPlan::new(q, n)?);
     let mut cache = PLAN_CACHE.write();
-    Ok(cache.entry((q, n)).or_insert(built).clone())
+    match cache.entry((q, n)) {
+        Entry::Occupied(e) => {
+            // Another thread built the same plan first; ours is discarded.
+            DISCARDED.fetch_add(1, Ordering::Relaxed);
+            neo_trace::add(Counter::PlanCacheDiscards, 1);
+            Ok(e.get().clone())
+        }
+        Entry::Vacant(v) => Ok(v.insert(built).clone()),
+    }
 }
 
 /// Number of plans currently cached (diagnostics/tests).
@@ -39,13 +77,43 @@ pub fn cached_plans() -> usize {
     PLAN_CACHE.read().len()
 }
 
+/// Lifetime hit/miss/discard statistics plus current entry count.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        discarded_builds: DISCARDED.load(Ordering::Relaxed),
+        entries: cached_plans(),
+    }
+}
+
+/// Empties the cache and zeroes the statistics. Intended for tests that
+/// need a cold cache; outstanding `Arc`s stay valid.
+pub fn clear() {
+    let mut cache = PLAN_CACHE.write();
+    cache.clear();
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+    DISCARDED.store(0, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use neo_math::primes;
+    use std::sync::Mutex;
+
+    /// `clear()` wipes the shared cache, so tests in this module (which
+    /// the harness runs in parallel threads) serialise through this lock.
+    static CACHE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        CACHE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn repeated_requests_share_one_arc() {
+        let _g = lock();
         let q = primes::ntt_primes(36, 128, 1).unwrap()[0];
         let a = get_or_build(q, 128).unwrap();
         let b = get_or_build(q, 128).unwrap();
@@ -56,6 +124,7 @@ mod tests {
 
     #[test]
     fn distinct_keys_get_distinct_plans() {
+        let _g = lock();
         let qs = primes::ntt_primes(36, 64, 2).unwrap();
         let a = get_or_build(qs[0], 64).unwrap();
         let b = get_or_build(qs[1], 64).unwrap();
@@ -65,6 +134,7 @@ mod tests {
 
     #[test]
     fn concurrent_callers_converge_on_one_plan() {
+        let _g = lock();
         let q = primes::ntt_primes(36, 256, 1).unwrap()[0];
         let handles: Vec<_> = (0..8)
             .map(|_| std::thread::spawn(move || get_or_build(q, 256).unwrap()))
@@ -77,8 +147,70 @@ mod tests {
 
     #[test]
     fn errors_are_propagated_not_cached() {
+        let _g = lock();
         assert!(get_or_build(6, 64).is_err()); // composite q
         let q = primes::ntt_primes(36, 64, 1).unwrap()[0];
         assert!(get_or_build(q, 48).is_err()); // degree not a power of two
+    }
+
+    #[test]
+    fn stats_track_miss_then_hits() {
+        let _g = lock();
+        clear();
+        assert_eq!(stats(), CacheStats::default());
+        let q = primes::ntt_primes(36, 512, 1).unwrap()[0];
+        let _a = get_or_build(q, 512).unwrap();
+        let _b = get_or_build(q, 512).unwrap();
+        let _c = get_or_build(q, 512).unwrap();
+        let s = stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.entries, 1);
+        // Sequential use never discards a build.
+        assert_eq!(s.discarded_builds, 0);
+    }
+
+    #[test]
+    fn clear_empties_cache_and_resets_stats() {
+        let _g = lock();
+        let q = primes::ntt_primes(36, 1024, 1).unwrap()[0];
+        let plan = get_or_build(q, 1024).unwrap();
+        assert!(cached_plans() >= 1);
+        clear();
+        assert_eq!(cached_plans(), 0);
+        assert_eq!(stats(), CacheStats::default());
+        // The Arc we already hold survives the purge.
+        assert_eq!(plan.degree(), 1024);
+        // Re-requesting rebuilds (a fresh miss).
+        let rebuilt = get_or_build(q, 1024).unwrap();
+        assert!(!Arc::ptr_eq(&plan, &rebuilt));
+        assert_eq!(stats().misses, 1);
+    }
+
+    #[test]
+    fn racing_builders_are_counted_not_leaked() {
+        let _g = lock();
+        clear();
+        let q = primes::ntt_primes(36, 2048, 1).unwrap()[0];
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let b = barrier.clone();
+                std::thread::spawn(move || {
+                    b.wait();
+                    get_or_build(q, 2048).unwrap()
+                })
+            })
+            .collect();
+        let plans: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for p in &plans[1..] {
+            assert!(Arc::ptr_eq(&plans[0], p));
+        }
+        let s = stats();
+        // Every build beyond the one that was kept must be accounted for
+        // as a discard; hits cover the rest.
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.misses, s.discarded_builds + 1);
+        assert_eq!(s.hits + s.misses, 8);
     }
 }

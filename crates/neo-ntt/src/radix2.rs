@@ -22,9 +22,16 @@
 //! baseline for `benches/ntt.rs`.
 
 use crate::NttPlan;
+use neo_trace::Counter;
 
 /// In-place forward negacyclic NTT (natural order in and out) — Shoup
 /// fast path.
+///
+/// The butterflies each stage executes are tallied from the loop structure
+/// (not a closed-form formula) and recorded under
+/// [`Counter::NttButterflies`], so the telemetry cross-check against
+/// `complexity::radix2_butterfly_macs` genuinely validates the
+/// implementation's work, stage by stage.
 ///
 /// # Panics
 ///
@@ -35,6 +42,7 @@ pub fn forward(plan: &NttPlan, x: &mut [u64]) {
     let m = plan.modulus();
     let q = m.value();
     let two_q = 2 * q;
+    let mut butterflies = 0u64;
     bit_reverse_planned(x, plan);
     // Stage 1 with the ψ-twist folded in: after bit-reversal, position i
     // holds a[rev(i)], which needs twist factor ψ^{rev(i)}; the stage-1
@@ -49,6 +57,7 @@ pub fn forward(plan: &NttPlan, x: &mut [u64]) {
         pair[0] = u + t;
         pair[1] = u + two_q - t;
     }
+    butterflies += (n / 2) as u64;
     // Middle stages stay lazy in [0, 4q).
     let twiddles = plan.fwd_twiddles();
     let mut size = 4;
@@ -79,6 +88,7 @@ pub fn forward(plan: &NttPlan, x: &mut [u64]) {
                 *a = u + t;
                 *b = u + two_q - t;
             }
+            butterflies += half as u64;
         }
         stage_off += half;
         size *= 2;
@@ -110,6 +120,8 @@ pub fn forward(plan: &NttPlan, x: &mut [u64]) {
         *a = r0;
         *b = r1;
     }
+    butterflies += half as u64;
+    neo_trace::add(Counter::NttButterflies, butterflies);
 }
 
 /// In-place inverse negacyclic NTT (natural order in and out) — Shoup
@@ -124,12 +136,14 @@ pub fn inverse(plan: &NttPlan, x: &mut [u64]) {
     assert_eq!(x.len(), n, "length mismatch");
     let m = plan.modulus();
     bit_reverse_planned(x, plan);
-    lazy_butterflies(x, plan, plan.inv_twiddles());
+    let butterflies = lazy_butterflies(x, plan, plan.inv_twiddles());
+    neo_trace::add(Counter::NttButterflies, butterflies);
     // mul_shoup accepts the unreduced [0, 4q) values directly and returns
     // the exact representative in [0, q).
     for (v, &s) in x.iter_mut().zip(plan.psi_inv_n_inv_shoup()) {
         *v = m.mul_shoup(*v, s);
     }
+    neo_trace::add(Counter::ModMuls, n as u64);
 }
 
 /// Cooley–Tukey stages with Harvey lazy butterflies.
@@ -138,12 +152,15 @@ pub fn inverse(plan: &NttPlan, x: &mut [u64]) {
 /// conditionally subtracts `2q` from `u` (making it `< 2q`), takes
 /// `t = v * w` in `[0, 2q)` via lazy Shoup, and emits `u + t < 4q` and
 /// `u - t + 2q` in `(0, 4q)`. `twiddles` is stage-major (see `NttPlan`).
-fn lazy_butterflies(x: &mut [u64], plan: &NttPlan, twiddles: &[neo_math::ShoupMul]) {
+/// Returns the number of butterflies executed (tallied per block from the
+/// loop structure, for the telemetry cross-check).
+fn lazy_butterflies(x: &mut [u64], plan: &NttPlan, twiddles: &[neo_math::ShoupMul]) -> u64 {
     let n = x.len();
     let m = plan.modulus();
     let two_q = 2 * m.value();
     let mut size = 2;
     let mut stage_off = 0;
+    let mut butterflies = 0u64;
     while size <= n {
         let half = size / 2;
         let stage = &twiddles[stage_off..stage_off + half];
@@ -160,10 +177,12 @@ fn lazy_butterflies(x: &mut [u64], plan: &NttPlan, twiddles: &[neo_math::ShoupMu
                 *a = u + t;
                 *b = u + two_q - t;
             }
+            butterflies += half as u64;
         }
         stage_off += half;
         size *= 2;
     }
+    butterflies
 }
 
 /// Bit-reversal permutation via the plan's precomputed swap list — one

@@ -64,6 +64,7 @@ pub fn mma_fp64(a: &[f64], b: &[f64], c: &mut [f64]) {
     assert_eq!(a.len(), 8 * 4);
     assert_eq!(b.len(), 4 * 8);
     assert_eq!(c.len(), 8 * 8);
+    neo_trace::add(neo_trace::Counter::TcuFp64Macs, FP64_FRAGMENT.macs() as u64);
     for i in 0..8 {
         for j in 0..8 {
             let mut acc = c[i * 8 + j];
@@ -91,6 +92,7 @@ pub fn mma_int8(shape: FragmentShape, a: &[u8], b: &[u8], c: &mut [i32]) {
     assert_eq!(a.len(), shape.m * shape.k);
     assert_eq!(b.len(), shape.k * shape.n);
     assert_eq!(c.len(), shape.m * shape.n);
+    neo_trace::add(neo_trace::Counter::TcuInt8Macs, shape.macs() as u64);
     for i in 0..shape.m {
         for j in 0..shape.n {
             let mut acc = c[i * shape.n + j];

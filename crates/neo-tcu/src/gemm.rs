@@ -17,6 +17,7 @@
 use crate::fragment::{self, FragmentShape, FP64_FRAGMENT, INT8_FRAGMENTS};
 use crate::split::{Fp64SplitScheme, Int8SplitScheme};
 use neo_math::Modulus;
+use neo_trace::Counter;
 use std::cell::RefCell;
 
 thread_local! {
@@ -73,6 +74,7 @@ impl GemmEngine for ScalarGemm {
         out: &mut [u64],
     ) {
         check_dims(a, b, out, m, k, n);
+        neo_trace::add(Counter::GemmMacs, (m * k * n) as u64);
         // Each product of reduced operands is at most (q-1)²; after a fold
         // the accumulator restarts below q, so `span` additions fit in
         // u128 without wrapping: span·(q-1)² + (q-1) ≤ u128::MAX.
@@ -192,6 +194,7 @@ impl GemmEngine for Fp64TcuGemm {
                     for (off_b, pb) in &b_planes {
                         let shift = off_a + off_b;
                         fragment_tiled_gemm_fp64(pa, pb, m, k, n, k0, kw, &mut tile);
+                        neo_trace::add(Counter::MergeOps, (m * n) as u64);
                         for (o, &v) in out.iter_mut().zip(tile.iter()) {
                             debug_assert!(
                                 (0.0..9_007_199_254_740_992.0).contains(&v),
@@ -321,6 +324,7 @@ impl GemmEngine for Int8TcuGemm {
                 for (off_b, pb) in &b_planes {
                     let shift = off_a + off_b;
                     fragment_tiled_gemm_int8(self.shape, pa, pb, m, k, n, &mut tile);
+                    neo_trace::add(Counter::MergeOps, (m * n) as u64);
                     for (o, &v) in out.iter_mut().zip(tile.iter()) {
                         let contrib = q.reduce_u128((v as u128) << shift);
                         *o = q.add(*o, contrib);

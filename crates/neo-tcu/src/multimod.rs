@@ -9,6 +9,7 @@
 use crate::fragment::{self, FragmentShape, FP64_FRAGMENT, INT8_FRAGMENTS};
 use crate::split::{Fp64SplitScheme, Int8SplitScheme};
 use neo_math::Modulus;
+use neo_trace::Counter;
 
 /// Scalar reference: per-column modular accumulation.
 ///
@@ -28,6 +29,7 @@ pub fn gemm_multi_mod_scalar(
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), k * n);
     assert_eq!(out.len(), m * n);
+    neo_trace::add(Counter::GemmMacs, (m * k * n) as u64);
     for i in 0..m {
         for (j, t) in cols.iter().enumerate() {
             let mut acc = 0u64;
@@ -75,6 +77,7 @@ pub fn gemm_multi_mod_fp64(
             for (off_b, pb) in &b_planes {
                 let shift = off_a + off_b;
                 let tile = tiled_fp64(pa, pb, m, k, n, k0, kw);
+                neo_trace::add(Counter::MergeOps, (m * n) as u64);
                 for i in 0..m {
                     for (j, t) in cols.iter().enumerate() {
                         let v = tile[i * n + j];
@@ -163,6 +166,7 @@ pub fn gemm_multi_mod_int8(
         for (off_b, pb) in &b_planes {
             let shift = off_a + off_b;
             let tile = tiled_int8(shape, pa, pb, m, k, n);
+            neo_trace::add(Counter::MergeOps, (m * n) as u64);
             for i in 0..m {
                 for (j, t) in cols.iter().enumerate() {
                     let contrib = t.reduce_u128((tile[i * n + j] as u128) << shift);

@@ -149,6 +149,10 @@ impl Fp64SplitScheme {
 }
 
 fn split_planes(data: &[u64], chunks: &[u32]) -> Vec<(u32, Vec<f64>)> {
+    neo_trace::add(
+        neo_trace::Counter::SplitOps,
+        (data.len() * chunks.len()) as u64,
+    );
     let mut out = Vec::with_capacity(chunks.len());
     let mut offset = 0u32;
     for &w in chunks {
@@ -234,6 +238,7 @@ impl Int8SplitScheme {
 }
 
 fn split_bytes(data: &[u64], planes: usize) -> Vec<(u32, Vec<u8>)> {
+    neo_trace::add(neo_trace::Counter::SplitOps, (data.len() * planes) as u64);
     (0..planes)
         .map(|p| {
             let off = 8 * p as u32;

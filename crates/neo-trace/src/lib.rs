@@ -1,0 +1,93 @@
+//! # neo-trace — runtime telemetry for the Neo workspace
+//!
+//! Three cooperating pieces, all near-zero cost when tracing is off:
+//!
+//! * **Work counters** ([`counters`]): a fixed set of process-wide
+//!   `AtomicU64` tallies recorded *from inside* the hot paths — modular
+//!   MACs, NTT butterflies, fragment MMAs, split/merge ops, bytes moved,
+//!   plan-cache hits/misses. When tracing is disabled every
+//!   instrumentation site is a single relaxed atomic load.
+//! * **Spans** ([`span`]): hierarchical timed regions entered with the
+//!   [`span!`] macro, aggregated into a process-wide arena and exportable
+//!   as a tree report, JSON, or Chrome `chrome://tracing` format
+//!   ([`report`]).
+//! * **Events**: point-in-time annotations (e.g. per-op noise-budget
+//!   snapshots from `neo-ckks`).
+//!
+//! The canonical measurement pattern is [`record`], which serialises
+//! measured sections behind a global mutex so parallel test threads
+//! cannot pollute each other's counter deltas:
+//!
+//! ```rust
+//! let (_out, work) = neo_trace::record(|| {
+//!     // run a kernel
+//! });
+//! assert_eq!(work.get(neo_trace::Counter::NttButterflies), 0);
+//! ```
+
+pub mod counters;
+pub mod report;
+pub mod span;
+
+pub use counters::{add, record, snapshot, Counter, WorkCounters, N_COUNTERS};
+pub use span::{event, Event, SpanGuard, SpanNode};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide tracing gate. Off by default.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is tracing currently enabled?
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns tracing on: counters accumulate, spans and events are recorded.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns tracing off. Recorded data is kept until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clears all counters, spans, and events (the gate is left untouched).
+pub fn reset() {
+    counters::reset_counters();
+    span::reset_spans();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_toggles() {
+        let (_, w) = record(|| add(Counter::GemmMacs, 7));
+        assert_eq!(w.get(Counter::GemmMacs), 7);
+        // With the gate off nothing accumulates (inside `record` so no
+        // concurrent test can flip the gate under us).
+        let ((), _) = record(|| {
+            disable();
+            let before = snapshot();
+            add(Counter::GemmMacs, 9);
+            assert_eq!(
+                snapshot().get(Counter::GemmMacs),
+                before.get(Counter::GemmMacs)
+            );
+            enable();
+        });
+    }
+
+    #[test]
+    fn record_is_isolated() {
+        let (_, w1) = record(|| add(Counter::BytesRead, 64));
+        let (_, w2) = record(|| add(Counter::BytesWritten, 32));
+        assert_eq!(w1.get(Counter::BytesRead), 64);
+        assert_eq!(w1.get(Counter::BytesWritten), 0);
+        assert_eq!(w2.get(Counter::BytesWritten), 32);
+        assert_eq!(w2.get(Counter::BytesRead), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Exporters for recorded spans, events, and counters.
+//!
+//! Three formats:
+//! * [`tree_report`] — human-readable indented tree with durations and
+//!   per-span counter deltas;
+//! * [`json_report`] — a self-contained JSON document (spans, events,
+//!   global counters);
+//! * [`chrome_trace`] — Chrome `chrome://tracing` / Perfetto "trace event"
+//!   JSON (`ph:"X"` complete events plus `ph:"i"` instants).
+//!
+//! JSON is emitted by hand so the crate stays dependency-free.
+
+use crate::counters::snapshot;
+use crate::span::{events, spans, Event, SpanNode};
+use std::fmt::Write as _;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_duration(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+/// Human-readable indented span tree with per-span work summaries.
+pub fn tree_report() -> String {
+    let all = spans();
+    let evs = events();
+    let mut out = String::new();
+    // Children in recording order, grouped under each parent.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); all.len()];
+    let mut roots = Vec::new();
+    for (i, s) in all.iter().enumerate() {
+        match s.parent {
+            Some(p) => children[p].push(i),
+            None => roots.push(i),
+        }
+    }
+    fn emit(
+        out: &mut String,
+        all: &[SpanNode],
+        evs: &[Event],
+        children: &[Vec<usize>],
+        idx: usize,
+        indent: usize,
+    ) {
+        let s = &all[idx];
+        let pad = "  ".repeat(indent);
+        let _ = write!(out, "{pad}{} [{}]", s.name, fmt_duration(s.duration_us()));
+        if !s.label.is_empty() {
+            let _ = write!(out, " {}", s.label);
+        }
+        let work = s.work.nonzero();
+        if !work.is_empty() {
+            let parts: Vec<String> = work.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = write!(out, "  {{{}}}", parts.join(" "));
+        }
+        out.push('\n');
+        for ev in evs.iter().filter(|e| e.span == Some(idx)) {
+            let _ = writeln!(out, "{pad}  • {} {}", ev.name, ev.detail);
+        }
+        for &c in &children[idx] {
+            emit(out, all, evs, children, c, indent + 1);
+        }
+    }
+    for r in roots {
+        emit(&mut out, &all, &evs, &children, r, 0);
+    }
+    if out.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    }
+    out
+}
+
+fn span_json(s: &SpanNode, idx: usize) -> String {
+    let mut o = String::from("{");
+    let _ = write!(
+        o,
+        "\"id\":{idx},\"name\":\"{}\",\"label\":\"{}\",\"tid\":{},\"depth\":{},\"start_us\":{},\"dur_us\":{}",
+        json_escape(s.name),
+        json_escape(&s.label),
+        s.tid,
+        s.depth,
+        s.start_us,
+        s.duration_us()
+    );
+    if let Some(p) = s.parent {
+        let _ = write!(o, ",\"parent\":{p}");
+    }
+    let _ = write!(o, ",\"work\":{}", s.work.to_json());
+    o.push('}');
+    o
+}
+
+/// Self-contained JSON document: `{"counters": .., "spans": [..],
+/// "events": [..]}`. Counters are the *global* totals since the last
+/// [`crate::reset`].
+pub fn json_report() -> String {
+    let all = spans();
+    let evs = events();
+    let span_objs: Vec<String> = all
+        .iter()
+        .enumerate()
+        .map(|(i, s)| span_json(s, i))
+        .collect();
+    let event_objs: Vec<String> = evs
+        .iter()
+        .map(|e| {
+            let mut o = String::from("{");
+            let _ = write!(
+                o,
+                "\"name\":\"{}\",\"detail\":\"{}\",\"ts_us\":{},\"tid\":{}",
+                json_escape(e.name),
+                json_escape(&e.detail),
+                e.ts_us,
+                e.tid
+            );
+            if let Some(s) = e.span {
+                let _ = write!(o, ",\"span\":{s}");
+            }
+            o.push('}');
+            o
+        })
+        .collect();
+    format!(
+        "{{\"counters\":{},\"spans\":[{}],\"events\":[{}]}}",
+        snapshot().to_json(),
+        span_objs.join(","),
+        event_objs.join(",")
+    )
+}
+
+/// Chrome trace-event JSON (open in `chrome://tracing` or
+/// [ui.perfetto.dev](https://ui.perfetto.dev)): one `ph:"X"` complete
+/// event per closed span and one `ph:"i"` instant per event.
+pub fn chrome_trace() -> String {
+    let mut entries = Vec::new();
+    for s in spans() {
+        let Some(end) = s.end_us else { continue };
+        let mut args = String::new();
+        if !s.label.is_empty() {
+            let _ = write!(args, "\"label\":\"{}\"", json_escape(&s.label));
+        }
+        for (k, v) in s.work.nonzero() {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            let _ = write!(args, "\"{k}\":{v}");
+        }
+        entries.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
+            json_escape(s.name),
+            s.tid,
+            s.start_us,
+            end.saturating_sub(s.start_us)
+        ));
+    }
+    for e in events() {
+        entries.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{},\"args\":{{\"detail\":\"{}\"}}}}",
+            json_escape(e.name),
+            e.tid,
+            e.ts_us,
+            json_escape(&e.detail)
+        ));
+    }
+    format!("{{\"traceEvents\":[{}]}}", entries.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{add, record, Counter};
+
+    #[test]
+    fn exporters_cover_recorded_spans() {
+        let ((), _) = record(|| {
+            crate::reset();
+            let _op = crate::span!("op.test", n = 1024);
+            add(Counter::NttButterflies, 5120);
+            crate::span::event("noise.budget", "bits=31.5");
+        });
+        let tree = tree_report();
+        assert!(tree.contains("op.test"));
+        assert!(tree.contains("ntt_butterflies=5120"));
+        assert!(tree.contains("noise.budget"));
+        let json = json_report();
+        assert!(json.contains("\"name\":\"op.test\""));
+        assert!(json.contains("\"label\":\"n=1024\""));
+        let chrome = chrome_trace();
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.contains("\"ph\":\"i\""));
+        crate::reset();
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,260 @@
+//! Hierarchical timed spans and point events.
+//!
+//! Spans live in a process-wide arena; each thread keeps a stack of the
+//! spans it currently has open, so nesting is tracked per thread while the
+//! arena aggregates across threads. Enter spans with the [`span!`](crate::span!)
+//! macro; the returned [`SpanGuard`] closes the span when dropped.
+//!
+//! Rayon caveat: a span opened on the orchestrating thread does not
+//! automatically parent work executed on worker threads — keep spans at
+//! the sequential orchestration level and let the *counters* capture
+//! worker-thread work (they are global).
+
+use crate::counters::{snapshot, WorkCounters};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One closed (or still-open) span in the arena.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Dotted span name, e.g. `"keyswitch.klss"`.
+    pub name: &'static str,
+    /// Space-separated `key=value` annotations.
+    pub label: String,
+    /// Arena index of the parent span on the same thread.
+    pub parent: Option<usize>,
+    /// Small per-thread ordinal (0 = first thread to open a span).
+    pub tid: u64,
+    /// Nesting depth on its thread (roots are 0).
+    pub depth: usize,
+    /// Start time in microseconds since the trace epoch.
+    pub start_us: u64,
+    /// End time; `None` while the span is still open.
+    pub end_us: Option<u64>,
+    work_at_start: WorkCounters,
+    /// Counter deltas between enter and exit (includes concurrent work —
+    /// see the module docs).
+    pub work: WorkCounters,
+}
+
+impl SpanNode {
+    /// Span duration in microseconds (0 while open).
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.map_or(0, |e| e.saturating_sub(self.start_us))
+    }
+}
+
+/// A point-in-time annotation, e.g. a noise-budget snapshot.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Event name, e.g. `"noise.budget"`.
+    pub name: &'static str,
+    /// Free-form `key=value` detail string.
+    pub detail: String,
+    /// Timestamp in microseconds since the trace epoch.
+    pub ts_us: u64,
+    /// Thread ordinal (matches [`SpanNode::tid`]).
+    pub tid: u64,
+    /// Arena index of the span open on this thread when the event fired.
+    pub span: Option<usize>,
+}
+
+static ARENA: Mutex<Vec<SpanNode>> = Mutex::new(Vec::new());
+static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static STACK: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Microseconds since the (lazily initialised) trace epoch.
+pub(crate) fn now_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+fn lock_arena() -> std::sync::MutexGuard<'static, Vec<SpanNode>> {
+    ARENA.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock_events() -> std::sync::MutexGuard<'static, Vec<Event>> {
+    EVENTS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Clears the span arena and event list (the calling thread's open-span
+/// stack included) — call before a fresh profiling run.
+pub fn reset_spans() {
+    lock_arena().clear();
+    lock_events().clear();
+    STACK.with(|s| s.borrow_mut().clear());
+}
+
+/// A clone of every span recorded so far (exporters iterate this).
+pub fn spans() -> Vec<SpanNode> {
+    lock_arena().clone()
+}
+
+/// A clone of every event recorded so far.
+pub fn events() -> Vec<Event> {
+    lock_events().clone()
+}
+
+/// Records a point event under the currently open span, if tracing is on.
+pub fn event(name: &'static str, detail: impl Into<String>) {
+    if !crate::enabled() {
+        return;
+    }
+    let ev = Event {
+        name,
+        detail: detail.into(),
+        ts_us: now_us(),
+        tid: TID.with(|t| *t),
+        span: STACK.with(|s| s.borrow().last().copied()),
+    };
+    lock_events().push(ev);
+}
+
+/// RAII handle for an open span; closes it on drop.
+///
+/// Prefer the [`span!`](crate::span!) macro over calling
+/// [`SpanGuard::enter`] directly.
+#[must_use = "a span closes when the guard drops — bind it to a variable"]
+pub struct SpanGuard {
+    idx: Option<usize>,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name`; `label` is only evaluated when tracing
+    /// is enabled.
+    pub fn enter(name: &'static str, label: impl FnOnce() -> String) -> Self {
+        if !crate::enabled() {
+            return Self { idx: None };
+        }
+        let (parent, depth) = STACK.with(|s| {
+            let stack = s.borrow();
+            (stack.last().copied(), stack.len())
+        });
+        let node = SpanNode {
+            name,
+            label: label(),
+            parent,
+            tid: TID.with(|t| *t),
+            depth,
+            start_us: now_us(),
+            end_us: None,
+            work_at_start: snapshot(),
+            work: WorkCounters::default(),
+        };
+        let idx = {
+            let mut arena = lock_arena();
+            arena.push(node);
+            arena.len() - 1
+        };
+        STACK.with(|s| s.borrow_mut().push(idx));
+        Self { idx: Some(idx) }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(idx) = self.idx else { return };
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if stack.last() == Some(&idx) {
+                stack.pop();
+            } else {
+                // Out-of-order drop (guard moved across scopes): remove
+                // wherever it sits so the stack stays consistent.
+                stack.retain(|&i| i != idx);
+            }
+        });
+        let end = now_us();
+        let work_now = snapshot();
+        let mut arena = lock_arena();
+        if let Some(node) = arena.get_mut(idx) {
+            node.end_us = Some(end);
+            node.work = work_now.since(&node.work_at_start);
+        }
+    }
+}
+
+/// Opens a hierarchical span: `span!("name")`,
+/// `span!("keyswitch.klss", level, dnum)` (bare identifiers become
+/// `level=… dnum=…`), or `span!("bconv", n = poly_n, dst = out.len())`.
+///
+/// Expands to a [`SpanGuard`] binding; the span closes when the guard
+/// leaves scope. When tracing is disabled the cost is one atomic load and
+/// the label expression is never evaluated.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name, String::new)
+    };
+    ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {
+        $crate::span::SpanGuard::enter($name, || {
+            use std::fmt::Write as _;
+            let mut s = String::new();
+            $(let _ = write!(s, concat!(stringify!($key), "={} "), $val);)+
+            s.truncate(s.trim_end().len());
+            s
+        })
+    };
+    ($name:expr, $($val:ident),+ $(,)?) => {
+        $crate::span!($name, $($val = $val),+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{add, record, Counter};
+
+    #[test]
+    fn spans_nest_and_close() {
+        let ((), _) = record(|| {
+            reset_spans();
+            let _outer = crate::span!("outer", level = 3);
+            {
+                let _inner = crate::span!("inner");
+                add(Counter::GemmMacs, 11);
+            }
+        });
+        let spans = spans();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.label, "level=3");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(inner.end_us.is_some());
+        assert_eq!(inner.work.get(Counter::GemmMacs), 11);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        // Inside `record` so no concurrent test can flip the gate under us.
+        let ((), _) = record(|| {
+            crate::disable();
+            let before = spans().len();
+            let g = crate::span!("ghost");
+            drop(g);
+            assert_eq!(spans().len(), before);
+            crate::enable();
+        });
+    }
+
+    #[test]
+    fn events_attach_to_open_span() {
+        let ((), _) = record(|| {
+            reset_spans();
+            let _s = crate::span!("op");
+            event("noise.budget", "bits=42");
+        });
+        let evs = events();
+        let ev = evs.iter().find(|e| e.name == "noise.budget").unwrap();
+        assert_eq!(ev.detail, "bits=42");
+        assert!(ev.span.is_some());
+    }
+}

@@ -31,3 +31,5 @@ pub use neo_math as math;
 pub use neo_ntt as ntt;
 /// Tensor-core fragment emulation (FP64 / INT8) and splitting schemes.
 pub use neo_tcu as tcu;
+/// Runtime telemetry: work counters, spans, and trace exporters.
+pub use neo_trace as trace;
