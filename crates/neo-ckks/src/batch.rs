@@ -1,0 +1,371 @@
+//! Batch workloads over real ciphertexts: one dependency structure that
+//! both *executes* on the host (serial or rayon wavefronts via
+//! [`neo_sched::TaskGraph`]) and *prices* on the device model (as a
+//! kernel DAG via [`crate::sched`]).
+//!
+//! A [`BatchProgram`] is a list of ciphertext operations whose operands
+//! are either batch inputs or earlier results ([`Slot`]). Independent
+//! operations run concurrently under [`BatchProgram::execute`] with
+//! `parallel = true`, and the output is bit-identical to the serial run:
+//! every CKKS primitive here is a deterministic pure function of its
+//! operands, and the required key-switching keys are generated *before*
+//! the parallel region (key generation draws from the chest's RNG, so
+//! its order must not depend on the thread schedule).
+
+use crate::ciphertext::Ciphertext;
+use crate::cost::{CostConfig, Operation};
+use crate::keys::{KeyChest, KeyTarget};
+use crate::ops;
+use crate::params::{CkksParams, KsMethod};
+use crate::sched::append_op;
+use neo_sched::{OpGraph, TaskGraph};
+use rand::Rng;
+
+/// An operand of a batch operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// The `i`-th input ciphertext of the batch.
+    Input(usize),
+    /// The output of the `i`-th operation of the program.
+    Op(usize),
+}
+
+/// One ciphertext operation of a batch program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Ciphertext × ciphertext with relinearization.
+    HMult(Slot, Slot),
+    /// Ciphertext + ciphertext.
+    HAdd(Slot, Slot),
+    /// Left slot rotation by a step count.
+    HRotate(Slot, usize),
+    /// Rescale (drops one level).
+    Rescale(Slot),
+}
+
+impl BatchOp {
+    /// The operands this operation reads.
+    pub fn operands(&self) -> Vec<Slot> {
+        match *self {
+            BatchOp::HMult(a, b) | BatchOp::HAdd(a, b) => vec![a, b],
+            BatchOp::HRotate(a, _) | BatchOp::Rescale(a) => vec![a],
+        }
+    }
+
+    /// The cost-model operation this maps to.
+    pub fn operation(&self) -> Operation {
+        match self {
+            BatchOp::HMult(..) => Operation::HMult,
+            BatchOp::HAdd(..) => Operation::HAdd,
+            BatchOp::HRotate(..) => Operation::HRotate,
+            BatchOp::Rescale(..) => Operation::Rescale,
+        }
+    }
+}
+
+/// A batch of ciphertext operations with explicit data dependencies.
+#[derive(Debug, Clone, Default)]
+pub struct BatchProgram {
+    /// The operations, in issue order (operand slots must refer to
+    /// inputs or to earlier operations).
+    pub ops: Vec<BatchOp>,
+}
+
+impl BatchProgram {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an operation; returns its [`Slot::Op`] index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand refers to an operation at or after this one.
+    pub fn push(&mut self, op: BatchOp) -> Slot {
+        for s in op.operands() {
+            if let Slot::Op(j) = s {
+                assert!(j < self.ops.len(), "operand Op({j}) not yet defined");
+            }
+        }
+        self.ops.push(op);
+        Slot::Op(self.ops.len() - 1)
+    }
+
+    /// The level each operation *runs at* (its input level; a rescale's
+    /// output is one lower), given the batch inputs' common level.
+    pub fn op_levels(&self, input_level: usize) -> Vec<usize> {
+        let mut out_level: Vec<usize> = Vec::with_capacity(self.ops.len());
+        let mut run_level = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let lv = |s: Slot| match s {
+                Slot::Input(_) => input_level,
+                Slot::Op(j) => out_level[j],
+            };
+            let at = op.operands().into_iter().map(lv).min().expect("operands");
+            run_level.push(at);
+            out_level.push(match op {
+                BatchOp::Rescale(_) => at - 1,
+                _ => at,
+            });
+        }
+        run_level
+    }
+
+    /// Generates every key-switching key the program will need, in
+    /// deterministic issue order. Called by [`Self::execute`] before the
+    /// parallel region so the chest's RNG draws in a schedule-independent
+    /// order (lazily generating keys from worker threads would make the
+    /// keys themselves depend on thread timing).
+    pub fn warm_keys(&self, chest: &KeyChest, input_level: usize, method: KsMethod) {
+        let n = chest.context().degree();
+        let levels = self.op_levels(input_level);
+        for (op, &level) in self.ops.iter().zip(&levels) {
+            let target = match op {
+                BatchOp::HMult(..) => KeyTarget::Relin,
+                BatchOp::HRotate(_, steps) => KeyTarget::Galois(ops::galois_element(n, *steps)),
+                _ => continue,
+            };
+            match method {
+                KsMethod::Hybrid => {
+                    chest.hybrid_key(level, target);
+                }
+                KsMethod::Klss => {
+                    chest.klss_key(level, target);
+                }
+            }
+        }
+    }
+
+    /// Runs the program over `inputs` and returns every operation's
+    /// output. With `parallel = true` independent operations execute
+    /// concurrently (topological wavefronts on the rayon pool); the
+    /// result is bit-identical to the serial run.
+    ///
+    /// All inputs must share one level.
+    pub fn execute(
+        &self,
+        chest: &KeyChest,
+        inputs: &[Ciphertext],
+        method: KsMethod,
+        parallel: bool,
+    ) -> Vec<Ciphertext> {
+        assert!(
+            inputs.windows(2).all(|w| w[0].level() == w[1].level()),
+            "batch inputs must share one level"
+        );
+        if let Some(first) = inputs.first() {
+            self.warm_keys(chest, first.level(), method);
+        }
+        let ctx = chest.context();
+        let mut tg: TaskGraph<'_, Ciphertext> = TaskGraph::new();
+        for op in &self.ops {
+            // Task dependencies: operand slots that are earlier ops (the
+            // task index equals the op index — one task per op).
+            let deps: Vec<usize> = op
+                .operands()
+                .into_iter()
+                .filter_map(|s| match s {
+                    Slot::Op(j) => Some(j),
+                    Slot::Input(_) => None,
+                })
+                .collect();
+            let op = *op;
+            tg.push(&deps, move |resolved: &[&Ciphertext]| {
+                // Dep outputs arrive in operand order; inputs come from
+                // the captured slice.
+                let mut next = resolved.iter();
+                let mut get = |s: Slot| -> &Ciphertext {
+                    match s {
+                        Slot::Input(i) => &inputs[i],
+                        Slot::Op(_) => next.next().expect("dependency output"),
+                    }
+                };
+                match op {
+                    BatchOp::HMult(a, b) => {
+                        let (a, b) = (get(a), get(b));
+                        ops::hmult(chest, a, b, method)
+                    }
+                    BatchOp::HAdd(a, b) => {
+                        let (a, b) = (get(a), get(b));
+                        ops::hadd(ctx, a, b)
+                    }
+                    BatchOp::HRotate(a, steps) => ops::hrotate(chest, get(a), steps, method),
+                    BatchOp::Rescale(a) => ops::rescale(ctx, get(a)),
+                }
+            });
+        }
+        if parallel {
+            tg.run_parallel()
+        } else {
+            tg.run_serial()
+        }
+    }
+
+    /// The program's kernel DAG on the device model: each operation's
+    /// kernels are appended via [`crate::sched::append_op`], with the
+    /// operation's first kernel depending on its producers' exit kernels.
+    pub fn kernel_graph(&self, p: &CkksParams, input_level: usize, cfg: &CostConfig) -> OpGraph {
+        let mut g = OpGraph::new();
+        let levels = self.op_levels(input_level);
+        let mut exits = Vec::with_capacity(self.ops.len());
+        for (tag, (op, &level)) in self.ops.iter().zip(&levels).enumerate() {
+            let after: Vec<_> = op
+                .operands()
+                .into_iter()
+                .filter_map(|s| match s {
+                    Slot::Op(j) => Some(exits[j]),
+                    Slot::Input(_) => None,
+                })
+                .collect();
+            exits.push(append_op(
+                &mut g,
+                p,
+                level,
+                op.operation(),
+                cfg,
+                &after,
+                tag,
+            ));
+        }
+        g
+    }
+
+    /// A random but *legal* program over `n_inputs` inputs at
+    /// `input_level`: operand levels always match, HMult squares only
+    /// base-scale operands (Δ·Δ = Δ²), HAdd only adds like scales, and
+    /// Rescale drops exactly the Δ² results back to Δ. Used by the
+    /// bit-identity property tests and the scheduler bench.
+    pub fn random<R: Rng + ?Sized>(
+        rng: &mut R,
+        n_inputs: usize,
+        n_ops: usize,
+        input_level: usize,
+        slots_n: usize,
+    ) -> Self {
+        assert!(n_inputs > 0 && input_level >= 1);
+        // (slot, level, squared_scale) of every operand candidate.
+        let mut meta: Vec<(Slot, usize, bool)> = (0..n_inputs)
+            .map(|i| (Slot::Input(i), input_level, false))
+            .collect();
+        let mut prog = BatchProgram::new();
+        for _ in 0..n_ops {
+            // Try op kinds in a random rotation; HRotate always succeeds.
+            let kinds = ["hmult", "hadd", "rescale", "hrotate"];
+            let start = rng.gen_range(0usize..kinds.len());
+            let mut placed = None;
+            for k in 0..kinds.len() {
+                match kinds[(start + k) % kinds.len()] {
+                    "hmult" => {
+                        // Two base-scale operands at a common level ≥ 1
+                        // (so the Δ² result can still rescale).
+                        let base: Vec<usize> = (0..meta.len())
+                            .filter(|&i| !meta[i].2 && meta[i].1 >= 1)
+                            .collect();
+                        let Some(&a) = base.first() else { continue };
+                        let level = meta[a].1;
+                        let same: Vec<usize> = base
+                            .iter()
+                            .copied()
+                            .filter(|&i| meta[i].1 == level)
+                            .collect();
+                        let x = same[rng.gen_range(0..same.len())];
+                        let y = same[rng.gen_range(0..same.len())];
+                        placed = Some((BatchOp::HMult(meta[x].0, meta[y].0), level, true));
+                    }
+                    "hadd" => {
+                        // Two operands with equal level *and* scale kind.
+                        let i = rng.gen_range(0..meta.len());
+                        let (_, level, sq) = meta[i];
+                        let same: Vec<usize> = (0..meta.len())
+                            .filter(|&j| meta[j].1 == level && meta[j].2 == sq)
+                            .collect();
+                        let j = same[rng.gen_range(0..same.len())];
+                        placed = Some((BatchOp::HAdd(meta[i].0, meta[j].0), level, sq));
+                    }
+                    "rescale" => {
+                        // A squared-scale result with a level to drop.
+                        let cands: Vec<usize> = (0..meta.len())
+                            .filter(|&i| meta[i].2 && meta[i].1 >= 1)
+                            .collect();
+                        if cands.is_empty() {
+                            continue;
+                        }
+                        let i = cands[rng.gen_range(0..cands.len())];
+                        placed = Some((BatchOp::Rescale(meta[i].0), meta[i].1 - 1, false));
+                    }
+                    _ => {
+                        let i = rng.gen_range(0..meta.len());
+                        let steps = rng.gen_range(1usize..(slots_n / 2).max(2));
+                        placed = Some((BatchOp::HRotate(meta[i].0, steps), meta[i].1, meta[i].2));
+                    }
+                }
+                if placed.is_some() {
+                    break;
+                }
+            }
+            let (op, level, squared) = placed.expect("hrotate always legal");
+            let slot = prog.push(op);
+            meta.push((slot, level, squared));
+        }
+        prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamSet;
+
+    #[test]
+    fn levels_propagate_through_rescale() {
+        let mut prog = BatchProgram::new();
+        let m = prog.push(BatchOp::HMult(Slot::Input(0), Slot::Input(0)));
+        let r = prog.push(BatchOp::Rescale(m));
+        prog.push(BatchOp::HRotate(r, 3));
+        assert_eq!(prog.op_levels(5), vec![5, 5, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet defined")]
+    fn forward_operand_rejected() {
+        let mut prog = BatchProgram::new();
+        prog.push(BatchOp::Rescale(Slot::Op(2)));
+    }
+
+    #[test]
+    fn random_programs_are_legal() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for seed in 0..10usize {
+            let prog = BatchProgram::random(&mut rng, 3, 12 + seed, 4, 1 << 8);
+            let levels = prog.op_levels(4);
+            assert_eq!(levels.len(), prog.ops.len());
+            // Rescales never run at level 0.
+            for (op, &lv) in prog.ops.iter().zip(&levels) {
+                if matches!(op, BatchOp::Rescale(_)) {
+                    assert!(lv >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_graph_links_producers() {
+        let p = ParamSet::C.params();
+        let cfg = CostConfig::neo();
+        let mut prog = BatchProgram::new();
+        let m = prog.push(BatchOp::HMult(Slot::Input(0), Slot::Input(1)));
+        prog.push(BatchOp::Rescale(m));
+        let g = prog.kernel_graph(&p, 10, &cfg);
+        let single_m = crate::sched::op_graph(&p, 10, Operation::HMult, &cfg);
+        let single_r = crate::sched::op_graph(&p, 10, Operation::Rescale, &cfg);
+        assert_eq!(g.len(), single_m.len() + single_r.len());
+        // One extra edge ties the rescale's first kernel to the hmult's
+        // exit kernel.
+        assert_eq!(
+            g.edge_count(),
+            single_m.edge_count() + single_r.edge_count() + 1
+        );
+    }
+}

@@ -18,9 +18,7 @@
 
 use crate::params::{CkksParams, KsMethod};
 use neo_gpu_sim::{DeviceModel, ExecConfig, KernelProfile};
-use neo_kernels::{
-    bconv, elementwise, ip, ntt, BconvGeom, ElemGeom, IpGeom, MatmulTarget, NttAlgorithm, NttGeom,
-};
+use neo_kernels::{MatmulTarget, NttAlgorithm};
 
 /// Batch size at which utilization reaches 50% of its asymptote.
 pub const BATCH_HALF: f64 = 24.0;
@@ -133,264 +131,24 @@ pub enum Operation {
 }
 
 /// Kernel sequence of one KeySwitch at `level` (batched).
+///
+/// The sequence is the topological order of the kernel DAG built by
+/// [`crate::sched::append_keyswitch`] — the graph is the source of
+/// truth; this flat view is what the closed-form sums-based model
+/// prices.
 pub fn keyswitch_profiles(p: &CkksParams, level: usize, cfg: &CostConfig) -> Vec<KernelProfile> {
-    let n = p.n();
-    let bs = p.batch_size;
-    let w = p.word_size;
-    let k = p.special;
-    let alpha = p.alpha();
-    let beta = p.beta(level);
-    let limbs_qp = level + 1 + k;
-    let mut seq = Vec::new();
-    // INTT of the keyswitch input (NTT-resident convention).
-    seq.push(ntt::profile(
-        &NttGeom {
-            n,
-            count: bs * (level + 1),
-            w,
-        },
-        cfg.ntt_alg,
-        cfg.ntt_target,
-    ));
-    let bconv_profile = |g: &BconvGeom| {
-        if cfg.bconv_matrix {
-            bconv::profile_matrix(g, cfg.bconv_target)
-        } else {
-            bconv::profile_original(g)
-        }
-    };
-    match cfg.method {
-        KsMethod::Hybrid => {
-            // Mod Up: β BConvs into the complement of each digit.
-            let g = BconvGeom {
-                n,
-                batch: bs,
-                alpha,
-                alpha_out: limbs_qp - alpha,
-                w_src: w,
-                w_dst: w,
-            };
-            for _ in 0..beta {
-                seq.push(bconv_profile(&g));
-            }
-            // NTT of all Mod Up outputs.
-            seq.push(ntt::profile(
-                &NttGeom {
-                    n,
-                    count: bs * beta * limbs_qp,
-                    w,
-                },
-                cfg.ntt_alg,
-                cfg.ntt_target,
-            ));
-            // Inner product over R_PQ (β̃ = 1 in the Hybrid view).
-            let ipg = IpGeom {
-                n,
-                batch: bs,
-                alpha_p: limbs_qp,
-                beta,
-                beta_t: 1,
-                components: 2,
-                w,
-            };
-            seq.push(ip_profile(&ipg, cfg));
-            // INTT of both components — per digit before accumulation in
-            // the TensorFHE-style flow (Table 2's 2β(l+α)), once after
-            // NTT-domain accumulation otherwise.
-            let intt_groups = if cfg.hybrid_intt_per_digit { beta } else { 1 };
-            seq.push(ntt::profile(
-                &NttGeom {
-                    n,
-                    count: bs * 2 * intt_groups * limbs_qp,
-                    w,
-                },
-                cfg.ntt_alg,
-                cfg.ntt_target,
-            ));
-        }
-        KsMethod::Klss => {
-            let kc = p.klss.expect("KLSS cost requires a KLSS configuration");
-            let wt = kc.word_size_t;
-            let alpha_p = p.alpha_prime();
-            let beta_t = p.beta_tilde(level);
-            // Mod Up into R_T.
-            let g = BconvGeom {
-                n,
-                batch: bs,
-                alpha,
-                alpha_out: alpha_p,
-                w_src: w,
-                w_dst: wt,
-            };
-            for _ in 0..beta {
-                seq.push(bconv_profile(&g));
-            }
-            // NTT over R_T.
-            seq.push(ntt::profile(
-                &NttGeom {
-                    n,
-                    count: bs * beta * alpha_p,
-                    w: wt,
-                },
-                cfg.ntt_alg,
-                cfg.ntt_target,
-            ));
-            // IP over R_T.
-            let ipg = IpGeom {
-                n,
-                batch: bs,
-                alpha_p,
-                beta,
-                beta_t,
-                components: 2,
-                w: wt,
-            };
-            seq.push(ip_profile(&ipg, cfg));
-            // INTT over R_T.
-            seq.push(ntt::profile(
-                &NttGeom {
-                    n,
-                    count: bs * 2 * beta_t * alpha_p,
-                    w: wt,
-                },
-                cfg.ntt_alg,
-                cfg.ntt_target,
-            ));
-            // Recover Limbs: the gadget factor ẽ_ĵ is 1 on digit ĵ's own
-            // limbs and 0 elsewhere, so each G_ĵ converts only into its α̃
-            // limbs — total work 2·α'·(l+α) limb-MACs, Table 2's entry.
-            let alpha_tilde = kc.alpha_tilde.min(limbs_qp);
-            let rg = BconvGeom {
-                n,
-                batch: bs,
-                alpha: alpha_p,
-                alpha_out: alpha_tilde,
-                w_src: wt,
-                w_dst: w,
-            };
-            for _ in 0..2 * beta_t {
-                seq.push(bconv_profile(&rg));
-            }
-        }
-    }
-    // Mod Down: BConv of the special limbs plus the correction arithmetic.
-    let mdg = BconvGeom {
-        n,
-        batch: bs,
-        alpha: k,
-        alpha_out: level + 1,
-        w_src: w,
-        w_dst: w,
-    };
-    seq.push(bconv_profile(&mdg));
-    seq.push(bconv_profile(&mdg));
-    seq.push(elementwise::profile_modmul(&ElemGeom::poly(
-        n,
-        2 * (level + 1),
-        bs,
-    )));
-    seq.push(elementwise::profile_modadd(&ElemGeom::poly(
-        n,
-        2 * (level + 1),
-        bs,
-    )));
-    seq
+    crate::sched::keyswitch_graph(p, level, cfg).profiles()
 }
 
-fn ip_profile(g: &IpGeom, cfg: &CostConfig) -> KernelProfile {
-    if !cfg.ip_matrix {
-        return ip::profile_original(g);
-    }
-    let target = if cfg.ip_adaptive {
-        ip::neo_target(g)
-    } else {
-        cfg.ip_target
-    };
-    ip::profile_matrix(g, target)
-}
-
-/// Kernel sequence of one batched CKKS operation at `level`.
+/// Kernel sequence of one batched CKKS operation at `level` — the
+/// topological order of [`crate::sched::op_graph`].
 pub fn op_profiles(
     p: &CkksParams,
     level: usize,
     op: Operation,
     cfg: &CostConfig,
 ) -> Vec<KernelProfile> {
-    let n = p.n();
-    let bs = p.batch_size;
-    let limbs = level + 1;
-    match op {
-        Operation::HMult => {
-            let mut seq = vec![
-                elementwise::profile_modmul(&ElemGeom::poly(n, 4 * limbs, bs)),
-                elementwise::profile_modadd(&ElemGeom::poly(n, 3 * limbs, bs)),
-            ];
-            seq.extend(keyswitch_profiles(p, level, cfg));
-            seq.push(elementwise::profile_modadd(&ElemGeom::poly(
-                n,
-                2 * limbs,
-                bs,
-            )));
-            seq
-        }
-        Operation::HRotate => {
-            let mut seq = vec![elementwise::profile_auto(&ElemGeom::poly(n, 2 * limbs, bs))];
-            seq.extend(keyswitch_profiles(p, level, cfg));
-            seq.push(elementwise::profile_modadd(&ElemGeom::poly(n, limbs, bs)));
-            seq
-        }
-        Operation::PMult => {
-            vec![elementwise::profile_modmul(&ElemGeom::poly(
-                n,
-                2 * limbs,
-                bs,
-            ))]
-        }
-        Operation::HAdd => {
-            vec![elementwise::profile_modadd(&ElemGeom::poly(
-                n,
-                2 * limbs,
-                bs,
-            ))]
-        }
-        Operation::PAdd => {
-            vec![elementwise::profile_modadd(&ElemGeom::poly(n, limbs, bs))]
-        }
-        Operation::Rescale => rescale_profiles(p, level, cfg),
-        Operation::DoubleRescale => {
-            let mut seq = rescale_profiles(p, level, cfg);
-            seq.extend(rescale_profiles(p, level.saturating_sub(1), cfg));
-            seq
-        }
-    }
-}
-
-fn rescale_profiles(p: &CkksParams, level: usize, cfg: &CostConfig) -> Vec<KernelProfile> {
-    let n = p.n();
-    let bs = p.batch_size;
-    // INTT of the dropped limb, broadcast NTT back, subtract, scale.
-    vec![
-        ntt::profile(
-            &NttGeom {
-                n,
-                count: bs * 2,
-                w: p.word_size,
-            },
-            cfg.ntt_alg,
-            cfg.ntt_target,
-        ),
-        ntt::profile(
-            &NttGeom {
-                n,
-                count: bs * 2 * level.max(1),
-                w: p.word_size,
-            },
-            cfg.ntt_alg,
-            cfg.ntt_target,
-        ),
-        elementwise::profile_modmul(&ElemGeom::poly(n, 2 * level.max(1), bs)),
-        elementwise::profile_modadd(&ElemGeom::poly(n, 2 * level.max(1), bs)),
-    ]
+    crate::sched::op_graph(p, level, op, cfg).profiles()
 }
 
 /// Saturating batch-utilization curve (Fig. 17).

@@ -32,6 +32,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod bootstrap;
 pub mod ciphertext;
 pub mod complexity;
@@ -44,6 +45,7 @@ pub mod linear;
 pub mod noise;
 pub mod ops;
 pub mod params;
+pub mod sched;
 
 pub use ciphertext::{Ciphertext, Plaintext};
 pub use context::CkksContext;

@@ -212,16 +212,22 @@ pub fn hmult(chest: &KeyChest, a: &Ciphertext, b: &Ciphertext, method: KsMethod)
     out
 }
 
-/// HROTATE: rotates slots left by `steps` via the automorphism
-/// `X ↦ X^{5^steps}` and a Galois key switch.
-pub fn hrotate(chest: &KeyChest, a: &Ciphertext, steps: usize, method: KsMethod) -> Ciphertext {
-    let ctx = chest.context();
-    let n = ctx.degree();
+/// The Galois element `5^steps mod 2N` a left rotation by `steps` uses —
+/// exposed so callers (e.g. the batch executor's key warm-up) can name
+/// the exact [`KeyTarget::Galois`] key a rotation will request.
+pub fn galois_element(n: usize, steps: usize) -> usize {
     let two_n = 2 * n;
     let mut g = 1usize;
     for _ in 0..steps % (n / 2) {
         g = (g * 5) % two_n;
     }
+    g
+}
+
+/// HROTATE: rotates slots left by `steps` via the automorphism
+/// `X ↦ X^{5^steps}` and a Galois key switch.
+pub fn hrotate(chest: &KeyChest, a: &Ciphertext, steps: usize, method: KsMethod) -> Ciphertext {
+    let g = galois_element(chest.context().degree(), steps);
     apply_galois(chest, a, g, method)
 }
 

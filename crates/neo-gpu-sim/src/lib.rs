@@ -39,6 +39,6 @@ mod model;
 mod profile;
 mod spec;
 
-pub use model::{DeviceModel, ExecConfig};
+pub use model::{ComponentSums, DeviceModel, ExecConfig};
 pub use profile::KernelProfile;
 pub use spec::{DeviceSpec, Efficiency};

@@ -2,6 +2,17 @@ use crate::{DeviceSpec, KernelProfile};
 use serde::{Deserialize, Serialize};
 
 /// Execution-strategy knobs for a kernel sequence (Section 4.6).
+///
+/// This is the *closed-form* execution model: multi-stream overlap is a
+/// single scalar `overlap_eta` fudge and fusion a boolean launch-count
+/// collapse. The `neo-sched` crate supersedes both with a kernel-DAG
+/// simulation (a list scheduler over N streams with HBM contention and a
+/// real fusion graph rewrite); the closed form is retained as the
+/// analytic baseline the simulator is cross-checked against — at one
+/// stream the simulated makespan equals
+/// `sequence_time_s(ps, ExecConfig::naive())` exactly, and the
+/// default-config makespan must land inside the eta model's
+/// `[max(Σcuda, Σtcu), Σcuda + Σtcu]` compute envelope.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ExecConfig {
     /// Overlap CUDA-core and TCU phases across streams. `overlap_eta` is
@@ -34,6 +45,35 @@ impl ExecConfig {
             overlap_eta: 0.0,
             fusion: false,
         }
+    }
+}
+
+/// Per-resource totals of a kernel sequence, in seconds (except
+/// `launches`). The building block both the closed-form
+/// [`DeviceModel::sequence_time_s`] and the `neo-sched` envelope
+/// cross-checks work from.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ComponentSums {
+    /// Σ CUDA-core compute seconds.
+    pub cuda_s: f64,
+    /// Σ tensor-core compute seconds.
+    pub tcu_s: f64,
+    /// Σ HBM seconds at full bandwidth.
+    pub mem_s: f64,
+    /// Σ kernel launches (count, not seconds).
+    pub launches: f64,
+}
+
+impl ComponentSums {
+    /// Serial compute time: CUDA and TCU phases back to back.
+    pub fn serial_compute_s(&self) -> f64 {
+        self.cuda_s + self.tcu_s
+    }
+
+    /// Perfect-overlap compute floor: the longer engine fully hides the
+    /// shorter one.
+    pub fn overlap_floor_s(&self) -> f64 {
+        self.cuda_s.max(self.tcu_s)
     }
 }
 
@@ -98,23 +138,32 @@ impl DeviceModel {
         if ps.is_empty() {
             return 0.0;
         }
-        let (mut cuda, mut tcu, mut mem, mut launches) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-        for p in ps {
-            let (c, t, m, _) = self.component_times(p);
-            cuda += c;
-            tcu += t;
-            mem += m;
-            launches += p.launches;
-        }
+        let sums = self.sequence_sums(ps);
+        let mut launches = sums.launches;
         if cfg.fusion {
             launches = (launches * 0.25).max(1.0);
         }
         let compute = if cfg.multi_stream {
-            cuda.max(tcu) + (1.0 - cfg.overlap_eta) * cuda.min(tcu)
+            sums.overlap_floor_s() + (1.0 - cfg.overlap_eta) * sums.cuda_s.min(sums.tcu_s)
         } else {
-            cuda + tcu
+            sums.serial_compute_s()
         };
-        launches * self.spec.kernel_launch_s + compute.max(mem)
+        launches * self.spec.kernel_launch_s + compute.max(sums.mem_s)
+    }
+
+    /// Per-resource totals of a kernel sequence — the sums both
+    /// [`Self::sequence_time_s`] and the `neo-sched` simulator
+    /// cross-check envelopes are built from.
+    pub fn sequence_sums(&self, ps: &[KernelProfile]) -> ComponentSums {
+        let mut sums = ComponentSums::default();
+        for p in ps {
+            let (c, t, m, _) = self.component_times(p);
+            sums.cuda_s += c;
+            sums.tcu_s += t;
+            sums.mem_s += m;
+            sums.launches += p.launches;
+        }
+        sums
     }
 
     /// Sequence time in microseconds.
@@ -203,5 +252,18 @@ mod tests {
     fn empty_sequence_is_free() {
         let dev = DeviceModel::a100();
         assert_eq!(dev.sequence_time_s(&[], &ExecConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn sequence_sums_match_naive_model() {
+        let dev = DeviceModel::a100();
+        let ps = vec![profile(1e9, 2e9, 1e6), profile(3e9, 0.0, 5e8)];
+        let sums = dev.sequence_sums(&ps);
+        assert_eq!(sums.launches, 2.0);
+        assert!(sums.overlap_floor_s() <= sums.serial_compute_s());
+        let naive = dev.sequence_time_s(&ps, &ExecConfig::naive());
+        let rebuilt =
+            sums.launches * dev.spec().kernel_launch_s + sums.serial_compute_s().max(sums.mem_s);
+        assert!((naive - rebuilt).abs() <= 1e-15 * naive);
     }
 }

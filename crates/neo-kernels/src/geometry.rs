@@ -1,5 +1,31 @@
 //! Kernel geometries — the parameter tuples cost profiles are functions of.
 
+/// Coarse kernel family, used by the `neo-sched` fusion pass to decide
+/// which adjacent kernels a fused launch may merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelClass {
+    /// Point-wise polynomial arithmetic (ModMUL / ModADD / automorphism
+    /// index permutation): one pass over the data, fusable with adjacent
+    /// element-wise kernels into a single launch.
+    Elementwise,
+    /// Number-theoretic transform stages (data-dependent strided passes).
+    Ntt,
+    /// Base conversion matmul.
+    Bconv,
+    /// Inner product with the key-switching keys.
+    Ip,
+}
+
+impl KernelClass {
+    /// Whether the fusion rewrite may merge this kernel with an adjacent
+    /// fusable kernel. Only the element-wise family qualifies: NTT,
+    /// BConv, and IP have internal data movement (strided stages, matmul
+    /// tiling) that a register-resident fusion cannot cross.
+    pub fn fusable(self) -> bool {
+        matches!(self, KernelClass::Elementwise)
+    }
+}
+
 /// Where a kernel's matrix multiplications execute (Section 4.5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MatmulTarget {

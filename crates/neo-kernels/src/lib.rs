@@ -41,4 +41,4 @@ pub mod ip;
 pub mod ntt;
 
 pub use crosscheck::{measured_vs_analytic, CheckOp, DeltaEntry, ProfileDelta};
-pub use geometry::{BconvGeom, ElemGeom, IpGeom, MatmulTarget, NttAlgorithm, NttGeom};
+pub use geometry::{BconvGeom, ElemGeom, IpGeom, KernelClass, MatmulTarget, NttAlgorithm, NttGeom};

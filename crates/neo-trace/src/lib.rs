@@ -30,6 +30,7 @@ pub mod report;
 pub mod span;
 
 pub use counters::{add, record, snapshot, Counter, WorkCounters, N_COUNTERS};
+pub use report::{chrome_trace_from, SimSpan};
 pub use span::{event, Event, SpanGuard, SpanNode};
 
 use std::sync::atomic::{AtomicBool, Ordering};

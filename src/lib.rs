@@ -29,6 +29,9 @@ pub use neo_kernels as kernels;
 pub use neo_math as math;
 /// Negacyclic NTTs: radix-2, four-step, and radix-16 (ten-step) matrix form.
 pub use neo_ntt as ntt;
+/// Kernel-DAG scheduling: fusion rewrites, the discrete-event multi-stream
+/// simulator, and the rayon wavefront batch executor.
+pub use neo_sched as sched;
 /// Tensor-core fragment emulation (FP64 / INT8) and splitting schemes.
 pub use neo_tcu as tcu;
 /// Runtime telemetry: work counters, spans, and trace exporters.
