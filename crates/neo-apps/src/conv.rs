@@ -8,7 +8,7 @@
 use neo_ckks::encoding::Complex64;
 use neo_ckks::keys::KeyChest;
 use neo_ckks::linear::LinearTransform;
-use neo_ckks::{Ciphertext, Encoder, KsMethod};
+use neo_ckks::{Ciphertext, Encoder, KsMethod, NeoError};
 use std::collections::BTreeMap;
 
 /// A 3×3 convolution over an `H×W` image with cyclic (wrap-around)
@@ -114,18 +114,24 @@ impl Conv2d {
                 }
             }
         }
-        LinearTransform::from_diagonals(slots, diagonals)
+        LinearTransform::try_from_diagonals(slots, diagonals)
+            .expect("convolution lowering always yields a well-formed transform")
     }
 
     /// Applies the convolution homomorphically (one level consumed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinearTransform::try_apply`] failures: slot-count
+    /// mismatch, chain exhaustion, or key-switching errors.
     pub fn apply(
         &self,
         chest: &KeyChest,
         enc: &Encoder,
         ct: &Ciphertext,
         method: KsMethod,
-    ) -> Ciphertext {
-        self.to_linear_transform().apply(chest, enc, ct, method)
+    ) -> Result<Ciphertext, NeoError> {
+        self.to_linear_transform().try_apply(chest, enc, ct, method)
     }
 }
 
@@ -170,9 +176,12 @@ mod tests {
             .map(|i| ((i * 13) % 7) as f64 * 0.1)
             .collect();
         let pt = enc.encode(&ctx, &conv.pack(&image), ctx.params().scale(), 3);
-        let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
-        let out_ct = conv.apply(&chest, &enc, &ct, KsMethod::Klss);
-        let got = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &out_ct));
+        let ct = ops::try_encrypt(&ctx, &pk, &pt, &mut rng).unwrap();
+        let out_ct = conv.apply(&chest, &enc, &ct, KsMethod::Klss).unwrap();
+        let got = enc.decode(
+            &ctx,
+            &ops::try_decrypt(&ctx, chest.secret_key(), &out_ct).unwrap(),
+        );
         let want = conv.apply_plain(&image);
         for i in 0..conv.slots() {
             assert!(

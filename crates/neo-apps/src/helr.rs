@@ -32,7 +32,7 @@ use neo_ckks::bootstrap::TraceStep;
 use neo_ckks::cost::Operation;
 use neo_ckks::encoding::Complex64;
 use neo_ckks::keys::{KeyChest, PublicKey, SecretKey};
-use neo_ckks::{ops, Ciphertext, CkksContext, CkksParams, Encoder, KsMethod, Plaintext};
+use neo_ckks::{ops, Ciphertext, CkksContext, CkksParams, Encoder, KsMethod, NeoError, Plaintext};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -216,6 +216,11 @@ impl EncryptedLogisticRegression {
     /// re-encryption). Uses the degree-1 HELR sigmoid `σ(z) ≈ 0.5+0.25z`.
     ///
     /// Consumes 4 levels.
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::ModulusChainExhausted`] when the inputs lack the 4
+    /// levels the step consumes; any key-switching error from the chest.
     pub fn step(
         &self,
         chest: &KeyChest,
@@ -223,27 +228,27 @@ impl EncryptedLogisticRegression {
         y: &[f64],
         w_ct: &Ciphertext,
         lr: f64,
-    ) -> Ciphertext {
+    ) -> Result<Ciphertext, NeoError> {
         let ctx = &self.ctx;
         let level = x_ct.level().min(w_ct.level());
         // z = x ⊙ w, rotate-sum over features (stride S): inner product
         // replicated in every feature slot of its sample.
-        let xw = ops::hmult(
+        let xw = ops::try_hmult(
             chest,
-            &ops::level_reduce(x_ct, level),
-            &ops::level_reduce(w_ct, level),
+            &ops::try_level_reduce(x_ct, level)?,
+            &ops::try_level_reduce(w_ct, level)?,
             self.method,
-        );
-        let mut z = ops::rescale(ctx, &xw);
+        )?;
+        let mut z = ops::try_rescale(ctx, &xw)?;
         let mut stride = self.samples;
         while stride < self.enc.slots() {
-            let rot = ops::hrotate(chest, &z, stride, self.method);
-            z = ops::hadd(ctx, &z, &rot);
+            let rot = ops::try_hrotate(chest, &z, stride, self.method)?;
+            z = ops::try_hadd(ctx, &z, &rot)?;
             stride *= 2;
         }
         // resid = (y - 0.5) - 0.25·z
         let quarter = self.constant(-0.25, z.level(), ctx.params().scale());
-        let mut resid = ops::rescale(ctx, &ops::pmult(ctx, &z, &quarter));
+        let mut resid = ops::try_rescale(ctx, &ops::try_pmult(ctx, &z, &quarter)?)?;
         let y_shift: Vec<f64> = y.iter().map(|v| v - 0.5).collect();
         let y_pt = self.enc.encode(
             ctx,
@@ -254,29 +259,29 @@ impl EncryptedLogisticRegression {
         resid = padd_raw(ctx, &resid, &y_pt);
         // grad slots = resid_s · x_{f,s}; rotate-sum over samples puts
         // Σ_s grad at s = 0 of each feature block.
-        let x_low = ops::level_reduce(x_ct, resid.level());
-        let mut g = ops::rescale(ctx, &ops::hmult(chest, &resid, &x_low, self.method));
+        let x_low = ops::try_level_reduce(x_ct, resid.level())?;
+        let mut g = ops::try_rescale(ctx, &ops::try_hmult(chest, &resid, &x_low, self.method)?)?;
         let mut step = 1usize;
         while step < self.samples {
-            let rot = ops::hrotate(chest, &g, step, self.method);
-            g = ops::hadd(ctx, &g, &rot);
+            let rot = ops::try_hrotate(chest, &g, step, self.method)?;
+            g = ops::try_hadd(ctx, &g, &rot)?;
             step *= 2;
         }
         // Mask s = 0 with lr folded in, then replicate across the block by
         // rightward rotations (cyclic left by slots - 2^k).
         let mask = self.lr_mask(lr, g.level(), ctx.params().scale());
-        let mut delta = ops::rescale(ctx, &ops::pmult(ctx, &g, &mask));
+        let mut delta = ops::try_rescale(ctx, &ops::try_pmult(ctx, &g, &mask)?)?;
         let mut fill = 1usize;
         while fill < self.samples {
-            let rot = ops::hrotate(chest, &delta, self.enc.slots() - fill, self.method);
-            delta = ops::hadd(ctx, &delta, &rot);
+            let rot = ops::try_hrotate(chest, &delta, self.enc.slots() - fill, self.method)?;
+            delta = ops::try_hadd(ctx, &delta, &rot)?;
             fill *= 2;
         }
         // w' = w + delta
-        let w_low = ops::level_reduce(w_ct, delta.level());
+        let w_low = ops::try_level_reduce(w_ct, delta.level())?;
         let mut delta_aligned = delta;
         delta_aligned.set_scale(w_low.scale()); // ~2^-30 relative drift, absorbed as noise
-        ops::hadd(ctx, &w_low, &delta_aligned)
+        ops::try_hadd(ctx, &w_low, &delta_aligned)
     }
 
     fn constant(&self, c: f64, level: usize, scale: f64) -> Plaintext {
@@ -293,46 +298,58 @@ impl EncryptedLogisticRegression {
     }
 
     /// Encrypts a packed dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`neo_ckks::ops::try_encrypt`] failures.
     pub fn encrypt_data<R: Rng + ?Sized>(
         &self,
         pk: &PublicKey,
         rows: &[Vec<f64>],
         level: usize,
         rng: &mut R,
-    ) -> Ciphertext {
+    ) -> Result<Ciphertext, NeoError> {
         let pt = self.enc.encode(
             &self.ctx,
             &self.pack(rows),
             self.ctx.params().scale(),
             level,
         );
-        ops::encrypt(&self.ctx, pk, &pt, rng)
+        ops::try_encrypt(&self.ctx, pk, &pt, rng)
     }
 
     /// Encrypts broadcast weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`neo_ckks::ops::try_encrypt`] failures.
     pub fn encrypt_weights<R: Rng + ?Sized>(
         &self,
         pk: &PublicKey,
         w: &[f64],
         level: usize,
         rng: &mut R,
-    ) -> Ciphertext {
+    ) -> Result<Ciphertext, NeoError> {
         let pt = self.enc.encode(
             &self.ctx,
             &self.broadcast_w(w),
             self.ctx.params().scale(),
             level,
         );
-        ops::encrypt(&self.ctx, pk, &pt, rng)
+        ops::try_encrypt(&self.ctx, pk, &pt, rng)
     }
 
     /// Decrypts the weight vector (read at `s = 0` of each feature block).
-    pub fn decrypt_weights(&self, sk: &SecretKey, w_ct: &Ciphertext) -> Vec<f64> {
-        let pt = ops::decrypt(&self.ctx, sk, w_ct);
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`neo_ckks::ops::try_decrypt`] failures.
+    pub fn decrypt_weights(&self, sk: &SecretKey, w_ct: &Ciphertext) -> Result<Vec<f64>, NeoError> {
+        let pt = ops::try_decrypt(&self.ctx, sk, w_ct)?;
         let slots = self.enc.decode(&self.ctx, &pt);
-        (0..self.features)
+        Ok((0..self.features)
             .map(|f| slots[self.slot(f, 0)].re)
-            .collect()
+            .collect())
     }
 }
 

@@ -19,6 +19,10 @@
 //! same shape, which does not affect FHE cost (cost depends only on the
 //! operation sequence).
 
+// Library code must surface failures as typed `NeoError`s, never by
+// unwrapping; tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod conv;
 pub mod helr;
 pub mod resnet;

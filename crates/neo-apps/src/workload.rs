@@ -78,7 +78,7 @@ impl AppTrace {
 
 /// The PackBootstrap workload: one fully packed bootstrap.
 pub fn bootstrap_app(p: &CkksParams) -> AppTrace {
-    let plan = BootstrapPlan::standard(p);
+    let plan = BootstrapPlan::try_standard(p).expect("valid bootstrap params");
     AppTrace {
         kind: AppKind::PackBootstrap,
         steps: plan.trace(),
@@ -88,7 +88,7 @@ pub fn bootstrap_app(p: &CkksParams) -> AppTrace {
 /// Appends a bootstrap to an existing trace and returns the level the
 /// computation resumes at.
 pub(crate) fn push_bootstrap(steps: &mut Vec<TraceStep>, p: &CkksParams) -> usize {
-    let plan = BootstrapPlan::standard(p);
+    let plan = BootstrapPlan::try_standard(p).expect("valid bootstrap params");
     steps.extend(plan.trace());
     plan.remaining_levels().max(2)
 }

@@ -44,10 +44,16 @@ fn encrypted_step_matches_plaintext_reference() {
     let lr = 0.05;
 
     let level = r.ctx.params().max_level; // 5: the step consumes 4.
-    let x_ct = r.model.encrypt_data(&r.pk, &xs, level, &mut r.rng);
-    let w_ct = r.model.encrypt_weights(&r.pk, &w0, level, &mut r.rng);
-    let w1_ct = r.model.step(&r.chest, &x_ct, &ys, &w_ct, lr);
-    let got = r.model.decrypt_weights(r.chest.secret_key(), &w1_ct);
+    let x_ct = r.model.encrypt_data(&r.pk, &xs, level, &mut r.rng).unwrap();
+    let w_ct = r
+        .model
+        .encrypt_weights(&r.pk, &w0, level, &mut r.rng)
+        .unwrap();
+    let w1_ct = r.model.step(&r.chest, &x_ct, &ys, &w_ct, lr).unwrap();
+    let got = r
+        .model
+        .decrypt_weights(r.chest.secret_key(), &w1_ct)
+        .unwrap();
     let want = plaintext_step(&xs, &ys, &w0, lr);
     for (f, (g, w)) in got.iter().zip(&want).enumerate() {
         assert!((g - w).abs() < 5e-2, "feature {f}: {g} vs {w}");
@@ -64,10 +70,16 @@ fn encrypted_training_reduces_error_hybrid() {
     // depth for one step; full-size parameters bootstrap instead).
     for _ in 0..3 {
         let level = r.ctx.params().max_level;
-        let x_ct = r.model.encrypt_data(&r.pk, &xs, level, &mut r.rng);
-        let w_ct = r.model.encrypt_weights(&r.pk, &w, level, &mut r.rng);
-        let w_next = r.model.step(&r.chest, &x_ct, &ys, &w_ct, lr);
-        w = r.model.decrypt_weights(r.chest.secret_key(), &w_next);
+        let x_ct = r.model.encrypt_data(&r.pk, &xs, level, &mut r.rng).unwrap();
+        let w_ct = r
+            .model
+            .encrypt_weights(&r.pk, &w, level, &mut r.rng)
+            .unwrap();
+        let w_next = r.model.step(&r.chest, &x_ct, &ys, &w_ct, lr).unwrap();
+        w = r
+            .model
+            .decrypt_weights(r.chest.secret_key(), &w_next)
+            .unwrap();
     }
     // Compare against the plaintext model trained identically.
     let mut wp = vec![0.0f64; FEATURES];

@@ -27,34 +27,34 @@ fn rig() -> Rig {
         .map(|i| Complex64::new((i as f64 * 0.1).sin(), 0.0))
         .collect();
     let pt = enc.encode(&ctx, &vals, ctx.params().scale(), 4);
-    let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
+    let ct = ops::try_encrypt(&ctx, &pk, &pt, &mut rng).unwrap();
     // Warm the key caches so the benches time steady-state switching.
-    let _ = ops::hmult(&chest, &ct, &ct, KsMethod::Hybrid);
-    let _ = ops::hmult(&chest, &ct, &ct, KsMethod::Klss);
-    let _ = ops::hrotate(&chest, &ct, 1, KsMethod::Hybrid);
-    let _ = ops::hrotate(&chest, &ct, 1, KsMethod::Klss);
+    let _ = ops::try_hmult(&chest, &ct, &ct, KsMethod::Hybrid).unwrap();
+    let _ = ops::try_hmult(&chest, &ct, &ct, KsMethod::Klss).unwrap();
+    let _ = ops::try_hrotate(&chest, &ct, 1, KsMethod::Hybrid).unwrap();
+    let _ = ops::try_hrotate(&chest, &ct, 1, KsMethod::Klss).unwrap();
     Rig { ctx, chest, ct }
 }
 
 fn bench_ops(c: &mut Criterion) {
     let r = rig();
     let mut group = c.benchmark_group("ckks_ops_n256");
-    group.bench_function("hadd", |b| b.iter(|| ops::hadd(&r.ctx, &r.ct, &r.ct)));
+    group.bench_function("hadd", |b| b.iter(|| ops::try_hadd(&r.ctx, &r.ct, &r.ct)));
     group.bench_function("hmult_hybrid", |b| {
-        b.iter(|| ops::hmult(&r.chest, &r.ct, &r.ct, KsMethod::Hybrid))
+        b.iter(|| ops::try_hmult(&r.chest, &r.ct, &r.ct, KsMethod::Hybrid))
     });
     group.bench_function("hmult_klss", |b| {
-        b.iter(|| ops::hmult(&r.chest, &r.ct, &r.ct, KsMethod::Klss))
+        b.iter(|| ops::try_hmult(&r.chest, &r.ct, &r.ct, KsMethod::Klss))
     });
     group.bench_function("hrotate_hybrid", |b| {
-        b.iter(|| ops::hrotate(&r.chest, &r.ct, 1, KsMethod::Hybrid))
+        b.iter(|| ops::try_hrotate(&r.chest, &r.ct, 1, KsMethod::Hybrid))
     });
     group.bench_function("hrotate_klss", |b| {
-        b.iter(|| ops::hrotate(&r.chest, &r.ct, 1, KsMethod::Klss))
+        b.iter(|| ops::try_hrotate(&r.chest, &r.ct, 1, KsMethod::Klss))
     });
     group.bench_function("rescale", |b| {
-        let prod = ops::hmult(&r.chest, &r.ct, &r.ct, KsMethod::Klss);
-        b.iter(|| ops::rescale(&r.ctx, &prod))
+        let prod = ops::try_hmult(&r.chest, &r.ct, &r.ct, KsMethod::Klss).unwrap();
+        b.iter(|| ops::try_rescale(&r.ctx, &prod))
     });
     group.finish();
 }

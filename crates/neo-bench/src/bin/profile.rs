@@ -89,15 +89,16 @@ fn main() {
         op_rows.push((name.to_string(), w));
     };
 
-    let (ct, w) = record(|| ops::encrypt(&ctx, &pk, &pt, &mut rng));
+    let (ct, w) = record(|| ops::try_encrypt(&ctx, &pk, &pt, &mut rng).expect("encrypt"));
     push_op("encrypt", w);
-    let (ct2, w) = record(|| ops::hmult(&chest, &ct, &ct, KsMethod::Klss));
+    let (ct2, w) = record(|| ops::try_hmult(&chest, &ct, &ct, KsMethod::Klss).expect("hmult"));
     push_op("hmult+klss", w);
-    let (ct3, w) = record(|| ops::rescale(&ctx, &ct2));
+    let (ct3, w) = record(|| ops::try_rescale(&ctx, &ct2).expect("rescale"));
     push_op("rescale", w);
-    let (ct4, w) = record(|| ops::hrotate(&chest, &ct3, 1, KsMethod::Klss));
+    let (ct4, w) = record(|| ops::try_hrotate(&chest, &ct3, 1, KsMethod::Klss).expect("hrotate"));
     push_op("hrotate+klss", w);
-    let (_pt_out, w) = record(|| ops::decrypt(&ctx, chest.secret_key(), &ct4));
+    let (_pt_out, w) =
+        record(|| ops::try_decrypt(&ctx, chest.secret_key(), &ct4).expect("decrypt"));
     push_op("decrypt", w);
 
     human.push_str(
@@ -131,7 +132,7 @@ fn main() {
 
     // --- Bootstrap segments (analytic — the runtime path stops at the
     // primitive ops; the bootstrap plan is the paper's op trace). ---
-    let plan = BootstrapPlan::standard(&params);
+    let plan = BootstrapPlan::try_standard(&params).unwrap();
     let trace = plan.trace();
     let dev = DeviceModel::a100();
     let cfg = CostConfig::neo();

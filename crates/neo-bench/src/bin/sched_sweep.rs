@@ -72,8 +72,15 @@ fn time_execute(
     parallel: bool,
 ) -> (f64, Vec<neo_ckks::Ciphertext>) {
     let t0 = Instant::now();
-    let out = prog.execute(chest, inputs, KsMethod::Klss, parallel);
-    (t0.elapsed().as_secs_f64(), out)
+    let out = prog
+        .execute(chest, inputs, KsMethod::Klss, parallel)
+        .expect("random programs are legal");
+    let secs = t0.elapsed().as_secs_f64();
+    let cts = out
+        .into_iter()
+        .map(|r| r.expect("random programs are legal"))
+        .collect();
+    (secs, cts)
 }
 
 fn main() {
@@ -97,7 +104,7 @@ fn main() {
     let hmult_rows = sweep(&hmult_fused, &dev, HMULT_COPIES, &mut human);
 
     // --- Bootstrap CTS stage ------------------------------------------
-    let plan = BootstrapPlan::standard(&p);
+    let plan = BootstrapPlan::try_standard(&p).unwrap();
     let trace = plan.trace();
     // One BSGS stage: rotations, pmults, additions, and the rescale.
     let cts: Vec<_> = trace.iter().copied().take(4).collect();
@@ -135,7 +142,8 @@ fn main() {
             let vals: Vec<Complex64> = (0..enc.slots())
                 .map(|j| Complex64::new(((i * 17 + j * 5) % 11) as f64 / 11.0 - 0.3, 0.0))
                 .collect();
-            ops::encrypt(&ctx, &pk, &enc.encode(&ctx, &vals, scale, level), &mut rng)
+            ops::try_encrypt(&ctx, &pk, &enc.encode(&ctx, &vals, scale, level), &mut rng)
+                .expect("fresh encryption at max level")
         })
         .collect();
     let prog = BatchProgram::random(&mut rng, inputs.len(), 24, level, ctx.degree());

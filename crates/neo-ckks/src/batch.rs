@@ -11,6 +11,12 @@
 //! operands, and the required key-switching keys are generated *before*
 //! the parallel region (key generation draws from the chest's RNG, so
 //! its order must not depend on the thread schedule).
+//!
+//! Execution isolates per-operation failures: an op that fails (say a
+//! rescale at level 0) yields its structured [`NeoError`], ops that
+//! depend on it report [`NeoError::PoisonedInput`] naming the failed
+//! producer, and every op on an untainted path still returns its result —
+//! bit-identical to a run without the failing ops.
 
 use crate::ciphertext::Ciphertext;
 use crate::cost::{CostConfig, Operation};
@@ -18,6 +24,7 @@ use crate::keys::{KeyChest, KeyTarget};
 use crate::ops;
 use crate::params::{CkksParams, KsMethod};
 use crate::sched::append_op;
+use neo_error::NeoError;
 use neo_sched::{OpGraph, TaskGraph};
 use rand::Rng;
 
@@ -79,21 +86,35 @@ impl BatchProgram {
 
     /// Appends an operation; returns its [`Slot::Op`] index.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an operand refers to an operation at or after this one.
-    pub fn push(&mut self, op: BatchOp) -> Slot {
+    /// [`NeoError::InvalidParams`] if an operand refers to an operation
+    /// at or after this one.
+    pub fn try_push(&mut self, op: BatchOp) -> Result<Slot, NeoError> {
         for s in op.operands() {
             if let Slot::Op(j) = s {
-                assert!(j < self.ops.len(), "operand Op({j}) not yet defined");
+                if j >= self.ops.len() {
+                    return Err(NeoError::invalid_params(format!(
+                        "operand Op({j}) not yet defined"
+                    )));
+                }
             }
         }
         self.ops.push(op);
-        Slot::Op(self.ops.len() - 1)
+        Ok(Slot::Op(self.ops.len() - 1))
+    }
+
+    /// Appends an operation; aborts on a forward operand reference.
+    #[deprecated(since = "0.2.0", note = "use `try_push`")]
+    pub fn push(&mut self, op: BatchOp) -> Slot {
+        self.try_push(op).expect("push")
     }
 
     /// The level each operation *runs at* (its input level; a rescale's
-    /// output is one lower), given the batch inputs' common level.
+    /// output is one lower), given the batch inputs' common level. A
+    /// rescale at level 0 is illegal at execution time; here its output
+    /// level saturates at 0 so planning over an invalid program still
+    /// terminates.
     pub fn op_levels(&self, input_level: usize) -> Vec<usize> {
         let mut out_level: Vec<usize> = Vec::with_capacity(self.ops.len());
         let mut run_level = Vec::with_capacity(self.ops.len());
@@ -105,7 +126,7 @@ impl BatchProgram {
             let at = op.operands().into_iter().map(lv).min().expect("operands");
             run_level.push(at);
             out_level.push(match op {
-                BatchOp::Rescale(_) => at - 1,
+                BatchOp::Rescale(_) => at.saturating_sub(1),
                 _ => at,
             });
         }
@@ -117,7 +138,17 @@ impl BatchProgram {
     /// parallel region so the chest's RNG draws in a schedule-independent
     /// order (lazily generating keys from worker threads would make the
     /// keys themselves depend on thread timing).
-    pub fn warm_keys(&self, chest: &KeyChest, input_level: usize, method: KsMethod) {
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::KeySwitchKeyMissing`] if a key cannot be generated
+    /// (e.g. KLSS requested without a KLSS parameter configuration).
+    pub fn warm_keys(
+        &self,
+        chest: &KeyChest,
+        input_level: usize,
+        method: KsMethod,
+    ) -> Result<(), NeoError> {
         let n = chest.context().degree();
         let levels = self.op_levels(input_level);
         for (op, &level) in self.ops.iter().zip(&levels) {
@@ -126,15 +157,26 @@ impl BatchProgram {
                 BatchOp::HRotate(_, steps) => KeyTarget::Galois(ops::galois_element(n, *steps)),
                 _ => continue,
             };
-            match method {
-                KsMethod::Hybrid => {
-                    chest.hybrid_key(level, target);
-                }
-                KsMethod::Klss => {
-                    chest.klss_key(level, target);
+            chest.warm(level, target, method)?;
+        }
+        Ok(())
+    }
+
+    /// Checks that every operand slot names an existing batch input.
+    fn check_input_slots(&self, n_inputs: usize) -> Result<(), NeoError> {
+        for (idx, op) in self.ops.iter().enumerate() {
+            for s in op.operands() {
+                if let Slot::Input(i) = s {
+                    if i >= n_inputs {
+                        return Err(NeoError::parameter_mismatch(
+                            "batch_execute",
+                            format!("op {idx} reads Input({i}) but only {n_inputs} inputs given"),
+                        ));
+                    }
                 }
             }
         }
+        Ok(())
     }
 
     /// Runs the program over `inputs` and returns every operation's
@@ -142,24 +184,43 @@ impl BatchProgram {
     /// concurrently (topological wavefronts on the rayon pool); the
     /// result is bit-identical to the serial run.
     ///
-    /// All inputs must share one level.
+    /// Failures are isolated per operation: the outer `Result` covers
+    /// program-wide problems (mismatched input levels, out-of-range input
+    /// slots, key warm-up failure), while each op's own slot carries
+    /// either its ciphertext or its structured error. Ops downstream of a
+    /// failed op report [`NeoError::PoisonedInput`] naming the failed
+    /// producer; ops on untainted paths are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::LevelMismatch`] if the inputs do not share one level;
+    /// [`NeoError::ParameterMismatch`] if an operand names a missing
+    /// input; [`NeoError::KeySwitchKeyMissing`] if key warm-up fails.
     pub fn execute(
         &self,
         chest: &KeyChest,
         inputs: &[Ciphertext],
         method: KsMethod,
         parallel: bool,
-    ) -> Vec<Ciphertext> {
-        assert!(
-            inputs.windows(2).all(|w| w[0].level() == w[1].level()),
-            "batch inputs must share one level"
-        );
+    ) -> Result<Vec<Result<Ciphertext, NeoError>>, NeoError> {
         if let Some(first) = inputs.first() {
-            self.warm_keys(chest, first.level(), method);
+            for ct in &inputs[1..] {
+                if ct.level() != first.level() {
+                    return Err(NeoError::level_mismatch(
+                        "batch_execute",
+                        first.level(),
+                        ct.level(),
+                    ));
+                }
+            }
+        }
+        self.check_input_slots(inputs.len())?;
+        if let Some(first) = inputs.first() {
+            self.warm_keys(chest, first.level(), method)?;
         }
         let ctx = chest.context();
-        let mut tg: TaskGraph<'_, Ciphertext> = TaskGraph::new();
-        for op in &self.ops {
+        let mut tg: TaskGraph<'_, Result<Ciphertext, NeoError>> = TaskGraph::new();
+        for (idx, op) in self.ops.iter().enumerate() {
             // Task dependencies: operand slots that are earlier ops (the
             // task index equals the op index — one task per op).
             let deps: Vec<usize> = op
@@ -171,35 +232,52 @@ impl BatchProgram {
                 })
                 .collect();
             let op = *op;
-            tg.push(&deps, move |resolved: &[&Ciphertext]| {
-                // Dep outputs arrive in operand order; inputs come from
-                // the captured slice.
-                let mut next = resolved.iter();
-                let mut get = |s: Slot| -> &Ciphertext {
-                    match s {
-                        Slot::Input(i) => &inputs[i],
-                        Slot::Op(_) => next.next().expect("dependency output"),
+            let dep_ids = deps.clone();
+            tg.push(
+                &deps,
+                move |resolved: &[&Result<Ciphertext, NeoError>]| {
+                    // A failed producer poisons this op (first failed operand
+                    // in operand order names the upstream culprit).
+                    for (r, &j) in resolved.iter().zip(&dep_ids) {
+                        if r.is_err() {
+                            return Err(NeoError::poisoned(idx, j));
+                        }
                     }
-                };
-                match op {
-                    BatchOp::HMult(a, b) => {
-                        let (a, b) = (get(a), get(b));
-                        ops::hmult(chest, a, b, method)
+                    // Dep outputs arrive in operand order; inputs come from
+                    // the captured slice.
+                    let mut next = resolved.iter();
+                    let mut get = |s: Slot| -> &Ciphertext {
+                        match s {
+                            Slot::Input(i) => &inputs[i],
+                            Slot::Op(_) => next
+                                .next()
+                                .expect("dependency output")
+                                .as_ref()
+                                .expect("poison-checked above"),
+                        }
+                    };
+                    match op {
+                        BatchOp::HMult(a, b) => {
+                            let (a, b) = (get(a), get(b));
+                            ops::try_hmult(chest, a, b, method)
+                        }
+                        BatchOp::HAdd(a, b) => {
+                            let (a, b) = (get(a), get(b));
+                            ops::try_hadd(ctx, a, b)
+                        }
+                        BatchOp::HRotate(a, steps) => {
+                            ops::try_hrotate(chest, get(a), steps, method)
+                        }
+                        BatchOp::Rescale(a) => ops::try_rescale(ctx, get(a)),
                     }
-                    BatchOp::HAdd(a, b) => {
-                        let (a, b) = (get(a), get(b));
-                        ops::hadd(ctx, a, b)
-                    }
-                    BatchOp::HRotate(a, steps) => ops::hrotate(chest, get(a), steps, method),
-                    BatchOp::Rescale(a) => ops::rescale(ctx, get(a)),
-                }
-            });
+                },
+            );
         }
-        if parallel {
+        Ok(if parallel {
             tg.run_parallel()
         } else {
             tg.run_serial()
-        }
+        })
     }
 
     /// The program's kernel DAG on the device model: each operation's
@@ -305,7 +383,7 @@ impl BatchProgram {
                 }
             }
             let (op, level, squared) = placed.expect("hrotate always legal");
-            let slot = prog.push(op);
+            let slot = prog.try_push(op).expect("random programs are legal");
             meta.push((slot, level, squared));
         }
         prog
@@ -316,21 +394,27 @@ impl BatchProgram {
 mod tests {
     use super::*;
     use crate::params::ParamSet;
+    use neo_error::ErrorKind;
+
+    fn push(prog: &mut BatchProgram, op: BatchOp) -> Slot {
+        prog.try_push(op).unwrap()
+    }
 
     #[test]
     fn levels_propagate_through_rescale() {
         let mut prog = BatchProgram::new();
-        let m = prog.push(BatchOp::HMult(Slot::Input(0), Slot::Input(0)));
-        let r = prog.push(BatchOp::Rescale(m));
-        prog.push(BatchOp::HRotate(r, 3));
+        let m = push(&mut prog, BatchOp::HMult(Slot::Input(0), Slot::Input(0)));
+        let r = push(&mut prog, BatchOp::Rescale(m));
+        push(&mut prog, BatchOp::HRotate(r, 3));
         assert_eq!(prog.op_levels(5), vec![5, 5, 4]);
     }
 
     #[test]
-    #[should_panic(expected = "not yet defined")]
     fn forward_operand_rejected() {
         let mut prog = BatchProgram::new();
-        prog.push(BatchOp::Rescale(Slot::Op(2)));
+        let err = prog.try_push(BatchOp::Rescale(Slot::Op(2))).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidParams);
+        assert!(prog.ops.is_empty());
     }
 
     #[test]
@@ -355,8 +439,8 @@ mod tests {
         let p = ParamSet::C.params();
         let cfg = CostConfig::neo();
         let mut prog = BatchProgram::new();
-        let m = prog.push(BatchOp::HMult(Slot::Input(0), Slot::Input(1)));
-        prog.push(BatchOp::Rescale(m));
+        let m = push(&mut prog, BatchOp::HMult(Slot::Input(0), Slot::Input(1)));
+        push(&mut prog, BatchOp::Rescale(m));
         let g = prog.kernel_graph(&p, 10, &cfg);
         let single_m = crate::sched::op_graph(&p, 10, Operation::HMult, &cfg);
         let single_r = crate::sched::op_graph(&p, 10, Operation::Rescale, &cfg);

@@ -15,6 +15,7 @@
 
 use crate::cost::{op_time_us, CostConfig, Operation};
 use crate::params::CkksParams;
+use neo_error::NeoError;
 use neo_gpu_sim::DeviceModel;
 
 /// One step of a workload trace: an operation executed at a level.
@@ -50,7 +51,35 @@ impl BootstrapPlan {
     /// `N/2` slots, degree-63 EvalMod. DS replaces Rescale for small-word
     /// configurations (`WordSize ≤ 36`) unless the parameter set opts
     /// into single scaling (the `SS` rows of Table 5).
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::Math`] if the parameters fail validation;
+    /// [`NeoError::ModulusChainExhausted`] if the chain is too short for
+    /// the plan to leave any usable levels after the bootstrap.
+    pub fn try_standard(p: &CkksParams) -> Result<Self, NeoError> {
+        p.validate()?;
+        let plan = Self::unchecked_standard(p);
+        if plan.remaining_levels() == 0 {
+            // The plan needs at least one level more than it consumes.
+            let consumed = plan.rescale_depth()
+                * (2 * plan.cts_stages + ((plan.evalmod_degree + 1) as f64).log2().ceil() as usize);
+            return Err(NeoError::chain_exhausted(
+                "bootstrap",
+                plan.start_level,
+                consumed + 1,
+            ));
+        }
+        Ok(plan)
+    }
+
+    /// Deprecated form of [`Self::try_standard`] without validation.
+    #[deprecated(since = "0.2.0", note = "use `try_standard`")]
     pub fn standard(p: &CkksParams) -> Self {
+        Self::unchecked_standard(p)
+    }
+
+    fn unchecked_standard(p: &CkksParams) -> Self {
         let slots = p.slots().max(2);
         let stages = 3usize;
         // Each stage multiplies by a sparse DFT factor of radix
@@ -183,7 +212,7 @@ mod tests {
     #[test]
     fn plan_has_positive_budget() {
         let p = ParamSet::C.params();
-        let plan = BootstrapPlan::standard(&p);
+        let plan = BootstrapPlan::try_standard(&p).unwrap();
         assert!(plan.use_ds, "36-bit words need DS");
         assert!(
             plan.remaining_levels() > 0,
@@ -196,8 +225,8 @@ mod tests {
     fn ds_doubles_level_consumption() {
         let p36 = ParamSet::C.params();
         let p60 = ParamSet::E.params();
-        let a = BootstrapPlan::standard(&p36);
-        let b = BootstrapPlan::standard(&p60);
+        let a = BootstrapPlan::try_standard(&p36).unwrap();
+        let b = BootstrapPlan::try_standard(&p60).unwrap();
         assert!(a.use_ds && !b.use_ds);
         assert!(a.remaining_levels() < b.remaining_levels());
     }
@@ -205,7 +234,7 @@ mod tests {
     #[test]
     fn trace_levels_never_increase() {
         let p = ParamSet::C.params();
-        let plan = BootstrapPlan::standard(&p);
+        let plan = BootstrapPlan::try_standard(&p).unwrap();
         let mut prev = usize::MAX;
         for s in plan.trace() {
             assert!(s.level <= prev);
@@ -217,7 +246,7 @@ mod tests {
     fn bootstrap_time_positive_and_dominated_by_hmults_and_rotations() {
         let dev = DeviceModel::a100();
         let p = ParamSet::C.params();
-        let plan = BootstrapPlan::standard(&p);
+        let plan = BootstrapPlan::try_standard(&p).unwrap();
         let t = plan.time_s(&dev, &p, &CostConfig::neo());
         assert!(t > 0.0 && t < 60.0, "implausible bootstrap time {t}");
     }

@@ -9,6 +9,7 @@
 
 use crate::context::CkksContext;
 use crate::params::KsMethod;
+use neo_error::NeoError;
 use neo_math::{Domain, Modulus, RnsBasis, RnsPoly};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -89,6 +90,14 @@ pub enum KeyTarget {
     Relin,
     /// `τ_g(s)` for the Galois exponent `g` — HROTATE / conjugation.
     Galois(usize),
+}
+
+/// Human-readable form of a key target for error messages.
+pub(crate) fn describe_target(target: KeyTarget) -> String {
+    match target {
+        KeyTarget::Relin => "relin".to_string(),
+        KeyTarget::Galois(g) => format!("galois({g})"),
+    }
 }
 
 /// A Hybrid key-switching key at one level: `β` digit keys over `R_PQ_l`
@@ -230,16 +239,48 @@ impl KeyChest {
 
     /// The KLSS key for `(level, target)`, generated on first use.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the parameter set has no KLSS configuration.
-    pub fn klss_key(&self, level: usize, target: KeyTarget) -> Arc<KlssKey> {
+    /// [`NeoError::KeySwitchKeyMissing`] if the parameter set has no KLSS
+    /// configuration — the key cannot exist.
+    pub fn klss_key(&self, level: usize, target: KeyTarget) -> Result<Arc<KlssKey>, NeoError> {
         if let Some(k) = self.klss.read().get(&(level, target)) {
-            return k.clone();
+            return Ok(k.clone());
         }
-        let key = Arc::new(self.gen_klss(level, target));
+        let key = Arc::new(self.gen_klss(level, target)?);
         self.klss.write().insert((level, target), key.clone());
-        key
+        Ok(key)
+    }
+
+    /// Whether the key for `(level, target)` is already in the cache for
+    /// `method` — the lookup a strict key policy
+    /// (`OpPolicy::require_warm_keys`) consults before refusing to
+    /// generate on demand.
+    pub fn has_key(&self, level: usize, target: KeyTarget, method: KsMethod) -> bool {
+        match method {
+            KsMethod::Hybrid => self.hybrid.read().contains_key(&(level, target)),
+            KsMethod::Klss => self.klss.read().contains_key(&(level, target)),
+        }
+    }
+
+    /// Generates (and caches) the key for `(level, target)` under
+    /// `method`, so later lookups hit the cache even under a strict key
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::KeySwitchKeyMissing`] if `method` is KLSS but the
+    /// parameter set has no KLSS configuration.
+    pub fn warm(&self, level: usize, target: KeyTarget, method: KsMethod) -> Result<(), NeoError> {
+        match method {
+            KsMethod::Hybrid => {
+                self.hybrid_key(level, target);
+            }
+            KsMethod::Klss => {
+                self.klss_key(level, target)?;
+            }
+        }
+        Ok(())
     }
 
     /// Generates the raw digit key pairs `K_j` over `R_PQ_l` (NTT domain):
@@ -290,10 +331,16 @@ impl KeyChest {
         }
     }
 
-    fn gen_klss(&self, level: usize, target: KeyTarget) -> KlssKey {
+    fn gen_klss(&self, level: usize, target: KeyTarget) -> Result<KlssKey, NeoError> {
         let ctx = &self.ctx;
         let params = ctx.params();
-        let kcfg = params.klss.expect("KLSS configuration required");
+        let kcfg = params.klss.ok_or_else(|| {
+            NeoError::key_missing(
+                level,
+                describe_target(target),
+                "parameter set has no KLSS configuration",
+            )
+        })?;
         let qp = ctx.qp_moduli(level);
         let qp_primes = ctx.qp_primes(level);
         let t_primes = ctx.t_primes().to_vec();
@@ -334,7 +381,7 @@ impl KeyChest {
                     .collect()
             })
             .collect();
-        KlssKey { digits, level }
+        Ok(KlssKey { digits, level })
     }
 
     /// Drops cached keys for one method (memory control in long runs).
@@ -427,7 +474,7 @@ mod tests {
         let chest = chest();
         let ctx = chest.context();
         let level = 4;
-        let key = chest.klss_key(level, KeyTarget::Relin);
+        let key = chest.klss_key(level, KeyTarget::Relin).unwrap();
         let p = ctx.params();
         assert_eq!(key.digits.len(), p.beta(level));
         assert_eq!(key.digits[0].len(), p.beta_tilde(level));

@@ -1,8 +1,9 @@
 //! The Hybrid key-switching method (the pre-KLSS state of the art).
 
-use super::mod_down;
+use super::{check_keyswitch_input, mod_down};
 use crate::context::CkksContext;
 use crate::keys::{digit_ranges, HybridKey};
+use neo_error::NeoError;
 use neo_math::{Domain, RnsPoly};
 use rayon::prelude::*;
 
@@ -10,17 +11,18 @@ use rayon::prelude::*;
 /// key: returns `(u0, u1)` in coefficient domain with
 /// `u0 + u1·s ≈ d · target`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `d` is in NTT domain or its level disagrees with the key.
-pub fn keyswitch_hybrid(ctx: &CkksContext, key: &HybridKey, d: &RnsPoly) -> (RnsPoly, RnsPoly) {
-    assert_eq!(
-        d.domain(),
-        Domain::Coeff,
-        "keyswitch input must be in coefficient domain"
-    );
+/// [`NeoError::ParameterMismatch`] if `d` is in NTT domain,
+/// [`NeoError::LevelMismatch`] if its limb count disagrees with the
+/// key's level.
+pub fn keyswitch_hybrid(
+    ctx: &CkksContext,
+    key: &HybridKey,
+    d: &RnsPoly,
+) -> Result<(RnsPoly, RnsPoly), NeoError> {
     let level = key.level;
-    assert_eq!(d.limb_count(), level + 1, "level mismatch with key");
+    check_keyswitch_input(d, level)?;
     let qp = ctx.qp_moduli(level);
     let qp_primes = ctx.qp_primes(level);
     let q_primes = &ctx.q_primes()[..=level];
@@ -71,7 +73,7 @@ pub fn keyswitch_hybrid(ctx: &CkksContext, key: &HybridKey, d: &RnsPoly) -> (Rns
     }
     ctx.ntt_inverse(&mut acc0, &qp);
     ctx.ntt_inverse(&mut acc1, &qp);
-    (mod_down(ctx, &acc0, level), mod_down(ctx, &acc1, level))
+    Ok((mod_down(ctx, &acc0, level)?, mod_down(ctx, &acc1, level)?))
 }
 
 #[cfg(test)]
@@ -97,7 +99,7 @@ mod tests {
         let d_coeffs: Vec<i64> = (0..ctx.degree() as i64).map(|i| (i % 17) - 8).collect();
         let d = RnsPoly::from_signed(&d_coeffs, &q);
         let key = chest.hybrid_key(level, KeyTarget::Relin);
-        let (u0, u1) = keyswitch_hybrid(&ctx, &key, &d);
+        let (u0, u1) = keyswitch_hybrid(&ctx, &key, &d).unwrap();
         // phase = u0 + u1*s  (computed in NTT domain).
         let s = chest.secret_key().poly_ntt(&ctx, &q);
         let mut u1n = u1.clone();

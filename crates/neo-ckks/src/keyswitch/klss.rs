@@ -12,27 +12,33 @@
 //! `Σ_j h_j·K_j mod PQ_l` — the same quantity the Hybrid method computes,
 //! at lower cost.
 
-use super::mod_down;
+use super::{check_keyswitch_input, mod_down};
 use crate::context::CkksContext;
 use crate::keys::{digit_ranges, KlssKey};
+use neo_error::NeoError;
 use neo_math::{Domain, RnsPoly};
 use rayon::prelude::*;
 
 /// Switches `d` (coefficient domain, `level + 1` limbs) using a KLSS key:
 /// returns `(u0, u1)` in coefficient domain with `u0 + u1·s ≈ d·target`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `d` is in NTT domain or its level disagrees with the key.
-pub fn keyswitch_klss(ctx: &CkksContext, key: &KlssKey, d: &RnsPoly) -> (RnsPoly, RnsPoly) {
-    assert_eq!(
-        d.domain(),
-        Domain::Coeff,
-        "keyswitch input must be in coefficient domain"
-    );
+/// [`NeoError::ParameterMismatch`] if `d` is in NTT domain,
+/// [`NeoError::LevelMismatch`] if its limb count disagrees with the key,
+/// [`NeoError::KeySwitchKeyMissing`] if the parameter set has no KLSS
+/// configuration.
+pub fn keyswitch_klss(
+    ctx: &CkksContext,
+    key: &KlssKey,
+    d: &RnsPoly,
+) -> Result<(RnsPoly, RnsPoly), NeoError> {
     let level = key.level;
-    assert_eq!(d.limb_count(), level + 1, "level mismatch with key");
+    check_keyswitch_input(d, level)?;
     let params = ctx.params();
+    let kcfg = params.klss.ok_or_else(|| {
+        NeoError::key_missing(level, "klss", "parameter set has no KLSS configuration")
+    })?;
     let q_primes = &ctx.q_primes()[..=level];
     let t_primes = ctx.t_primes().to_vec();
     let t_moduli = ctx.t_moduli().to_vec();
@@ -40,7 +46,6 @@ pub fn keyswitch_klss(ctx: &CkksContext, key: &KlssKey, d: &RnsPoly) -> (RnsPoly
     let qp_primes = ctx.qp_primes(level);
     let n = d.degree();
     let ranges = digit_ranges(params.alpha(), level + 1);
-    let beta_t = ctx.params().beta_tilde(level);
     let dnum = ranges.len();
     let _s = neo_trace::span!("keyswitch.klss", level = level, dnum = dnum);
 
@@ -65,8 +70,7 @@ pub fn keyswitch_klss(ctx: &CkksContext, key: &KlssKey, d: &RnsPoly) -> (RnsPoly
     // limbs and ≡ 0 on every other limb of R_PQ, so recovering G_ĵ only
     // writes its own α̃ limbs — this is why Table 2 counts Recover Limbs
     // as 2·α'·(l+α) rather than 2·β̃·α'·(l+α).
-    let key_ranges = digit_ranges(params.klss.expect("klss params").alpha_tilde, qp.len());
-    assert_eq!(key_ranges.len(), beta_t, "key digit count mismatch");
+    let key_ranges = digit_ranges(kcfg.alpha_tilde, qp.len());
     // Output digits write disjoint limb ranges of the result, so each
     // (IP, INTT, Recover Limbs) chain runs on its own worker; the recovered
     // limbs are stitched into `result` afterwards.
@@ -100,7 +104,7 @@ pub fn keyswitch_klss(ctx: &CkksContext, key: &KlssKey, d: &RnsPoly) -> (RnsPoly
         }
     }
     let [r0, r1] = result;
-    (mod_down(ctx, &r0, level), mod_down(ctx, &r1, level))
+    Ok((mod_down(ctx, &r0, level)?, mod_down(ctx, &r1, level)?))
 }
 
 #[cfg(test)]
@@ -127,8 +131,8 @@ mod tests {
         let q = ctx.q_moduli(level).to_vec();
         let d_coeffs: Vec<i64> = (0..ctx.degree() as i64).map(|i| (i % 23) - 11).collect();
         let d = RnsPoly::from_signed(&d_coeffs, &q);
-        let key = chest.klss_key(level, KeyTarget::Relin);
-        let (u0, u1) = keyswitch_klss(&ctx, &key, &d);
+        let key = chest.klss_key(level, KeyTarget::Relin).unwrap();
+        let (u0, u1) = keyswitch_klss(&ctx, &key, &d).unwrap();
         let s = chest.secret_key().poly_ntt(&ctx, &q);
         let mut u1n = u1.clone();
         ctx.ntt_forward(&mut u1n, &q);
@@ -157,9 +161,9 @@ mod tests {
         let d_coeffs: Vec<i64> = (0..ctx.degree() as i64).map(|i| (i % 11) - 5).collect();
         let d = RnsPoly::from_signed(&d_coeffs, &q);
         let hk = chest.hybrid_key(level, KeyTarget::Relin);
-        let kk = chest.klss_key(level, KeyTarget::Relin);
-        let (h0, h1) = keyswitch_hybrid(&ctx, &hk, &d);
-        let (k0, k1) = keyswitch_klss(&ctx, &kk, &d);
+        let kk = chest.klss_key(level, KeyTarget::Relin).unwrap();
+        let (h0, h1) = keyswitch_hybrid(&ctx, &hk, &d).unwrap();
+        let (k0, k1) = keyswitch_klss(&ctx, &kk, &d).unwrap();
         let s = chest.secret_key().poly_ntt(&ctx, &q);
         let phase = |u0: &RnsPoly, u1: &RnsPoly| {
             let mut u1n = u1.clone();
@@ -186,8 +190,8 @@ mod tests {
         let q = ctx.q_moduli(level).to_vec();
         let d_coeffs: Vec<i64> = (0..ctx.degree() as i64).map(|i| (i % 7) - 3).collect();
         let d = RnsPoly::from_signed(&d_coeffs, &q);
-        let key = chest.klss_key(level, KeyTarget::Galois(g));
-        let (u0, u1) = keyswitch_klss(&ctx, &key, &d);
+        let key = chest.klss_key(level, KeyTarget::Galois(g)).unwrap();
+        let (u0, u1) = keyswitch_klss(&ctx, &key, &d).unwrap();
         let s_rot = {
             let s = RnsPoly::from_signed(chest.secret_key().coeffs(), &q);
             let mut r = s.automorphism(g, &q);

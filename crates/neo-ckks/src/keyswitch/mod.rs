@@ -14,18 +14,52 @@ pub mod hybrid;
 pub mod klss;
 
 use crate::context::CkksContext;
-use neo_math::RnsPoly;
+use neo_error::NeoError;
+use neo_math::{Domain, RnsPoly};
+
+/// Shared operand validation for both key-switching methods: the input
+/// must be in coefficient domain with exactly the key level's limb count.
+pub(crate) fn check_keyswitch_input(d: &RnsPoly, level: usize) -> Result<(), NeoError> {
+    if d.domain() != Domain::Coeff {
+        return Err(NeoError::parameter_mismatch(
+            "keyswitch",
+            "input must be in coefficient domain",
+        ));
+    }
+    if d.limb_count() != level + 1 {
+        return Err(NeoError::level_mismatch(
+            "keyswitch",
+            d.limb_count().saturating_sub(1),
+            level,
+        ));
+    }
+    Ok(())
+}
 
 /// Mod Down by `P`: takes a coefficient-domain polynomial over the
 /// `R_PQ_l` basis (`l+1` data limbs then `K` special limbs) and returns
 /// `round(x / P)` over the data limbs.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the limb count is not `level + 1 + K`.
-pub(crate) fn mod_down(ctx: &CkksContext, poly: &RnsPoly, level: usize) -> RnsPoly {
+/// [`NeoError::ParameterMismatch`] if the limb count is not
+/// `level + 1 + K`.
+pub(crate) fn mod_down(
+    ctx: &CkksContext,
+    poly: &RnsPoly,
+    level: usize,
+) -> Result<RnsPoly, NeoError> {
     let k = ctx.p_primes().len();
-    assert_eq!(poly.limb_count(), level + 1 + k, "expected R_PQ limbs");
+    if poly.limb_count() != level + 1 + k {
+        return Err(NeoError::parameter_mismatch(
+            "mod_down",
+            format!(
+                "expected {} R_PQ limbs at level {level}, got {}",
+                level + 1 + k,
+                poly.limb_count()
+            ),
+        ));
+    }
     let p_part: Vec<Vec<u64>> = (level + 1..level + 1 + k)
         .map(|i| poly.limb(i).to_vec())
         .collect();
@@ -41,7 +75,7 @@ pub(crate) fn mod_down(ctx: &CkksContext, poly: &RnsPoly, level: usize) -> RnsPo
             *d = m.mul(diff, inv);
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -64,7 +98,7 @@ mod tests {
             .map(|m| vec![x_int.rem_u64(m.value()); ctx.degree()])
             .collect();
         let poly = RnsPoly::from_limbs(limbs, Domain::Coeff).unwrap();
-        let out = mod_down(&ctx, &poly, level);
+        let out = mod_down(&ctx, &poly, level).unwrap();
         for (i, m) in ctx.q_moduli(level).iter().enumerate() {
             assert!(out.limb(i).iter().all(|&c| c == m.reduce(v)), "limb {i}");
         }
@@ -85,7 +119,7 @@ mod tests {
             .map(|m| vec![x_int.rem_u64(m.value()); ctx.degree()])
             .collect();
         let poly = RnsPoly::from_limbs(limbs, Domain::Coeff).unwrap();
-        let out = mod_down(&ctx, &poly, level);
+        let out = mod_down(&ctx, &poly, level).unwrap();
         let m0 = &ctx.q_moduli(level)[0];
         let got = out.limb(0)[0];
         let diff = m0.to_signed(m0.sub(got, m0.reduce(v))).abs();

@@ -5,32 +5,31 @@
 //!
 //! # Quick start
 //!
+//! The [`FheEngine`] session facade is the preferred entry point: it
+//! bundles context, keys and encoder, every operation returns
+//! [`Result<_, NeoError>`], and an [`OpPolicy`] applies runtime
+//! guardrails (level alignment, noise-budget floor, warm-key checks).
+//!
 //! ```rust
-//! use neo_ckks::{CkksContext, CkksParams, Encoder, KeyChest, KsMethod};
-//! use neo_ckks::encoding::Complex64;
-//! use neo_ckks::keys::{PublicKey, SecretKey};
-//! use neo_ckks::ops;
-//! use rand::{rngs::StdRng, SeedableRng};
-//! use std::sync::Arc;
+//! use neo_ckks::{CkksParams, FheEngine, NeoError};
 //!
-//! # fn main() -> Result<(), neo_math::MathError> {
-//! let ctx = Arc::new(CkksContext::new(CkksParams::test_tiny())?);
-//! let mut rng = StdRng::seed_from_u64(1);
-//! let sk = SecretKey::generate(&ctx, &mut rng);
-//! let pk = PublicKey::generate(&ctx, &sk, &mut rng);
-//! let chest = KeyChest::new(ctx.clone(), sk, 2);
-//! let enc = Encoder::new(ctx.degree());
-//!
-//! let vals = vec![Complex64::new(1.5, 0.0), Complex64::new(-2.0, 0.25)];
-//! let pt = enc.encode(&ctx, &vals, ctx.params().scale(), 3);
-//! let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
-//! let ct2 = ops::hmult(&chest, &ct, &ct, KsMethod::Klss); // square it
-//! let ct2 = ops::rescale(&ctx, &ct2);
-//! let out = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &ct2));
-//! assert!((out[0].re - 2.25).abs() < 1e-2);
+//! # fn main() -> Result<(), NeoError> {
+//! let engine = FheEngine::new(CkksParams::test_tiny(), 1)?;
+//! let ct = engine.encrypt_f64(&[1.5, -2.0], 3)?;
+//! let sq = engine.rescale(&engine.hmult(&ct, &ct)?)?; // square it
+//! let out = engine.decrypt_f64(&sq)?;
+//! assert!((out[0] - 2.25).abs() < 1e-2);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The free functions in [`ops`] remain available in fallible `try_*`
+//! form; the original panicking names are deprecated and will be removed
+//! after one release.
+
+// Library code must surface failures as typed `NeoError`s, never by
+// unwrapping; tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod batch;
 pub mod bootstrap;
@@ -39,6 +38,7 @@ pub mod complexity;
 pub mod context;
 pub mod cost;
 pub mod encoding;
+pub mod engine;
 pub mod keys;
 pub mod keyswitch;
 pub mod linear;
@@ -47,8 +47,12 @@ pub mod ops;
 pub mod params;
 pub mod sched;
 
+pub use batch::{BatchOp, BatchProgram, Slot};
 pub use ciphertext::{Ciphertext, Plaintext};
 pub use context::CkksContext;
 pub use encoding::Encoder;
+pub use engine::{FheEngine, OpPolicy};
 pub use keys::{KeyChest, KeyTarget, PublicKey, SecretKey};
-pub use params::{CkksParams, KlssConfig, KsMethod, ParamSet};
+pub use linear::LinearTransform;
+pub use neo_error::{ErrorKind, NeoError};
+pub use params::{CkksParams, CkksParamsBuilder, KlssConfig, KsMethod, ParamSet};

@@ -8,6 +8,7 @@ use crate::encoding::{Complex64, Encoder};
 use crate::keys::KeyChest;
 use crate::ops;
 use crate::params::KsMethod;
+use neo_error::NeoError;
 use std::collections::BTreeMap;
 
 /// A slot-space linear map `z ↦ M·z` stored by generalized diagonals:
@@ -26,13 +27,21 @@ impl LinearTransform {
     /// Builds from an explicit dense matrix (`rows[i][j]`, `slots×slots`),
     /// keeping only non-zero diagonals.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the matrix is not square of size `slots`.
-    pub fn from_matrix(rows: &[Vec<Complex64>]) -> Self {
+    /// [`NeoError::InvalidParams`] if the matrix is empty or not square.
+    pub fn try_from_matrix(rows: &[Vec<Complex64>]) -> Result<Self, NeoError> {
         let slots = rows.len();
-        for r in rows {
-            assert_eq!(r.len(), slots, "matrix must be square");
+        if slots == 0 {
+            return Err(NeoError::invalid_params("matrix must be non-empty"));
+        }
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != slots {
+                return Err(NeoError::invalid_params(format!(
+                    "matrix must be square: row {i} has {} entries, expected {slots}",
+                    r.len()
+                )));
+            }
         }
         let mut diagonals = BTreeMap::new();
         for d in 0..slots {
@@ -41,20 +50,45 @@ impl LinearTransform {
                 diagonals.insert(d, diag);
             }
         }
-        Self { slots, diagonals }
+        Ok(Self { slots, diagonals })
     }
 
     /// Builds directly from diagonals (`d → diag_d`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any diagonal has the wrong length or index ≥ slots.
-    pub fn from_diagonals(slots: usize, diagonals: BTreeMap<usize, Vec<Complex64>>) -> Self {
+    /// [`NeoError::InvalidParams`] if any diagonal has the wrong length or
+    /// index ≥ slots.
+    pub fn try_from_diagonals(
+        slots: usize,
+        diagonals: BTreeMap<usize, Vec<Complex64>>,
+    ) -> Result<Self, NeoError> {
         for (&d, diag) in &diagonals {
-            assert!(d < slots, "diagonal index {d} out of range");
-            assert_eq!(diag.len(), slots, "diagonal length mismatch");
+            if d >= slots {
+                return Err(NeoError::invalid_params(format!(
+                    "diagonal index {d} out of range for {slots} slots"
+                )));
+            }
+            if diag.len() != slots {
+                return Err(NeoError::invalid_params(format!(
+                    "diagonal {d} has {} entries, expected {slots}",
+                    diag.len()
+                )));
+            }
         }
-        Self { slots, diagonals }
+        Ok(Self { slots, diagonals })
+    }
+
+    /// Builds from a dense matrix; aborts if it is not square.
+    #[deprecated(since = "0.2.0", note = "use `try_from_matrix`")]
+    pub fn from_matrix(rows: &[Vec<Complex64>]) -> Self {
+        Self::try_from_matrix(rows).expect("from_matrix")
+    }
+
+    /// Builds from diagonals; aborts on malformed input.
+    #[deprecated(since = "0.2.0", note = "use `try_from_diagonals`")]
+    pub fn from_diagonals(slots: usize, diagonals: BTreeMap<usize, Vec<Complex64>>) -> Self {
+        Self::try_from_diagonals(slots, diagonals).expect("from_diagonals")
     }
 
     /// Number of non-zero diagonals (= rotations per application).
@@ -62,9 +96,13 @@ impl LinearTransform {
         self.diagonals.len()
     }
 
+    /// Slot count the transform was built for.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
     /// Applies the transform to plaintext slots (the reference oracle).
     pub fn apply_plain(&self, z: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(z.len(), self.slots);
         let mut out = vec![Complex64::default(); self.slots];
         for (&d, diag) in &self.diagonals {
             for i in 0..self.slots {
@@ -77,17 +115,20 @@ impl LinearTransform {
     /// Applies the transform homomorphically: `Σ_d diag_d ⊙ rot(ct, d)`,
     /// followed by one rescale. Consumes one level.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the encoder's slot count differs from the transform's.
-    pub fn apply(
+    /// [`NeoError::InvalidParams`] if the transform has no diagonals;
+    /// [`NeoError::ParameterMismatch`] if the encoder's slot count differs
+    /// from the transform's; plus the underlying rotation / multiply /
+    /// rescale errors.
+    pub fn try_apply(
         &self,
         chest: &KeyChest,
         enc: &Encoder,
         ct: &Ciphertext,
         method: KsMethod,
-    ) -> Ciphertext {
-        assert_eq!(enc.slots(), self.slots, "slot count mismatch");
+    ) -> Result<Ciphertext, NeoError> {
+        self.check_slots(enc)?;
         let ctx = chest.context();
         let scale = ctx.params().scale();
         let mut acc: Option<Ciphertext> = None;
@@ -95,17 +136,46 @@ impl LinearTransform {
             let rotated = if d == 0 {
                 ct.clone()
             } else {
-                ops::hrotate(chest, ct, d, method)
+                ops::try_hrotate(chest, ct, d, method)?
             };
             let pt = enc.encode(ctx, diag, scale, rotated.level());
-            let term = ops::pmult(ctx, &rotated, &pt);
+            let term = ops::try_pmult(ctx, &rotated, &pt)?;
             acc = Some(match acc {
                 None => term,
-                Some(a) => ops::hadd(ctx, &a, &term),
+                Some(a) => ops::try_hadd(ctx, &a, &term)?,
             });
         }
-        let acc = acc.expect("transform has at least one diagonal");
-        ops::rescale(ctx, &acc)
+        let acc = acc.ok_or_else(|| NeoError::invalid_params("transform has no diagonals"))?;
+        ops::try_rescale(ctx, &acc)
+    }
+
+    /// Deprecated panicking form of [`Self::try_apply`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_apply` or `FheEngine::apply_transform`"
+    )]
+    pub fn apply(
+        &self,
+        chest: &KeyChest,
+        enc: &Encoder,
+        ct: &Ciphertext,
+        method: KsMethod,
+    ) -> Ciphertext {
+        self.try_apply(chest, enc, ct, method).expect("apply")
+    }
+
+    fn check_slots(&self, enc: &Encoder) -> Result<(), NeoError> {
+        if enc.slots() != self.slots {
+            return Err(NeoError::parameter_mismatch(
+                "linear_transform",
+                format!(
+                    "encoder has {} slots, transform expects {}",
+                    enc.slots(),
+                    self.slots
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -115,32 +185,37 @@ impl LinearTransform {
     /// `M·z = Σ_j rot_{g·j}( Σ_i rot^{-gj}(diag_{gj+i}) ⊙ rot_i(z) )`,
     /// costing `g + D/g` rotations instead of `D` for `D` diagonals.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `baby == 0` or slot counts disagree.
-    pub fn apply_bsgs(
+    /// [`NeoError::InvalidParams`] if `baby == 0` or the transform has no
+    /// diagonals; [`NeoError::ParameterMismatch`] on slot disagreement;
+    /// plus the underlying op errors.
+    pub fn try_apply_bsgs(
         &self,
         chest: &KeyChest,
         enc: &Encoder,
         ct: &Ciphertext,
         baby: usize,
         method: KsMethod,
-    ) -> Ciphertext {
-        assert!(baby >= 1, "baby-step size must be positive");
-        assert_eq!(enc.slots(), self.slots, "slot count mismatch");
+    ) -> Result<Ciphertext, NeoError> {
+        if baby == 0 {
+            return Err(NeoError::invalid_params("baby-step size must be positive"));
+        }
+        self.check_slots(enc)?;
         let ctx = chest.context();
         let scale = ctx.params().scale();
         // Baby rotations of the ciphertext, computed once.
         let mut babies: BTreeMap<usize, Ciphertext> = BTreeMap::new();
         for &d in self.diagonals.keys() {
-            let i = d % baby;
-            babies.entry(i).or_insert_with(|| {
-                if i == 0 {
+            // Not entry().or_insert_with(): the rotation is fallible.
+            if let std::collections::btree_map::Entry::Vacant(slot) = babies.entry(d % baby) {
+                let i = d % baby;
+                slot.insert(if i == 0 {
                     ct.clone()
                 } else {
-                    ops::hrotate(chest, ct, i, method)
-                }
-            });
+                    ops::try_hrotate(chest, ct, i, method)?
+                });
+            }
         }
         // Group diagonals by giant step.
         let mut giants: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
@@ -159,22 +234,41 @@ impl LinearTransform {
                     .collect();
                 let b = &babies[&(d % baby)];
                 let pt = enc.encode(ctx, &pre, scale, b.level());
-                let term = ops::pmult(ctx, b, &pt);
+                let term = ops::try_pmult(ctx, b, &pt)?;
                 inner = Some(match inner {
                     None => term,
-                    Some(a) => ops::hadd(ctx, &a, &term),
+                    Some(a) => ops::try_hadd(ctx, &a, &term)?,
                 });
             }
-            let mut giant_ct = inner.expect("non-empty giant group");
+            let mut giant_ct =
+                inner.ok_or_else(|| NeoError::invalid_params("empty giant group"))?;
             if !shift.is_multiple_of(self.slots) {
-                giant_ct = ops::hrotate(chest, &giant_ct, shift % self.slots, method);
+                giant_ct = ops::try_hrotate(chest, &giant_ct, shift % self.slots, method)?;
             }
             acc = Some(match acc {
                 None => giant_ct,
-                Some(a) => ops::hadd(ctx, &a, &giant_ct),
+                Some(a) => ops::try_hadd(ctx, &a, &giant_ct)?,
             });
         }
-        ops::rescale(ctx, &acc.expect("transform has at least one diagonal"))
+        let acc = acc.ok_or_else(|| NeoError::invalid_params("transform has no diagonals"))?;
+        ops::try_rescale(ctx, &acc)
+    }
+
+    /// Deprecated panicking form of [`Self::try_apply_bsgs`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_apply_bsgs` or `FheEngine::apply_transform_bsgs`"
+    )]
+    pub fn apply_bsgs(
+        &self,
+        chest: &KeyChest,
+        enc: &Encoder,
+        ct: &Ciphertext,
+        baby: usize,
+        method: KsMethod,
+    ) -> Ciphertext {
+        self.try_apply_bsgs(chest, enc, ct, baby, method)
+            .expect("apply_bsgs")
     }
 }
 
@@ -183,20 +277,27 @@ impl LinearTransform {
 /// multiplication + rescale per step) — the pattern EvalMod and the
 /// polynomial ReLU of the ResNet workload use.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `deg(p) < 1` or the ciphertext lacks the required depth.
-pub fn eval_polynomial(
+/// [`NeoError::InvalidParams`] if `deg(p) < 1`;
+/// [`NeoError::ModulusChainExhausted`] if the ciphertext lacks the
+/// required depth; plus the underlying op errors.
+pub fn try_eval_polynomial(
     chest: &KeyChest,
     enc: &Encoder,
     ct: &Ciphertext,
     coeffs: &[f64],
     method: KsMethod,
-) -> Ciphertext {
-    assert!(
-        coeffs.len() >= 2,
-        "need degree >= 1 (constant polys need no ciphertext)"
-    );
+) -> Result<Ciphertext, NeoError> {
+    if coeffs.len() < 2 {
+        return Err(NeoError::invalid_params(
+            "need degree >= 1 (constant polys need no ciphertext)",
+        ));
+    }
+    let n = coeffs.len() - 1;
+    if ct.level() < n {
+        return Err(NeoError::chain_exhausted("eval_polynomial", ct.level(), n));
+    }
     let ctx = chest.context();
     let scale = ctx.params().scale();
     let slots = enc.slots();
@@ -204,21 +305,35 @@ pub fn eval_polynomial(
         enc.encode(ctx, &vec![Complex64::new(c, 0.0); slots], s, level)
     };
     // acc = c_n·x + c_{n-1}
-    let n = coeffs.len() - 1;
     let cn = constant(coeffs[n], ct.level(), scale);
-    let mut acc = ops::rescale(ctx, &ops::pmult(ctx, ct, &cn));
-    acc = ops::padd(
+    let mut acc = ops::try_rescale(ctx, &ops::try_pmult(ctx, ct, &cn)?)?;
+    acc = ops::try_padd(
         ctx,
         &acc,
         &constant(coeffs[n - 1], acc.level(), acc.scale()),
-    );
+    )?;
     // acc = acc·x + c_i, descending.
     for i in (0..n - 1).rev() {
-        let x_low = ops::level_reduce(ct, acc.level());
-        acc = ops::rescale(ctx, &ops::hmult(chest, &acc, &x_low, method));
-        acc = ops::padd(ctx, &acc, &constant(coeffs[i], acc.level(), acc.scale()));
+        let x_low = ops::try_level_reduce(ct, acc.level())?;
+        acc = ops::try_rescale(ctx, &ops::try_hmult(chest, &acc, &x_low, method)?)?;
+        acc = ops::try_padd(ctx, &acc, &constant(coeffs[i], acc.level(), acc.scale()))?;
     }
-    acc
+    Ok(acc)
+}
+
+/// Deprecated panicking form of [`try_eval_polynomial`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `try_eval_polynomial` or `FheEngine::eval_polynomial`"
+)]
+pub fn eval_polynomial(
+    chest: &KeyChest,
+    enc: &Encoder,
+    ct: &Ciphertext,
+    coeffs: &[f64],
+    method: KsMethod,
+) -> Ciphertext {
+    try_eval_polynomial(chest, enc, ct, coeffs, method).expect("eval_polynomial")
 }
 
 #[cfg(test)]
@@ -252,15 +367,18 @@ mod tests {
                 .collect();
             diagonals.insert(d, diag);
         }
-        let lt = LinearTransform::from_diagonals(slots, diagonals);
+        let lt = LinearTransform::try_from_diagonals(slots, diagonals).unwrap();
         assert_eq!(lt.diagonal_count(), 3);
         let z: Vec<Complex64> = (0..slots)
             .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), 0.0))
             .collect();
         let pt = enc.encode(&ctx, &z, ctx.params().scale(), 3);
-        let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
-        let out_ct = lt.apply(&chest, &enc, &ct, KsMethod::Klss);
-        let got = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &out_ct));
+        let ct = ops::try_encrypt(&ctx, &pk, &pt, &mut rng).unwrap();
+        let out_ct = lt.try_apply(&chest, &enc, &ct, KsMethod::Klss).unwrap();
+        let got = enc.decode(
+            &ctx,
+            &ops::try_decrypt(&ctx, chest.secret_key(), &out_ct).unwrap(),
+        );
         let want = lt.apply_plain(&z);
         for i in 0..slots {
             assert!(
@@ -274,7 +392,7 @@ mod tests {
 
     #[test]
     fn dense_matrix_roundtrip_small() {
-        // from_matrix and apply_plain agree with direct mat-vec.
+        // try_from_matrix and apply_plain agree with direct mat-vec.
         let slots = 8usize;
         let mut rng = StdRng::seed_from_u64(9);
         let rows: Vec<Vec<Complex64>> = (0..slots)
@@ -284,7 +402,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        let lt = LinearTransform::from_matrix(&rows);
+        let lt = LinearTransform::try_from_matrix(&rows).unwrap();
         let z: Vec<Complex64> = (0..slots)
             .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), 0.0))
             .collect();
@@ -299,17 +417,29 @@ mod tests {
     }
 
     #[test]
+    fn malformed_transforms_are_rejected() {
+        let rows = vec![vec![Complex64::new(1.0, 0.0); 3], vec![]];
+        assert!(LinearTransform::try_from_matrix(&rows).is_err());
+        let mut diagonals = std::collections::BTreeMap::new();
+        diagonals.insert(9usize, vec![Complex64::default(); 4]);
+        assert!(LinearTransform::try_from_diagonals(4, diagonals).is_err());
+    }
+
+    #[test]
     fn polynomial_evaluation_degree_three() {
         let (ctx, chest, pk, enc, mut rng) = rig(6);
         let slots = enc.slots();
         let xs: Vec<f64> = (0..slots).map(|_| rng.gen_range(-0.9..0.9)).collect();
         let z: Vec<Complex64> = xs.iter().map(|&x| Complex64::new(x, 0.0)).collect();
         let pt = enc.encode(&ctx, &z, ctx.params().scale(), 4);
-        let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
+        let ct = ops::try_encrypt(&ctx, &pk, &pt, &mut rng).unwrap();
         // p(x) = 0.5 + 0.197x - 0.004x^3 (HELR's degree-3 sigmoid).
         let coeffs = [0.5, 0.197, 0.0, -0.004];
-        let out_ct = eval_polynomial(&chest, &enc, &ct, &coeffs, KsMethod::Klss);
-        let got = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &out_ct));
+        let out_ct = try_eval_polynomial(&chest, &enc, &ct, &coeffs, KsMethod::Klss).unwrap();
+        let got = enc.decode(
+            &ctx,
+            &ops::try_decrypt(&ctx, chest.secret_key(), &out_ct).unwrap(),
+        );
         for i in 0..slots {
             let x = xs[i];
             let want = 0.5 + 0.197 * x - 0.004 * x * x * x;
@@ -326,10 +456,24 @@ mod tests {
         let (ctx, chest, pk, enc, mut rng) = rig(7);
         let z = vec![Complex64::new(0.25, 0.0); enc.slots()];
         let pt = enc.encode(&ctx, &z, ctx.params().scale(), 2);
-        let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
-        let out_ct = eval_polynomial(&chest, &enc, &ct, &[1.0, 2.0], KsMethod::Hybrid);
-        let got = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &out_ct));
+        let ct = ops::try_encrypt(&ctx, &pk, &pt, &mut rng).unwrap();
+        let out_ct = try_eval_polynomial(&chest, &enc, &ct, &[1.0, 2.0], KsMethod::Hybrid).unwrap();
+        let got = enc.decode(
+            &ctx,
+            &ops::try_decrypt(&ctx, chest.secret_key(), &out_ct).unwrap(),
+        );
         assert!((got[0].re - 1.5).abs() < 1e-3, "{}", got[0].re);
+    }
+
+    #[test]
+    fn shallow_ciphertext_cannot_take_deep_polynomial() {
+        let (ctx, chest, pk, enc, mut rng) = rig(8);
+        let z = vec![Complex64::new(0.5, 0.0); enc.slots()];
+        let pt = enc.encode(&ctx, &z, ctx.params().scale(), 1);
+        let ct = ops::try_encrypt(&ctx, &pk, &pt, &mut rng).unwrap();
+        let err = try_eval_polynomial(&chest, &enc, &ct, &[1.0, 1.0, 1.0, 1.0], KsMethod::Hybrid)
+            .unwrap_err();
+        assert_eq!(err.kind(), neo_error::ErrorKind::ModulusChainExhausted);
     }
 }
 
@@ -359,17 +503,25 @@ mod bsgs_tests {
                 .collect();
             diagonals.insert(d, diag);
         }
-        let lt = LinearTransform::from_diagonals(slots, diagonals);
+        let lt = LinearTransform::try_from_diagonals(slots, diagonals).unwrap();
         let z: Vec<Complex64> = (0..slots)
             .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), 0.0))
             .collect();
         let pt = enc.encode(&ctx, &z, ctx.params().scale(), 3);
-        let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
-        let direct = lt.apply(&chest, &enc, &ct, KsMethod::Klss);
-        let bsgs = lt.apply_bsgs(&chest, &enc, &ct, 8, KsMethod::Klss);
+        let ct = ops::try_encrypt(&ctx, &pk, &pt, &mut rng).unwrap();
+        let direct = lt.try_apply(&chest, &enc, &ct, KsMethod::Klss).unwrap();
+        let bsgs = lt
+            .try_apply_bsgs(&chest, &enc, &ct, 8, KsMethod::Klss)
+            .unwrap();
         let want = lt.apply_plain(&z);
-        let d1 = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &direct));
-        let d2 = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &bsgs));
+        let d1 = enc.decode(
+            &ctx,
+            &ops::try_decrypt(&ctx, chest.secret_key(), &direct).unwrap(),
+        );
+        let d2 = enc.decode(
+            &ctx,
+            &ops::try_decrypt(&ctx, chest.secret_key(), &bsgs).unwrap(),
+        );
         for i in 0..slots {
             assert!((d1[i] - want[i]).abs() < 1e-2, "direct slot {i}");
             assert!(

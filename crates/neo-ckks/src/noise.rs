@@ -21,7 +21,7 @@ pub fn max_slot_error(
     expected: &[Complex64],
 ) -> f64 {
     assert!(expected.len() <= enc.slots());
-    let got = enc.decode(ctx, &ops::decrypt(ctx, sk, ct));
+    let got = enc.decode(ctx, &ops::try_decrypt(ctx, sk, ct).expect("decrypt"));
     expected
         .iter()
         .zip(&got)
@@ -67,7 +67,7 @@ mod tests {
             .map(|i| Complex64::new(0.8 + 1e-4 * i as f64, 0.0))
             .collect();
         let pt = enc.encode(&ctx, &vals, ctx.params().scale(), 4);
-        let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
+        let ct = ops::try_encrypt(&ctx, &pk, &pt, &mut rng).unwrap();
         let fresh_bits = precision_bits(&ctx, &enc, chest.secret_key(), &ct, &vals);
         assert!(
             fresh_bits > 20.0,
@@ -77,7 +77,11 @@ mod tests {
         let mut cur = ct;
         let mut want = vals.clone();
         for _ in 0..2 {
-            cur = ops::rescale(&ctx, &ops::hmult(&chest, &cur, &cur, KsMethod::Klss));
+            cur = ops::try_rescale(
+                &ctx,
+                &ops::try_hmult(&chest, &cur, &cur, KsMethod::Klss).unwrap(),
+            )
+            .unwrap();
             want = want.iter().map(|v| *v * *v).collect();
         }
         let deep_bits = precision_bits(&ctx, &enc, chest.secret_key(), &cur, &want);
@@ -98,9 +102,9 @@ mod tests {
         let enc = Encoder::new(ctx.degree());
         let vals = vec![Complex64::new(0.5, 0.0); 4];
         let pt = enc.encode(&ctx, &vals, ctx.params().scale(), 2);
-        let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
+        let ct = ops::try_encrypt(&ctx, &pk, &pt, &mut rng).unwrap();
         // Compare against its own decryption: error exactly zero.
-        let own = enc.decode(&ctx, &ops::decrypt(&ctx, &sk, &ct));
+        let own = enc.decode(&ctx, &ops::try_decrypt(&ctx, &sk, &ct).unwrap());
         let bits = precision_bits(&ctx, &enc, &sk, &ct, &own);
         assert!(bits.is_infinite());
     }

@@ -1,15 +1,27 @@
 //! The CKKS primitive operations (Section 2.1): encryption, decryption,
 //! HADD/PADD, PMULT, HMULT (with relinearization), HROTATE, Rescale and
 //! Double Rescale.
+//!
+//! Every operation comes in a fallible `try_*` form returning
+//! [`Result<_, NeoError>`] — the preferred entry points, also used by the
+//! [`crate::engine::FheEngine`] session facade. The original panicking
+//! names remain as thin deprecated wrappers for one release.
 
 use crate::ciphertext::{Ciphertext, Plaintext};
 use crate::context::CkksContext;
 use crate::keys::{KeyChest, KeyTarget, PublicKey, SecretKey};
 use crate::keyswitch::{hybrid::keyswitch_hybrid, klss::keyswitch_klss};
 use crate::params::KsMethod;
+use neo_error::NeoError;
 use neo_math::{Domain, RnsPoly};
 use neo_trace::span;
 use rand::Rng;
+
+/// Relative scale drift tolerated between operands: rescaling divides by
+/// `q_i ≈ 2^scale_bits`, leaving a ~1e-6 relative drift between "one
+/// rescale deep" operands; anything larger is a genuine scale mismatch
+/// (e.g. Δ vs Δ²).
+pub const SCALE_TOLERANCE: f64 = 1e-4;
 
 /// Remaining noise budget of a ciphertext in bits, estimated without the
 /// secret key: `Σ_{i ≤ level} log2(q_i) − log2(scale)`. Emitted as a
@@ -38,15 +50,49 @@ fn emit_budget(ctx: &CkksContext, op: &str, ct: &Ciphertext) {
     }
 }
 
+/// The level must sit inside the context's modulus chain.
+fn check_level(ctx: &CkksContext, op: &'static str, level: usize) -> Result<(), NeoError> {
+    let max = ctx.params().max_level;
+    if level > max {
+        return Err(NeoError::parameter_mismatch(
+            op,
+            format!("level {level} exceeds the chain's max level {max}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Two ciphertext operands must agree on level and (within
+/// [`SCALE_TOLERANCE`]) on scale.
+fn check_compatible(op: &'static str, a: &Ciphertext, b: &Ciphertext) -> Result<(), NeoError> {
+    if a.level() != b.level() {
+        return Err(NeoError::level_mismatch(op, a.level(), b.level()));
+    }
+    check_scales(op, a.scale(), b.scale())
+}
+
+fn check_scales(op: &'static str, left: f64, right: f64) -> Result<(), NeoError> {
+    if (left / right - 1.0).abs() >= SCALE_TOLERANCE {
+        return Err(NeoError::scale_mismatch(op, left, right));
+    }
+    Ok(())
+}
+
 /// Encrypts a plaintext under the public key:
 /// `ct = (v·p0 + e0 + m, v·p1 + e1)`.
-pub fn encrypt<R: Rng + ?Sized>(
+///
+/// # Errors
+///
+/// [`NeoError::ParameterMismatch`] if the plaintext's level exceeds the
+/// modulus chain.
+pub fn try_encrypt<R: Rng + ?Sized>(
     ctx: &CkksContext,
     pk: &PublicKey,
     pt: &Plaintext,
     rng: &mut R,
-) -> Ciphertext {
+) -> Result<Ciphertext, NeoError> {
     let level = pt.level();
+    check_level(ctx, "encrypt", level)?;
     let _s = span!("ckks.encrypt", level = level);
     let moduli = ctx.q_moduli(level).to_vec();
     let mut v = RnsPoly::from_signed(&ctx.sample_ternary(rng), &moduli);
@@ -64,11 +110,21 @@ pub fn encrypt<R: Rng + ?Sized>(
     c1.add_assign(&e1, &moduli);
     let ct = Ciphertext::new(c0, c1, pt.scale(), level);
     emit_budget(ctx, "encrypt", &ct);
-    ct
+    Ok(ct)
 }
 
 /// Decrypts: `m = c0 + c1·s`.
-pub fn decrypt(ctx: &CkksContext, sk: &SecretKey, ct: &Ciphertext) -> Plaintext {
+///
+/// # Errors
+///
+/// [`NeoError::ParameterMismatch`] if the ciphertext's level exceeds the
+/// modulus chain.
+pub fn try_decrypt(
+    ctx: &CkksContext,
+    sk: &SecretKey,
+    ct: &Ciphertext,
+) -> Result<Plaintext, NeoError> {
+    check_level(ctx, "decrypt", ct.level())?;
     let _s = span!("ckks.decrypt", level = ct.level());
     let moduli = ctx.q_moduli(ct.level()).to_vec();
     let s = sk.poly_ntt(ctx, &moduli);
@@ -78,82 +134,72 @@ pub fn decrypt(ctx: &CkksContext, sk: &SecretKey, ct: &Ciphertext) -> Plaintext 
     ctx.ntt_inverse(&mut c1, &moduli);
     let mut m = ct.c0().clone();
     m.add_assign(&c1, &moduli);
-    Plaintext::new(m, ct.scale(), ct.level())
-}
-
-fn assert_compatible(a: &Ciphertext, b: &Ciphertext) {
-    assert_eq!(
-        a.level(),
-        b.level(),
-        "level mismatch — call level_reduce first"
-    );
-    let ratio = a.scale() / b.scale();
-    // Rescaling divides by q_i ≈ 2^scale_bits, leaving a ~1e-6 relative
-    // drift between "one rescale deep" operands; anything larger is a
-    // genuine scale mismatch (e.g. Δ vs Δ²).
-    assert!(
-        (ratio - 1.0).abs() < 1e-4,
-        "scale mismatch: {} vs {}",
-        a.scale(),
-        b.scale()
-    );
+    Ok(Plaintext::new(m, ct.scale(), ct.level()))
 }
 
 /// HADD: ciphertext + ciphertext.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on level or scale mismatch.
-pub fn hadd(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-    assert_compatible(a, b);
+/// [`NeoError::LevelMismatch`] / [`NeoError::ScaleMismatch`] if the
+/// operands disagree on level or scale.
+pub fn try_hadd(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, NeoError> {
+    check_compatible("hadd", a, b)?;
     let moduli = ctx.q_moduli(a.level());
     let mut out = a.clone();
     let (c0, c1) = out.parts_mut();
     c0.add_assign(b.c0(), moduli);
     c1.add_assign(b.c1(), moduli);
-    out
+    Ok(out)
 }
 
 /// HSUB: ciphertext − ciphertext.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on level or scale mismatch.
-pub fn hsub(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-    assert_compatible(a, b);
+/// [`NeoError::LevelMismatch`] / [`NeoError::ScaleMismatch`] if the
+/// operands disagree on level or scale.
+pub fn try_hsub(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, NeoError> {
+    check_compatible("hsub", a, b)?;
     let moduli = ctx.q_moduli(a.level());
     let mut out = a.clone();
     let (c0, c1) = out.parts_mut();
     c0.sub_assign(b.c0(), moduli);
     c1.sub_assign(b.c1(), moduli);
-    out
+    Ok(out)
 }
 
 /// PADD: ciphertext + plaintext (scales must match).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on level or scale mismatch.
-pub fn padd(ctx: &CkksContext, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-    assert_eq!(a.level(), pt.level(), "level mismatch");
-    assert!(
-        (a.scale() / pt.scale() - 1.0).abs() < 1e-4,
-        "scale mismatch"
-    );
+/// [`NeoError::LevelMismatch`] / [`NeoError::ScaleMismatch`] if the
+/// operands disagree on level or scale.
+pub fn try_padd(ctx: &CkksContext, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, NeoError> {
+    if a.level() != pt.level() {
+        return Err(NeoError::level_mismatch("padd", a.level(), pt.level()));
+    }
+    check_scales("padd", a.scale(), pt.scale())?;
     let moduli = ctx.q_moduli(a.level());
     let mut out = a.clone();
     out.parts_mut().0.add_assign(pt.poly(), moduli);
-    out
+    Ok(out)
 }
 
 /// PMULT: ciphertext × plaintext. The result's scale is the product of the
 /// scales; rescale afterwards.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on level mismatch.
-pub fn pmult(ctx: &CkksContext, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-    assert_eq!(a.level(), pt.level(), "level mismatch");
+/// [`NeoError::LevelMismatch`] if the operands disagree on level.
+pub fn try_pmult(
+    ctx: &CkksContext,
+    a: &Ciphertext,
+    pt: &Plaintext,
+) -> Result<Ciphertext, NeoError> {
+    if a.level() != pt.level() {
+        return Err(NeoError::level_mismatch("pmult", a.level(), pt.level()));
+    }
     let _s = span!("ckks.pmult", level = a.level());
     let moduli = ctx.q_moduli(a.level()).to_vec();
     let mut m = pt.poly().clone();
@@ -166,18 +212,27 @@ pub fn pmult(ctx: &CkksContext, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
     c1.mul_pointwise_assign(&m, &moduli);
     ctx.ntt_inverse(&mut c0, &moduli);
     ctx.ntt_inverse(&mut c1, &moduli);
-    Ciphertext::new(c0, c1, a.scale() * pt.scale(), a.level())
+    Ok(Ciphertext::new(c0, c1, a.scale() * pt.scale(), a.level()))
 }
 
 /// HMULT: ciphertext × ciphertext with relinearization via the chest's
 /// key-switching method of choice. The result's scale is the product;
 /// rescale afterwards.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on level/scale mismatch.
-pub fn hmult(chest: &KeyChest, a: &Ciphertext, b: &Ciphertext, method: KsMethod) -> Ciphertext {
-    assert_eq!(a.level(), b.level(), "level mismatch");
+/// [`NeoError::LevelMismatch`] if the operands disagree on level;
+/// [`NeoError::KeySwitchKeyMissing`] if the relinearization key cannot be
+/// produced (e.g. KLSS requested without a KLSS parameter configuration).
+pub fn try_hmult(
+    chest: &KeyChest,
+    a: &Ciphertext,
+    b: &Ciphertext,
+    method: KsMethod,
+) -> Result<Ciphertext, NeoError> {
+    if a.level() != b.level() {
+        return Err(NeoError::level_mismatch("hmult", a.level(), b.level()));
+    }
     let ctx = chest.context();
     let level = a.level();
     let _s = span!("ckks.hmult", level = level);
@@ -204,12 +259,12 @@ pub fn hmult(chest: &KeyChest, a: &Ciphertext, b: &Ciphertext, method: KsMethod)
     ctx.ntt_inverse(&mut d1, &moduli);
     ctx.ntt_inverse(&mut d2, &moduli);
     // Relinearize d2.
-    let (u0, u1) = switch(chest, level, KeyTarget::Relin, &d2, method);
+    let (u0, u1) = switch(chest, level, KeyTarget::Relin, &d2, method)?;
     d0.add_assign(&u0, &moduli);
     d1.add_assign(&u1, &moduli);
     let out = Ciphertext::new(d0, d1, a.scale() * b.scale(), level);
     emit_budget(ctx, "hmult", &out);
-    out
+    Ok(out)
 }
 
 /// The Galois element `5^steps mod 2N` a left rotation by `steps` uses —
@@ -226,27 +281,51 @@ pub fn galois_element(n: usize, steps: usize) -> usize {
 
 /// HROTATE: rotates slots left by `steps` via the automorphism
 /// `X ↦ X^{5^steps}` and a Galois key switch.
-pub fn hrotate(chest: &KeyChest, a: &Ciphertext, steps: usize, method: KsMethod) -> Ciphertext {
+///
+/// # Errors
+///
+/// [`NeoError::KeySwitchKeyMissing`] if the Galois key cannot be produced.
+pub fn try_hrotate(
+    chest: &KeyChest,
+    a: &Ciphertext,
+    steps: usize,
+    method: KsMethod,
+) -> Result<Ciphertext, NeoError> {
     let g = galois_element(chest.context().degree(), steps);
     apply_galois(chest, a, g, method)
 }
 
 /// Complex conjugation of all slots (`X ↦ X^{2N-1}`).
-pub fn hconjugate(chest: &KeyChest, a: &Ciphertext, method: KsMethod) -> Ciphertext {
+///
+/// # Errors
+///
+/// [`NeoError::KeySwitchKeyMissing`] if the conjugation key cannot be
+/// produced.
+pub fn try_hconjugate(
+    chest: &KeyChest,
+    a: &Ciphertext,
+    method: KsMethod,
+) -> Result<Ciphertext, NeoError> {
     let n = chest.context().degree();
     apply_galois(chest, a, 2 * n - 1, method)
 }
 
-fn apply_galois(chest: &KeyChest, a: &Ciphertext, g: usize, method: KsMethod) -> Ciphertext {
+fn apply_galois(
+    chest: &KeyChest,
+    a: &Ciphertext,
+    g: usize,
+    method: KsMethod,
+) -> Result<Ciphertext, NeoError> {
     let ctx = chest.context();
     let level = a.level();
+    check_level(ctx, "galois", level)?;
     let _s = span!("ckks.galois", level = level, g = g);
     let moduli = ctx.q_moduli(level).to_vec();
     let mut c0 = a.c0().automorphism(g, &moduli);
     let c1 = a.c1().automorphism(g, &moduli);
-    let (u0, u1) = switch(chest, level, KeyTarget::Galois(g), &c1, method);
+    let (u0, u1) = switch(chest, level, KeyTarget::Galois(g), &c1, method)?;
     c0.add_assign(&u0, &moduli);
-    Ciphertext::new(c0, u1, a.scale(), level)
+    Ok(Ciphertext::new(c0, u1, a.scale(), level))
 }
 
 fn switch(
@@ -255,7 +334,7 @@ fn switch(
     target: KeyTarget,
     d: &RnsPoly,
     method: KsMethod,
-) -> (RnsPoly, RnsPoly) {
+) -> Result<(RnsPoly, RnsPoly), NeoError> {
     let ctx = chest.context();
     match method {
         KsMethod::Hybrid => {
@@ -263,7 +342,7 @@ fn switch(
             keyswitch_hybrid(ctx, &key, d)
         }
         KsMethod::Klss => {
-            let key = chest.klss_key(level, target);
+            let key = chest.klss_key(level, target)?;
             keyswitch_klss(ctx, &key, d)
         }
     }
@@ -272,12 +351,14 @@ fn switch(
 /// Rescale: drops the last limb and divides by `q_l`, reducing noise and
 /// scale (Section 2.1).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics at level 0 (no limb left to drop).
-pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Ciphertext {
+/// [`NeoError::ModulusChainExhausted`] at level 0 (no limb left to drop).
+pub fn try_rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, NeoError> {
     let level = ct.level();
-    assert!(level >= 1, "cannot rescale at level 0");
+    if level < 1 {
+        return Err(NeoError::chain_exhausted("rescale", level, 1));
+    }
     let _s = span!("ckks.rescale", level = level);
     let q_last = ctx.q_moduli(level)[level];
     let moduli = ctx.q_moduli(level - 1).to_vec();
@@ -301,29 +382,126 @@ pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Ciphertext {
     let c1 = rescale_poly(ct.c1());
     let out = Ciphertext::new(c0, c1, ct.scale() / q_last.value() as f64, level - 1);
     emit_budget(ctx, "rescale", &out);
-    out
+    Ok(out)
 }
 
 /// Double Rescale (DS): two consecutive rescales, consuming two levels —
 /// required for precision at small word sizes (SHARP / Section 2.1).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics below level 2.
-pub fn double_rescale(ctx: &CkksContext, ct: &Ciphertext) -> Ciphertext {
-    rescale(ctx, &rescale(ctx, ct))
+/// [`NeoError::ModulusChainExhausted`] below level 2.
+pub fn try_double_rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, NeoError> {
+    if ct.level() < 2 {
+        return Err(NeoError::chain_exhausted("double_rescale", ct.level(), 2));
+    }
+    try_rescale(ctx, &try_rescale(ctx, ct)?)
 }
 
 /// Drops limbs without scaling to bring `ct` down to `level` (modulus
 /// reduction, used for level alignment).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `level` exceeds the ciphertext's current level.
-pub fn level_reduce(ct: &Ciphertext, level: usize) -> Ciphertext {
-    assert!(level <= ct.level(), "cannot raise level");
+/// [`NeoError::ParameterMismatch`] if `level` exceeds the ciphertext's
+/// current level (a ciphertext can never be raised).
+pub fn try_level_reduce(ct: &Ciphertext, level: usize) -> Result<Ciphertext, NeoError> {
+    if level > ct.level() {
+        return Err(NeoError::parameter_mismatch(
+            "level_reduce",
+            format!("cannot raise level {} to {level}", ct.level()),
+        ));
+    }
     let (mut c0, mut c1) = (ct.c0().clone(), ct.c1().clone());
     c0.truncate_limbs(level + 1);
     c1.truncate_limbs(level + 1);
-    Ciphertext::new(c0, c1, ct.scale(), level)
+    Ok(Ciphertext::new(c0, c1, ct.scale(), level))
+}
+
+// --- Deprecated panicking wrappers (one-release migration window). ---
+
+/// Encrypts a plaintext under the public key.
+#[deprecated(since = "0.2.0", note = "use `try_encrypt` or `FheEngine::encrypt`")]
+pub fn encrypt<R: Rng + ?Sized>(
+    ctx: &CkksContext,
+    pk: &PublicKey,
+    pt: &Plaintext,
+    rng: &mut R,
+) -> Ciphertext {
+    try_encrypt(ctx, pk, pt, rng).expect("encrypt")
+}
+
+/// Decrypts: `m = c0 + c1·s`.
+#[deprecated(since = "0.2.0", note = "use `try_decrypt` or `FheEngine::decrypt`")]
+pub fn decrypt(ctx: &CkksContext, sk: &SecretKey, ct: &Ciphertext) -> Plaintext {
+    try_decrypt(ctx, sk, ct).expect("decrypt")
+}
+
+/// HADD: ciphertext + ciphertext; aborts on level/scale mismatch.
+#[deprecated(since = "0.2.0", note = "use `try_hadd` or `FheEngine::hadd`")]
+pub fn hadd(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+    try_hadd(ctx, a, b).expect("hadd")
+}
+
+/// HSUB: ciphertext − ciphertext; aborts on level/scale mismatch.
+#[deprecated(since = "0.2.0", note = "use `try_hsub` or `FheEngine::hsub`")]
+pub fn hsub(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+    try_hsub(ctx, a, b).expect("hsub")
+}
+
+/// PADD: ciphertext + plaintext; aborts on level/scale mismatch.
+#[deprecated(since = "0.2.0", note = "use `try_padd` or `FheEngine::padd`")]
+pub fn padd(ctx: &CkksContext, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+    try_padd(ctx, a, pt).expect("padd")
+}
+
+/// PMULT: ciphertext × plaintext; aborts on level mismatch.
+#[deprecated(since = "0.2.0", note = "use `try_pmult` or `FheEngine::pmult`")]
+pub fn pmult(ctx: &CkksContext, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+    try_pmult(ctx, a, pt).expect("pmult")
+}
+
+/// HMULT with relinearization; aborts on level mismatch or key failure.
+#[deprecated(since = "0.2.0", note = "use `try_hmult` or `FheEngine::hmult`")]
+pub fn hmult(chest: &KeyChest, a: &Ciphertext, b: &Ciphertext, method: KsMethod) -> Ciphertext {
+    try_hmult(chest, a, b, method).expect("hmult")
+}
+
+/// HROTATE by `steps` slots; aborts on key failure.
+#[deprecated(since = "0.2.0", note = "use `try_hrotate` or `FheEngine::hrotate`")]
+pub fn hrotate(chest: &KeyChest, a: &Ciphertext, steps: usize, method: KsMethod) -> Ciphertext {
+    try_hrotate(chest, a, steps, method).expect("hrotate")
+}
+
+/// Complex conjugation of all slots; aborts on key failure.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `try_hconjugate` or `FheEngine::hconjugate`"
+)]
+pub fn hconjugate(chest: &KeyChest, a: &Ciphertext, method: KsMethod) -> Ciphertext {
+    try_hconjugate(chest, a, method).expect("hconjugate")
+}
+
+/// Rescale by the last chain prime; aborts at level 0.
+#[deprecated(since = "0.2.0", note = "use `try_rescale` or `FheEngine::rescale`")]
+pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Ciphertext {
+    try_rescale(ctx, ct).expect("rescale")
+}
+
+/// Two consecutive rescales; aborts below level 2.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `try_double_rescale` or `FheEngine::double_rescale`"
+)]
+pub fn double_rescale(ctx: &CkksContext, ct: &Ciphertext) -> Ciphertext {
+    try_double_rescale(ctx, ct).expect("double_rescale")
+}
+
+/// Drops limbs to bring `ct` down to `level`; aborts on a raise attempt.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `try_level_reduce` or `FheEngine::level_reduce`"
+)]
+pub fn level_reduce(ct: &Ciphertext, level: usize) -> Ciphertext {
+    try_level_reduce(ct, level).expect("level_reduce")
 }

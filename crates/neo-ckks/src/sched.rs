@@ -530,7 +530,7 @@ mod tests {
     fn bootstrap_segment_graph_builds() {
         let p = ParamSet::C.params();
         let cfg = CostConfig::neo();
-        let plan = BootstrapPlan::standard(&p);
+        let plan = BootstrapPlan::try_standard(&p).unwrap();
         let steps = plan.trace();
         // First CTS stage: HRotate×r, PMult×radix, HAdd×radix, Rescale.
         let g = trace_graph(&p, &steps[..4], &cfg);

@@ -39,13 +39,13 @@ impl Harness {
         let pt = self
             .enc
             .encode(&self.ctx, vals, self.ctx.params().scale(), level);
-        ops::encrypt(&self.ctx, &self.pk, &pt, &mut self.rng)
+        ops::try_encrypt(&self.ctx, &self.pk, &pt, &mut self.rng).unwrap()
     }
 
     fn decrypt(&self, ct: &Ciphertext) -> Vec<Complex64> {
         self.enc.decode(
             &self.ctx,
-            &ops::decrypt(&self.ctx, self.chest.secret_key(), ct),
+            &ops::try_decrypt(&self.ctx, self.chest.secret_key(), ct).unwrap(),
         )
     }
 
@@ -90,8 +90,8 @@ fn homomorphic_addition_and_subtraction() {
     let b = ramp(h.slots(), 0.5);
     let ca = h.encrypt(&a, 3);
     let cb = h.encrypt(&b, 3);
-    let sum = ops::hadd(&h.ctx, &ca, &cb);
-    let diff = ops::hsub(&h.ctx, &ca, &cb);
+    let sum = ops::try_hadd(&h.ctx, &ca, &cb).unwrap();
+    let diff = ops::try_hsub(&h.ctx, &ca, &cb).unwrap();
     let want_sum: Vec<_> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
     let want_diff: Vec<_> = a.iter().zip(&b).map(|(x, y)| *x - *y).collect();
     assert_close(&h.decrypt(&sum), &want_sum, 1e-4, "hadd");
@@ -105,7 +105,7 @@ fn plaintext_mult_with_rescale() {
     let b = ramp(h.slots(), 0.8);
     let ca = h.encrypt(&a, 3);
     let pb = h.enc.encode(&h.ctx, &b, h.ctx.params().scale(), 3);
-    let prod = ops::rescale(&h.ctx, &ops::pmult(&h.ctx, &ca, &pb));
+    let prod = ops::try_rescale(&h.ctx, &ops::try_pmult(&h.ctx, &ca, &pb).unwrap()).unwrap();
     let want: Vec<_> = a.iter().zip(&b).map(|(x, y)| *x * *y).collect();
     assert_close(&h.decrypt(&prod), &want, 1e-3, "pmult+rescale");
     assert_eq!(prod.level(), 2);
@@ -118,7 +118,11 @@ fn hmult_hybrid_method() {
     let b = ramp(h.slots(), 0.9);
     let ca = h.encrypt(&a, 3);
     let cb = h.encrypt(&b, 3);
-    let prod = ops::rescale(&h.ctx, &ops::hmult(&h.chest, &ca, &cb, KsMethod::Hybrid));
+    let prod = ops::try_rescale(
+        &h.ctx,
+        &ops::try_hmult(&h.chest, &ca, &cb, KsMethod::Hybrid).unwrap(),
+    )
+    .unwrap();
     let want: Vec<_> = a.iter().zip(&b).map(|(x, y)| *x * *y).collect();
     assert_close(&h.decrypt(&prod), &want, 1e-2, "hmult hybrid");
 }
@@ -130,7 +134,11 @@ fn hmult_klss_method() {
     let b = ramp(h.slots(), 0.9);
     let ca = h.encrypt(&a, 3);
     let cb = h.encrypt(&b, 3);
-    let prod = ops::rescale(&h.ctx, &ops::hmult(&h.chest, &ca, &cb, KsMethod::Klss));
+    let prod = ops::try_rescale(
+        &h.ctx,
+        &ops::try_hmult(&h.chest, &ca, &cb, KsMethod::Klss).unwrap(),
+    )
+    .unwrap();
     let want: Vec<_> = a.iter().zip(&b).map(|(x, y)| *x * *y).collect();
     assert_close(&h.decrypt(&prod), &want, 1e-2, "hmult klss");
 }
@@ -140,8 +148,16 @@ fn hmult_methods_agree() {
     let mut h = Harness::new(6);
     let a = ramp(h.slots(), 1.0);
     let ca = h.encrypt(&a, 4);
-    let hy = ops::rescale(&h.ctx, &ops::hmult(&h.chest, &ca, &ca, KsMethod::Hybrid));
-    let kl = ops::rescale(&h.ctx, &ops::hmult(&h.chest, &ca, &ca, KsMethod::Klss));
+    let hy = ops::try_rescale(
+        &h.ctx,
+        &ops::try_hmult(&h.chest, &ca, &ca, KsMethod::Hybrid).unwrap(),
+    )
+    .unwrap();
+    let kl = ops::try_rescale(
+        &h.ctx,
+        &ops::try_hmult(&h.chest, &ca, &ca, KsMethod::Klss).unwrap(),
+    )
+    .unwrap();
     let dh = h.decrypt(&hy);
     let dk = h.decrypt(&kl);
     assert_close(&dh, &dk, 1e-2, "hybrid vs klss");
@@ -154,7 +170,7 @@ fn rotation_both_methods() {
         let a = ramp(h.slots(), 1.0);
         let ca = h.encrypt(&a, 3);
         for steps in [1usize, 2, 5] {
-            let rot = ops::hrotate(&h.chest, &ca, steps, method);
+            let rot = ops::try_hrotate(&h.chest, &ca, steps, method).unwrap();
             let want: Vec<_> = (0..h.slots()).map(|i| a[(i + steps) % h.slots()]).collect();
             assert_close(
                 &h.decrypt(&rot),
@@ -171,7 +187,7 @@ fn conjugation() {
     let mut h = Harness::new(8);
     let a = ramp(h.slots(), 1.0);
     let ca = h.encrypt(&a, 3);
-    let conj = ops::hconjugate(&h.chest, &ca, KsMethod::Hybrid);
+    let conj = ops::try_hconjugate(&h.chest, &ca, KsMethod::Hybrid).unwrap();
     let want: Vec<_> = a.iter().map(|v| v.conj()).collect();
     assert_close(&h.decrypt(&conj), &want, 1e-3, "conjugate");
 }
@@ -186,7 +202,11 @@ fn multiplicative_depth_chain() {
     let mut ct = h.encrypt(&a, 5);
     let mut want: Vec<Complex64> = a.clone();
     for _ in 0..2 {
-        ct = ops::rescale(&h.ctx, &ops::hmult(&h.chest, &ct, &ct, KsMethod::Klss));
+        ct = ops::try_rescale(
+            &h.ctx,
+            &ops::try_hmult(&h.chest, &ct, &ct, KsMethod::Klss).unwrap(),
+        )
+        .unwrap();
         want = want.iter().map(|v| *v * *v).collect();
     }
     assert_close(&h.decrypt(&ct), &want, 5e-2, "depth-2 squaring");
@@ -202,8 +222,8 @@ fn double_rescale_drops_two_levels() {
     // then double-rescale back.
     let one = vec![Complex64::new(1.0, 0.0); h.slots()];
     let p1 = h.enc.encode(&h.ctx, &one, h.ctx.params().scale(), 4);
-    let up = ops::pmult(&h.ctx, &ops::pmult(&h.ctx, &ca, &p1), &p1);
-    let down = ops::double_rescale(&h.ctx, &up);
+    let up = ops::try_pmult(&h.ctx, &ops::try_pmult(&h.ctx, &ca, &p1).unwrap(), &p1).unwrap();
+    let down = ops::try_double_rescale(&h.ctx, &up).unwrap();
     assert_eq!(down.level(), 2);
     assert_close(&h.decrypt(&down), &a, 1e-3, "double rescale");
 }
@@ -213,7 +233,7 @@ fn level_reduce_preserves_plaintext() {
     let mut h = Harness::new(11);
     let a = ramp(h.slots(), 1.0);
     let ca = h.encrypt(&a, 4);
-    let low = ops::level_reduce(&ca, 1);
+    let low = ops::try_level_reduce(&ca, 1).unwrap();
     assert_eq!(low.level(), 1);
     assert_close(&h.decrypt(&low), &a, 1e-4, "level reduce");
 }
@@ -228,8 +248,8 @@ fn sum_all_slots_by_rotations() {
     let mut ct = h.encrypt(&a, 3);
     let mut step = 1usize;
     while step < h.slots() {
-        let rot = ops::hrotate(&h.chest, &ct, step, KsMethod::Klss);
-        ct = ops::hadd(&h.ctx, &ct, &rot);
+        let rot = ops::try_hrotate(&h.chest, &ct, step, KsMethod::Klss).unwrap();
+        ct = ops::try_hadd(&h.ctx, &ct, &rot).unwrap();
         step *= 2;
     }
     let total: Complex64 = a.iter().fold(Complex64::default(), |acc, v| acc + *v);

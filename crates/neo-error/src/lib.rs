@@ -1,0 +1,374 @@
+//! # neo-error — the typed error hierarchy of the Neo workspace
+//!
+//! One enum, [`NeoError`], covers every way a fallible CKKS operation can
+//! refuse to run: parameter mismatches, level/scale incompatibility,
+//! modulus-chain exhaustion, noise-budget exhaustion, missing
+//! key-switching material, and poisoned batch inputs. Each variant
+//! carries enough structure for a caller to react programmatically
+//! (retry at a lower level, re-encrypt, bootstrap, drop the request) and
+//! maps to a stable [`ErrorKind`] used for telemetry.
+//!
+//! Construct errors through the named constructors ([`NeoError::level_mismatch`]
+//! and friends) rather than variant literals: the constructors tally the
+//! error into `neo-trace`'s per-kind error counters, so a long-running
+//! service can report *why* requests fail without scraping logs.
+//!
+//! ```rust
+//! use neo_error::{ErrorKind, NeoError};
+//!
+//! let e = NeoError::level_mismatch("hadd", 3, 5);
+//! assert_eq!(e.kind(), ErrorKind::LevelMismatch);
+//! assert!(neo_trace::error_count(ErrorKind::LevelMismatch.name()) >= 1);
+//! ```
+
+use neo_math::MathError;
+use std::fmt;
+
+/// The stable classification of a [`NeoError`] — one tag per failure
+/// family, used as the telemetry key and in tests that assert *which*
+/// documented error an operation returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// A parameter set failed validation (builder or context setup).
+    InvalidParams,
+    /// Operands disagree structurally: ring degree, slot count, domain,
+    /// or context identity.
+    ParameterMismatch,
+    /// Operands sit at different levels and auto-alignment is off.
+    LevelMismatch,
+    /// Operand scales differ beyond the tolerated rescale drift.
+    ScaleMismatch,
+    /// The modulus chain is exhausted: no level left to drop (rescale at
+    /// level 0, or a computation deeper than the chain).
+    ModulusChainExhausted,
+    /// The operation would push the noise budget below the policy floor,
+    /// producing garbage instead of an answer.
+    NoiseBudgetExhausted,
+    /// The required key-switching key is unavailable (not pre-generated
+    /// under a strict key policy, or the parameter set lacks the KLSS
+    /// configuration the method needs).
+    KeySwitchKeyMissing,
+    /// A batch operation read the output of an upstream operation that
+    /// already failed; the failure short-circuits downstream.
+    PoisonedInput,
+    /// A numeric-substrate error (modulus construction, prime
+    /// generation, RNS basis mismatch) surfaced through the CKKS layer.
+    Math,
+}
+
+impl ErrorKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [ErrorKind; 9] = [
+        ErrorKind::InvalidParams,
+        ErrorKind::ParameterMismatch,
+        ErrorKind::LevelMismatch,
+        ErrorKind::ScaleMismatch,
+        ErrorKind::ModulusChainExhausted,
+        ErrorKind::NoiseBudgetExhausted,
+        ErrorKind::KeySwitchKeyMissing,
+        ErrorKind::PoisonedInput,
+        ErrorKind::Math,
+    ];
+
+    /// Stable snake_case name — the telemetry key in
+    /// [`neo_trace::error_counts`] and JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::InvalidParams => "invalid_params",
+            ErrorKind::ParameterMismatch => "parameter_mismatch",
+            ErrorKind::LevelMismatch => "level_mismatch",
+            ErrorKind::ScaleMismatch => "scale_mismatch",
+            ErrorKind::ModulusChainExhausted => "modulus_chain_exhausted",
+            ErrorKind::NoiseBudgetExhausted => "noise_budget_exhausted",
+            ErrorKind::KeySwitchKeyMissing => "keyswitch_key_missing",
+            ErrorKind::PoisonedInput => "poisoned_input",
+            ErrorKind::Math => "math",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A structured, typed failure from a fallible Neo operation.
+///
+/// Match on the variant (or on [`NeoError::kind`]) to react; the
+/// [`fmt::Display`] form is a complete one-line diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NeoError {
+    /// A parameter set failed validation.
+    InvalidParams {
+        /// What constraint was violated.
+        what: String,
+    },
+    /// Operands disagree structurally (degree, slots, domain, context).
+    ParameterMismatch {
+        /// The operation that refused.
+        op: &'static str,
+        /// What disagreed.
+        what: String,
+    },
+    /// Operand levels differ.
+    LevelMismatch {
+        /// The operation that refused.
+        op: &'static str,
+        /// Level of the left operand.
+        left: usize,
+        /// Level of the right operand.
+        right: usize,
+    },
+    /// Operand scales differ beyond the tolerated drift.
+    ScaleMismatch {
+        /// The operation that refused.
+        op: &'static str,
+        /// Scale of the left operand.
+        left: f64,
+        /// Scale of the right operand.
+        right: f64,
+    },
+    /// No modulus level left for the requested operation.
+    ModulusChainExhausted {
+        /// The operation that refused.
+        op: &'static str,
+        /// The level the operand currently sits at.
+        level: usize,
+        /// How many levels the operation needed.
+        needed: usize,
+    },
+    /// The operation would drop the noise budget below the policy floor.
+    NoiseBudgetExhausted {
+        /// The operation that refused.
+        op: &'static str,
+        /// Projected budget of the result, in bits.
+        budget_bits: f64,
+        /// The policy floor it fell under, in bits.
+        floor_bits: f64,
+    },
+    /// The required key-switching key is unavailable.
+    KeySwitchKeyMissing {
+        /// The level the key was requested for.
+        level: usize,
+        /// Human-readable key target (`"relin"`, `"galois(5)"`, …).
+        target: String,
+        /// Why the key is unavailable.
+        reason: String,
+    },
+    /// A batch operation consumed an upstream failure.
+    PoisonedInput {
+        /// Index of the operation that short-circuited.
+        op_index: usize,
+        /// Index of the upstream operation whose failure poisoned it.
+        upstream: usize,
+    },
+    /// A wrapped numeric-substrate error.
+    Math(MathError),
+}
+
+impl NeoError {
+    /// The stable classification of this error.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            NeoError::InvalidParams { .. } => ErrorKind::InvalidParams,
+            NeoError::ParameterMismatch { .. } => ErrorKind::ParameterMismatch,
+            NeoError::LevelMismatch { .. } => ErrorKind::LevelMismatch,
+            NeoError::ScaleMismatch { .. } => ErrorKind::ScaleMismatch,
+            NeoError::ModulusChainExhausted { .. } => ErrorKind::ModulusChainExhausted,
+            NeoError::NoiseBudgetExhausted { .. } => ErrorKind::NoiseBudgetExhausted,
+            NeoError::KeySwitchKeyMissing { .. } => ErrorKind::KeySwitchKeyMissing,
+            NeoError::PoisonedInput { .. } => ErrorKind::PoisonedInput,
+            NeoError::Math(_) => ErrorKind::Math,
+        }
+    }
+
+    /// Tallies `self` into the per-kind telemetry counter and returns it.
+    /// Every named constructor calls this; use it directly only when
+    /// building a variant literally.
+    pub fn tallied(self) -> Self {
+        neo_trace::count_error(self.kind().name());
+        self
+    }
+
+    /// An [`NeoError::InvalidParams`] describing a violated constraint.
+    pub fn invalid_params(what: impl Into<String>) -> Self {
+        NeoError::InvalidParams { what: what.into() }.tallied()
+    }
+
+    /// A structural mismatch between operands of `op`.
+    pub fn parameter_mismatch(op: &'static str, what: impl Into<String>) -> Self {
+        NeoError::ParameterMismatch {
+            op,
+            what: what.into(),
+        }
+        .tallied()
+    }
+
+    /// A level mismatch between operands of `op`.
+    pub fn level_mismatch(op: &'static str, left: usize, right: usize) -> Self {
+        NeoError::LevelMismatch { op, left, right }.tallied()
+    }
+
+    /// A scale mismatch between operands of `op`.
+    pub fn scale_mismatch(op: &'static str, left: f64, right: f64) -> Self {
+        NeoError::ScaleMismatch { op, left, right }.tallied()
+    }
+
+    /// Modulus-chain exhaustion: `op` needed `needed` more levels below
+    /// `level`.
+    pub fn chain_exhausted(op: &'static str, level: usize, needed: usize) -> Self {
+        NeoError::ModulusChainExhausted { op, level, needed }.tallied()
+    }
+
+    /// The noise-budget guardrail refused `op`.
+    pub fn noise_exhausted(op: &'static str, budget_bits: f64, floor_bits: f64) -> Self {
+        NeoError::NoiseBudgetExhausted {
+            op,
+            budget_bits,
+            floor_bits,
+        }
+        .tallied()
+    }
+
+    /// A missing key-switching key.
+    pub fn key_missing(level: usize, target: impl Into<String>, reason: impl Into<String>) -> Self {
+        NeoError::KeySwitchKeyMissing {
+            level,
+            target: target.into(),
+            reason: reason.into(),
+        }
+        .tallied()
+    }
+
+    /// A batch op short-circuited by an upstream failure.
+    pub fn poisoned(op_index: usize, upstream: usize) -> Self {
+        NeoError::PoisonedInput { op_index, upstream }.tallied()
+    }
+}
+
+impl fmt::Display for NeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeoError::InvalidParams { what } => write!(f, "invalid parameters: {what}"),
+            NeoError::ParameterMismatch { op, what } => {
+                write!(f, "{op}: parameter mismatch: {what}")
+            }
+            NeoError::LevelMismatch { op, left, right } => write!(
+                f,
+                "{op}: level mismatch ({left} vs {right}) — align with level_reduce \
+                 or enable auto-alignment"
+            ),
+            NeoError::ScaleMismatch { op, left, right } => write!(
+                f,
+                "{op}: scale mismatch ({left:.3e} vs {right:.3e}) — rescale first"
+            ),
+            NeoError::ModulusChainExhausted { op, level, needed } => write!(
+                f,
+                "{op}: modulus chain exhausted at level {level} (needed {needed} more)"
+            ),
+            NeoError::NoiseBudgetExhausted {
+                op,
+                budget_bits,
+                floor_bits,
+            } => write!(
+                f,
+                "{op}: noise budget exhausted ({budget_bits:.1} bits, floor \
+                 {floor_bits:.1}) — bootstrap or re-encrypt"
+            ),
+            NeoError::KeySwitchKeyMissing {
+                level,
+                target,
+                reason,
+            } => write!(
+                f,
+                "key-switching key missing for {target} at level {level}: {reason}"
+            ),
+            NeoError::PoisonedInput { op_index, upstream } => write!(
+                f,
+                "batch op {op_index} short-circuited: upstream op {upstream} failed"
+            ),
+            NeoError::Math(e) => write!(f, "math error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NeoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NeoError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for NeoError {
+    fn from(e: MathError) -> Self {
+        NeoError::Math(e).tallied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_and_distinct() {
+        let mut names: Vec<&str> = ErrorKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ErrorKind::ALL.len());
+    }
+
+    #[test]
+    fn constructors_classify_and_tally() {
+        neo_trace::reset();
+        let cases: Vec<(NeoError, ErrorKind)> = vec![
+            (NeoError::invalid_params("x"), ErrorKind::InvalidParams),
+            (
+                NeoError::parameter_mismatch("op", "y"),
+                ErrorKind::ParameterMismatch,
+            ),
+            (
+                NeoError::level_mismatch("op", 1, 2),
+                ErrorKind::LevelMismatch,
+            ),
+            (
+                NeoError::scale_mismatch("op", 1.0, 2.0),
+                ErrorKind::ScaleMismatch,
+            ),
+            (
+                NeoError::chain_exhausted("op", 0, 1),
+                ErrorKind::ModulusChainExhausted,
+            ),
+            (
+                NeoError::noise_exhausted("op", -3.0, 0.0),
+                ErrorKind::NoiseBudgetExhausted,
+            ),
+            (
+                NeoError::key_missing(2, "relin", "no KLSS config"),
+                ErrorKind::KeySwitchKeyMissing,
+            ),
+            (NeoError::poisoned(4, 2), ErrorKind::PoisonedInput),
+            (NeoError::from(MathError::InvalidDegree(7)), ErrorKind::Math),
+        ];
+        for (e, kind) in cases {
+            assert_eq!(e.kind(), kind, "{e}");
+            assert!(
+                neo_trace::error_count(kind.name()) >= 1,
+                "{kind} not tallied"
+            );
+            // Display renders without panicking and is non-empty.
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn math_errors_chain_as_source() {
+        use std::error::Error;
+        let e = NeoError::from(MathError::InvalidModulus(0));
+        assert!(e.source().is_some());
+        assert!(NeoError::poisoned(1, 0).source().is_none());
+    }
+}

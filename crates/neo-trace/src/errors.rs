@@ -1,0 +1,69 @@
+//! Process-wide error tallies, keyed by error-kind name.
+//!
+//! The fallible API layer (`neo-error`) reports every constructed error
+//! here so a long-running service can answer "how many requests failed,
+//! and why" without scraping logs. Unlike the work [`crate::counters`],
+//! error tallies are *not* gated on [`crate::enabled`]: errors are cold
+//! by definition, and refusing an op is exactly the moment telemetry must
+//! not be off. The backing store is a mutex-guarded map — contention is
+//! irrelevant on a path that fires once per refused operation.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static ERRORS: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
+
+/// Tallies one error of the given kind. `kind` must be a stable
+/// `snake_case` name (the `ErrorKind::name()` of the error crate).
+pub fn count_error(kind: &'static str) {
+    let mut map = ERRORS.lock().unwrap_or_else(|e| e.into_inner());
+    *map.entry(kind).or_insert(0) += 1;
+}
+
+/// The tally of one error kind since the process-wide counters were last
+/// reset.
+pub fn error_count(kind: &str) -> u64 {
+    let map = ERRORS.lock().unwrap_or_else(|e| e.into_inner());
+    map.get(kind).copied().unwrap_or(0)
+}
+
+/// All `(kind, count)` pairs with a non-zero tally, sorted by kind name.
+pub fn error_counts() -> Vec<(&'static str, u64)> {
+    let map = ERRORS.lock().unwrap_or_else(|e| e.into_inner());
+    map.iter()
+        .filter(|(_, &v)| v != 0)
+        .map(|(&k, &v)| (k, v))
+        .collect()
+}
+
+/// Error tallies as a JSON object string (non-zero entries only).
+pub fn errors_json() -> String {
+    let fields: Vec<String> = error_counts()
+        .iter()
+        .map(|(k, v)| format!("\"{k}\":{v}"))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Zeroes every error tally.
+pub(crate) fn reset_errors() {
+    ERRORS.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_accumulate_per_kind() {
+        // Use names no other test touches so parallel runs stay isolated.
+        count_error("test_kind_a");
+        count_error("test_kind_a");
+        count_error("test_kind_b");
+        assert!(error_count("test_kind_a") >= 2);
+        assert!(error_count("test_kind_b") >= 1);
+        assert_eq!(error_count("test_kind_never"), 0);
+        let json = errors_json();
+        assert!(json.contains("\"test_kind_a\":"));
+    }
+}

@@ -7,12 +7,16 @@
 //!   MACs, NTT butterflies, fragment MMAs, split/merge ops, bytes moved,
 //!   plan-cache hits/misses. When tracing is disabled every
 //!   instrumentation site is a single relaxed atomic load.
-//! * **Spans** ([`span`]): hierarchical timed regions entered with the
+//! * **Spans** ([`mod@span`]): hierarchical timed regions entered with the
 //!   [`span!`] macro, aggregated into a process-wide arena and exportable
 //!   as a tree report, JSON, or Chrome `chrome://tracing` format
 //!   ([`report`]).
 //! * **Events**: point-in-time annotations (e.g. per-op noise-budget
 //!   snapshots from `neo-ckks`).
+//! * **Error tallies** ([`errors`]): per-`ErrorKind` counts of every
+//!   typed error the fallible API layer constructs, recorded even when
+//!   the tracing gate is off (errors are cold, and a refused op is
+//!   exactly when telemetry must not be blind).
 //!
 //! The canonical measurement pattern is [`record`], which serialises
 //! measured sections behind a global mutex so parallel test threads
@@ -26,10 +30,12 @@
 //! ```
 
 pub mod counters;
+pub mod errors;
 pub mod report;
 pub mod span;
 
 pub use counters::{add, record, snapshot, Counter, WorkCounters, N_COUNTERS};
+pub use errors::{count_error, error_count, error_counts};
 pub use report::{chrome_trace_from, SimSpan};
 pub use span::{event, Event, SpanGuard, SpanNode};
 
@@ -54,9 +60,11 @@ pub fn disable() {
     ENABLED.store(false, Ordering::Relaxed);
 }
 
-/// Clears all counters, spans, and events (the gate is left untouched).
+/// Clears all counters, error tallies, spans, and events (the gate is
+/// left untouched).
 pub fn reset() {
     counters::reset_counters();
+    errors::reset_errors();
     span::reset_spans();
 }
 

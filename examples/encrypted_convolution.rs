@@ -33,9 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let pt = enc.encode(&ctx, &conv.pack(&image), ctx.params().scale(), 3);
-    let ct = ops::encrypt(&ctx, &pk, &pt, &mut rng);
-    let out_ct = conv.apply(&chest, &enc, &ct, KsMethod::Klss);
-    let got = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &out_ct));
+    let ct = ops::try_encrypt(&ctx, &pk, &pt, &mut rng)?;
+    let out_ct = conv.apply(&chest, &enc, &ct, KsMethod::Klss)?;
+    let got = enc.decode(&ctx, &ops::try_decrypt(&ctx, chest.secret_key(), &out_ct)?);
     let want = conv.apply_plain(&image);
 
     // Show the middle row: the filter must fire exactly at the edge.

@@ -33,10 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Each gradient step consumes 4 levels; the tiny chain re-encrypts
         // between steps where full-size parameters would bootstrap.
         let level = ctx.params().max_level;
-        let x_ct = model.encrypt_data(&pk, &xs, level, &mut rng);
-        let w_ct = model.encrypt_weights(&pk, &w_enc, level, &mut rng);
-        let w_next = model.step(&chest, &x_ct, &ys, &w_ct, LR);
-        w_enc = model.decrypt_weights(chest.secret_key(), &w_next);
+        let x_ct = model.encrypt_data(&pk, &xs, level, &mut rng)?;
+        let w_ct = model.encrypt_weights(&pk, &w_enc, level, &mut rng)?;
+        let w_next = model.step(&chest, &x_ct, &ys, &w_ct, LR)?;
+        w_enc = model.decrypt_weights(chest.secret_key(), &w_next)?;
         w_ref = plaintext_step(&xs, &ys, &w_ref, LR);
         let drift: f64 = w_enc
             .iter()

@@ -1,68 +1,50 @@
 //! Encrypted descriptive statistics: mean and variance of a packed data
 //! vector via rotate-and-sum — the rotation-heavy access pattern that
-//! makes HROTATE (and therefore KeySwitch) performance-critical.
+//! makes HROTATE (and therefore KeySwitch) performance-critical. Runs
+//! entirely on the fallible [`FheEngine`] API.
 //!
 //! Run with: `cargo run --release --example encrypted_statistics`
 
-use neo::ckks::encoding::Complex64;
-use neo::ckks::keys::{KeyChest, PublicKey, SecretKey};
-use neo::ckks::{ops, CkksContext, CkksParams, Encoder, KsMethod};
+use neo::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let ctx = Arc::new(CkksContext::new(CkksParams::test_small())?);
+fn main() -> Result<(), NeoError> {
+    let engine = FheEngine::new(CkksParams::test_small(), 7)?;
+    let slots = engine.slots();
     let mut rng = StdRng::seed_from_u64(7);
-    let sk = SecretKey::generate(&ctx, &mut rng);
-    let pk = PublicKey::generate(&ctx, &sk, &mut rng);
-    let chest = KeyChest::new(ctx.clone(), sk, 8);
-    let enc = Encoder::new(ctx.degree());
-    let slots = enc.slots();
 
     // A full ciphertext of samples.
     let data: Vec<f64> = (0..slots).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let packed: Vec<Complex64> = data.iter().map(|&v| Complex64::new(v, 0.0)).collect();
-    let scale = ctx.params().scale();
-    let ct = ops::encrypt(&ctx, &pk, &enc.encode(&ctx, &packed, scale, 4), &mut rng);
+    let ct = engine.encrypt_f64(&data, 4)?;
 
     // mean = rotate-sum(x) / n  (the division folds into a plaintext mult).
     let mut sum = ct.clone();
     let mut step = 1usize;
     while step < slots {
-        let rot = ops::hrotate(&chest, &sum, step, KsMethod::Klss);
-        sum = ops::hadd(&ctx, &sum, &rot);
+        let rot = engine.hrotate(&sum, step)?;
+        sum = engine.hadd(&sum, &rot)?;
         step *= 2;
     }
-    let inv_n = enc.encode(
-        &ctx,
-        &vec![Complex64::new(1.0 / slots as f64, 0.0); slots],
-        scale,
-        sum.level(),
-    );
-    let mean_ct = ops::rescale(&ctx, &ops::pmult(&ctx, &sum, &inv_n));
+    let inv_n = engine.encode_f64(&vec![1.0 / slots as f64; slots], sum.level())?;
+    let mean_ct = engine.rescale(&engine.pmult(&sum, &inv_n)?)?;
 
     // variance = mean(x²) - mean(x)²; compute E[x²] the same way.
-    let sq = ops::rescale(&ctx, &ops::hmult(&chest, &ct, &ct, KsMethod::Klss));
+    let sq = engine.rescale(&engine.hmult(&ct, &ct)?)?;
     let mut sum_sq = sq;
     let mut step = 1usize;
     while step < slots {
-        let rot = ops::hrotate(&chest, &sum_sq, step, KsMethod::Klss);
-        sum_sq = ops::hadd(&ctx, &sum_sq, &rot);
+        let rot = engine.hrotate(&sum_sq, step)?;
+        sum_sq = engine.hadd(&sum_sq, &rot)?;
         step *= 2;
     }
-    let inv_n2 = enc.encode(
-        &ctx,
-        &vec![Complex64::new(1.0 / slots as f64, 0.0); slots],
-        scale,
-        sum_sq.level(),
-    );
-    let mean_sq_ct = ops::rescale(&ctx, &ops::pmult(&ctx, &sum_sq, &inv_n2));
+    let inv_n2 = engine.encode_f64(&vec![1.0 / slots as f64; slots], sum_sq.level())?;
+    let mean_sq_ct = engine.rescale(&engine.pmult(&sum_sq, &inv_n2)?)?;
 
     // Decrypt and combine (the final subtraction is done in the clear to
     // keep this example within the toy modulus chain's depth).
-    let mean = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &mean_ct))[0].re;
-    let mean_sq = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &mean_sq_ct))[0].re;
+    let mean = engine.decrypt_f64(&mean_ct)?[0];
+    let mean_sq = engine.decrypt_f64(&mean_sq_ct)?[0];
     let var = mean_sq - mean * mean;
 
     let true_mean = data.iter().sum::<f64>() / slots as f64;

@@ -57,19 +57,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|j| Complex64::new(0.3 * ((i + j) as f64 * 0.4).cos(), 0.0))
                 .collect();
             let pt = enc.encode(&ctx, &vals, ctx.params().scale(), level);
-            ops::encrypt(&ctx, &pk, &pt, &mut rng)
+            ops::try_encrypt(&ctx, &pk, &pt, &mut rng)
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     // Square each input and rescale — four independent 2-op pipelines the
     // wavefront executor runs concurrently.
     let mut prog = BatchProgram::new();
     for i in 0..copies {
-        let sq = prog.push(BatchOp::HMult(Slot::Input(i), Slot::Input(i)));
-        prog.push(BatchOp::Rescale(sq));
+        let sq = prog.try_push(BatchOp::HMult(Slot::Input(i), Slot::Input(i)))?;
+        prog.try_push(BatchOp::Rescale(sq))?;
     }
-    let serial_out = prog.execute(&chest, &inputs, KsMethod::Klss, false);
-    let parallel_out = prog.execute(&chest, &inputs, KsMethod::Klss, true);
+    let serial_out = prog.execute(&chest, &inputs, KsMethod::Klss, false)?;
+    let parallel_out = prog.execute(&chest, &inputs, KsMethod::Klss, true)?;
     assert_eq!(serial_out, parallel_out);
     println!(
         "\nexecuted {} ops over {copies} ciphertexts on the rayon pool: parallel == serial (bit-identical)",
@@ -77,10 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Decode one output to show the math still works.
-    let dec = enc.decode(
-        &ctx,
-        &ops::decrypt(&ctx, chest.secret_key(), &parallel_out[1]),
-    );
+    let squared = parallel_out[1].as_ref().map_err(Clone::clone)?;
+    let dec = enc.decode(&ctx, &ops::try_decrypt(&ctx, chest.secret_key(), squared)?);
     let expect = 0.3 * 0.4f64.cos();
     println!(
         "input[0] squared, slot 1: {:.4} (expected {:.4})",

@@ -1,35 +1,33 @@
 //! Quickstart: encrypt a vector of complex numbers, compute
-//! `(x + y)·x` homomorphically with the KLSS key switch, and decrypt.
+//! `(x + y)·x` homomorphically with the KLSS key switch, and decrypt —
+//! all through the [`FheEngine`] session facade, whose operations return
+//! `Result<_, NeoError>` instead of panicking.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use neo::ckks::encoding::Complex64;
-use neo::ckks::keys::{KeyChest, PublicKey, SecretKey};
-use neo::ckks::{ops, CkksContext, CkksParams, Encoder, KsMethod};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::sync::Arc;
+use neo::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), NeoError> {
     // Reduced-degree parameters (N = 2^10, L = 5) so the example runs in
     // moments; ParamSet::C gives the paper's full-size N = 2^16 setup.
-    let ctx = Arc::new(CkksContext::new(CkksParams::test_small())?);
-    let mut rng = StdRng::seed_from_u64(2025);
-    let sk = SecretKey::generate(&ctx, &mut rng);
-    let pk = PublicKey::generate(&ctx, &sk, &mut rng);
-    let chest = KeyChest::new(ctx.clone(), sk, 7);
-    let enc = Encoder::new(ctx.degree());
+    let engine = FheEngine::new(CkksParams::test_small(), 2025)?;
+    let ctx = engine.context();
 
-    println!("ring degree N = {}, slots = {}", ctx.degree(), enc.slots());
+    println!(
+        "ring degree N = {}, slots = {}",
+        ctx.degree(),
+        engine.slots()
+    );
     println!(
         "modulus chain: {} data primes + {} special primes",
         ctx.q_primes().len(),
         ctx.p_primes().len()
     );
     println!(
-        "KLSS auxiliary basis: {} primes of 48 bits\n",
+        "KLSS auxiliary basis: {} primes of 48 bits",
         ctx.t_primes().len()
     );
+    println!("key switch: {:?}\n", engine.method());
 
     // Pack two small vectors into slots.
     let x: Vec<Complex64> = (0..8)
@@ -38,16 +36,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let y: Vec<Complex64> = (0..8)
         .map(|i| Complex64::new(1.0 - i as f64 * 0.05, 0.0))
         .collect();
-    let scale = ctx.params().scale();
     let level = 3;
-    let ct_x = ops::encrypt(&ctx, &pk, &enc.encode(&ctx, &x, scale, level), &mut rng);
-    let ct_y = ops::encrypt(&ctx, &pk, &enc.encode(&ctx, &y, scale, level), &mut rng);
+    let ct_x = engine.encrypt_values(&x, level)?;
+    let ct_y = engine.encrypt_values(&y, level)?;
 
     // (x + y) * x, then rescale.
-    let sum = ops::hadd(&ctx, &ct_x, &ct_y);
-    let prod = ops::rescale(&ctx, &ops::hmult(&chest, &sum, &ct_x, KsMethod::Klss));
+    let sum = engine.hadd(&ct_x, &ct_y)?;
+    let prod = engine.rescale(&engine.hmult(&sum, &ct_x)?)?;
 
-    let out = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &prod));
+    let out = engine.decrypt_values(&prod)?;
     println!("slot | (x+y)*x expected | decrypted      | error");
     for i in 0..8 {
         let want = (x[i] + y[i]) * x[i];
@@ -58,8 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!(
-        "\nciphertext level after multiply+rescale: {}",
-        prod.level()
+        "\nciphertext level after multiply+rescale: {} ({:.1} noise-budget bits left)",
+        prod.level(),
+        engine.noise_budget_bits(&prod)
     );
     Ok(())
 }

@@ -36,3 +36,27 @@ pub use neo_sched as sched;
 pub use neo_tcu as tcu;
 /// Runtime telemetry: work counters, spans, and trace exporters.
 pub use neo_trace as trace;
+
+/// The one-line import for applications: the [`ckks::FheEngine`] session
+/// facade, its error and policy types, parameter construction, and the
+/// handful of value types its methods exchange.
+///
+/// ```rust
+/// use neo::prelude::*;
+///
+/// # fn main() -> Result<(), NeoError> {
+/// let engine = FheEngine::new(CkksParams::test_tiny(), 1)?;
+/// let ct = engine.encrypt_f64(&[0.5, 0.25], 3)?;
+/// let out = engine.decrypt_f64(&engine.hadd(&ct, &ct)?)?;
+/// assert!((out[0] - 1.0).abs() < 1e-2);
+/// # Ok(())
+/// # }
+/// ```
+pub mod prelude {
+    pub use neo_ckks::encoding::Complex64;
+    pub use neo_ckks::{
+        BatchOp, BatchProgram, Ciphertext, CkksContext, CkksParams, CkksParamsBuilder, Encoder,
+        ErrorKind, FheEngine, KeyChest, KeyTarget, KsMethod, LinearTransform, NeoError, OpPolicy,
+        ParamSet, Plaintext, PublicKey, SecretKey, Slot,
+    };
+}

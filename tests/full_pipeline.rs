@@ -86,17 +86,28 @@ fn mixed_operation_pipeline() {
         .map(|i| Complex64::new(0.3, 0.4 * (i as f64 * 0.15).sin()))
         .collect();
     let scale = ctx.params().scale();
-    let ct_x = ops::encrypt(&ctx, &pk, &enc.encode(&ctx, &x, scale, 5), &mut rng);
-    let ct_y = ops::encrypt(&ctx, &pk, &enc.encode(&ctx, &y, scale, 5), &mut rng);
+    let ct_x = ops::try_encrypt(&ctx, &pk, &enc.encode(&ctx, &x, scale, 5), &mut rng).unwrap();
+    let ct_y = ops::try_encrypt(&ctx, &pk, &enc.encode(&ctx, &y, scale, 5), &mut rng).unwrap();
 
-    let xy = ops::rescale(&ctx, &ops::hmult(&chest, &ct_x, &ct_y, KsMethod::Klss));
-    let rot = ops::hrotate(&chest, &xy, 3, KsMethod::Hybrid);
-    let x_low = ops::level_reduce(&ct_x, rot.level());
-    let sum = ops::hadd(&ctx, &rot, &x_low);
-    let conj = ops::hconjugate(&chest, &x_low, KsMethod::Klss);
-    let out_ct = ops::rescale(&ctx, &ops::hmult(&chest, &sum, &conj, KsMethod::Klss));
+    let xy = ops::try_rescale(
+        &ctx,
+        &ops::try_hmult(&chest, &ct_x, &ct_y, KsMethod::Klss).unwrap(),
+    )
+    .unwrap();
+    let rot = ops::try_hrotate(&chest, &xy, 3, KsMethod::Hybrid).unwrap();
+    let x_low = ops::try_level_reduce(&ct_x, rot.level()).unwrap();
+    let sum = ops::try_hadd(&ctx, &rot, &x_low).unwrap();
+    let conj = ops::try_hconjugate(&chest, &x_low, KsMethod::Klss).unwrap();
+    let out_ct = ops::try_rescale(
+        &ctx,
+        &ops::try_hmult(&chest, &sum, &conj, KsMethod::Klss).unwrap(),
+    )
+    .unwrap();
 
-    let got = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &out_ct));
+    let got = enc.decode(
+        &ctx,
+        &ops::try_decrypt(&ctx, chest.secret_key(), &out_ct).unwrap(),
+    );
     for i in 0..slots {
         let want = (x[(i + 3) % slots] * y[(i + 3) % slots] + x[i]) * x[i].conj();
         let err = (got[i] - want).abs();

@@ -137,10 +137,10 @@ proptest! {
             .map(|_| Complex64::new(rand::Rng::gen_range(&mut rng, -1.0..1.0), 0.0))
             .collect();
         let scale = ctx.params().scale();
-        let ca = ops::encrypt(&ctx, &pk, &enc.encode(&ctx, &a, scale, 2), &mut rng);
-        let cb = ops::encrypt(&ctx, &pk, &enc.encode(&ctx, &b, scale, 2), &mut rng);
-        let sum = ops::hadd(&ctx, &ca, &cb);
-        let out = enc.decode(&ctx, &ops::decrypt(&ctx, chest.secret_key(), &sum));
+        let ca = ops::try_encrypt(&ctx, &pk, &enc.encode(&ctx, &a, scale, 2), &mut rng).unwrap();
+        let cb = ops::try_encrypt(&ctx, &pk, &enc.encode(&ctx, &b, scale, 2), &mut rng).unwrap();
+        let sum = ops::try_hadd(&ctx, &ca, &cb).unwrap();
+        let out = enc.decode(&ctx, &ops::try_decrypt(&ctx, chest.secret_key(), &sum).unwrap());
         for i in 0..enc.slots() {
             prop_assert!((out[i] - (a[i] + b[i])).abs() < 1e-4);
         }

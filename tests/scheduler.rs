@@ -134,7 +134,7 @@ fn chest_and_inputs(seed: u64, count: usize) -> (KeyChest, Vec<neo::ckks::Cipher
                 .map(|j| Complex64::new(((i * 31 + j * 7) % 13) as f64 / 13.0 - 0.4, 0.0))
                 .collect();
             let pt = enc.encode(&ctx, &vals, scale, level);
-            ops::encrypt(&ctx, &pk, &pt, &mut rng)
+            ops::try_encrypt(&ctx, &pk, &pt, &mut rng).unwrap()
         })
         .collect();
     (KeyChest::new(ctx, sk, seed ^ 0x5eed), inputs)
@@ -152,12 +152,13 @@ fn batch_executor_bit_identical_to_serial() {
         for round in 0..3 {
             let prog =
                 BatchProgram::random(&mut rng, inputs.len(), 10, level, chest.context().degree());
-            let serial = prog.execute(&chest, &inputs, method, false);
-            let parallel = prog.execute(&chest, &inputs, method, true);
+            let serial = prog.execute(&chest, &inputs, method, false).unwrap();
+            let parallel = prog.execute(&chest, &inputs, method, true).unwrap();
             assert_eq!(
                 serial, parallel,
                 "round {round} {method:?}: parallel output diverged"
             );
+            assert!(serial.iter().all(|r| r.is_ok()));
         }
     }
 }
@@ -168,13 +169,18 @@ fn batch_executor_bit_identical_to_serial() {
 fn batch_executor_diamond_program() {
     let (chest, inputs) = chest_and_inputs(11, 2);
     let mut prog = BatchProgram::new();
-    let m = prog.push(BatchOp::HMult(Slot::Input(0), Slot::Input(1)));
-    let r = prog.push(BatchOp::Rescale(m));
-    let left = prog.push(BatchOp::HRotate(r, 3));
-    let right = prog.push(BatchOp::HRotate(r, 5));
-    prog.push(BatchOp::HAdd(left, right));
-    let serial = prog.execute(&chest, &inputs, KsMethod::Klss, false);
-    let parallel = prog.execute(&chest, &inputs, KsMethod::Klss, true);
+    let m = prog
+        .try_push(BatchOp::HMult(Slot::Input(0), Slot::Input(1)))
+        .unwrap();
+    let r = prog.try_push(BatchOp::Rescale(m)).unwrap();
+    let left = prog.try_push(BatchOp::HRotate(r, 3)).unwrap();
+    let right = prog.try_push(BatchOp::HRotate(r, 5)).unwrap();
+    prog.try_push(BatchOp::HAdd(left, right)).unwrap();
+    let serial = prog
+        .execute(&chest, &inputs, KsMethod::Klss, false)
+        .unwrap();
+    let parallel = prog.execute(&chest, &inputs, KsMethod::Klss, true).unwrap();
     assert_eq!(serial, parallel);
     assert_eq!(serial.len(), 5);
+    assert!(serial.iter().all(|r| r.is_ok()));
 }

@@ -1,6 +1,7 @@
 //! Offline vendored subset of the `rayon` API.
 //!
-//! Backed by a small global thread pool (see [`pool`]); implements the
+//! Backed by a small global thread pool (the private `pool` module);
+//! implements the
 //! data-parallel iterator surface this workspace uses: `par_iter`,
 //! `par_iter_mut`, `par_chunks(_mut)`, ranges, `zip`, `enumerate`, `map`,
 //! `for_each`, and `collect::<Vec<_>>()`. Splitting is eager (one piece per
