@@ -131,8 +131,15 @@ fn main() {
     human.push_str(&report::tree_report());
 
     // --- Bootstrap segments (analytic — the runtime path stops at the
-    // primitive ops; the bootstrap plan is the paper's op trace). ---
-    let plan = BootstrapPlan::try_standard(&params).unwrap();
+    // primitive ops; the bootstrap plan is the paper's op trace). The
+    // 5-level test_small chain cannot host a bootstrap (try_standard
+    // correctly refuses it), so the analytic trace is planned at the
+    // paper's L = 35 chain depth on the same geometry.
+    let boot_params = CkksParams {
+        max_level: 35,
+        ..params.clone()
+    };
+    let plan = BootstrapPlan::try_standard(&boot_params).expect("bootstrap plan at paper depth");
     let trace = plan.trace();
     let dev = DeviceModel::a100();
     let cfg = CostConfig::neo();
@@ -147,7 +154,7 @@ fn main() {
     ] {
         let time_us: f64 = steps
             .iter()
-            .map(|s| s.count as f64 * op_time_us(&dev, &params, s.level.max(1), s.op, &cfg))
+            .map(|s| s.count as f64 * op_time_us(&dev, &boot_params, s.level.max(1), s.op, &cfg))
             .sum();
         let op_count: usize = steps.iter().map(|s| s.count).sum();
         segments.push(json!({ "segment": seg, "ops": op_count, "analytic_time_us": time_us }));

@@ -24,9 +24,66 @@ use crate::keys::{KeyChest, KeyTarget};
 use crate::ops;
 use crate::params::{CkksParams, KsMethod};
 use crate::sched::append_op;
-use neo_error::NeoError;
+use neo_error::{ErrorKind, NeoError};
+use neo_ntt::cache as ntt_cache;
 use neo_sched::{OpGraph, TaskGraph};
 use rand::Rng;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Bounded retry budget [`BatchProgram::execute`] grants each op for
+/// transient [`NeoError::FaultDetected`] failures.
+pub const DEFAULT_MAX_RETRIES: u32 = 2;
+
+/// Outcome of [`BatchProgram::execute_with_report`]: per-op results plus
+/// the recovery accounting the fault-matrix harness and the fault report
+/// artifact consume.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One slot per op: the ciphertext, or the op's own structured error
+    /// ([`NeoError::PoisonedInput`] downstream of a failed producer).
+    pub results: Vec<Result<Ciphertext, NeoError>>,
+    /// Retries attempted per op (0 for a clean first attempt).
+    pub retries_attempted: Vec<u32>,
+    /// Detected faults that retry absorbed, per op — the op's final
+    /// result is bit-identical to a fault-free run.
+    pub faults_recovered: Vec<u32>,
+    /// Poisoned NTT plan cache entries evicted and rebuilt during
+    /// recovery (across all ops of this execution).
+    pub plans_quarantined: u64,
+}
+
+impl BatchReport {
+    /// Total retries across all ops.
+    pub fn total_retries(&self) -> u32 {
+        self.retries_attempted.iter().sum()
+    }
+
+    /// Total recovered faults across all ops.
+    pub fn total_recovered(&self) -> u32 {
+        self.faults_recovered.iter().sum()
+    }
+}
+
+/// Maps a detection site back to the `neo_fault` injection site whose
+/// recovery tally it should credit.
+fn injection_site(site: &str) -> Option<neo_fault::FaultSite> {
+    match site {
+        "tcu_gemm" | "tcu_fragment" => Some(neo_fault::FaultSite::TcuFragment),
+        "ntt_forward" | "ntt_inverse" | "ntt_stage" => Some(neo_fault::FaultSite::NttStage),
+        "ntt_plan" => Some(neo_fault::FaultSite::NttPlan),
+        "ckks_op" => Some(neo_fault::FaultSite::CkksOp),
+        _ => None,
+    }
+}
+
+/// Deterministic backoff between retry attempts: a bounded spin whose
+/// length depends only on the attempt number, so a retried run's
+/// schedule does not depend on wall-clock timing.
+fn backoff(attempt: u32) {
+    for _ in 0..(64u64 << attempt.min(6)) {
+        std::hint::spin_loop();
+    }
+}
 
 /// An operand of a batch operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,12 +241,13 @@ impl BatchProgram {
     /// concurrently (topological wavefronts on the rayon pool); the
     /// result is bit-identical to the serial run.
     ///
-    /// Failures are isolated per operation: the outer `Result` covers
-    /// program-wide problems (mismatched input levels, out-of-range input
-    /// slots, key warm-up failure), while each op's own slot carries
-    /// either its ciphertext or its structured error. Ops downstream of a
-    /// failed op report [`NeoError::PoisonedInput`] naming the failed
-    /// producer; ops on untainted paths are unaffected.
+    /// Failures are isolated per operation: an op that fails (after
+    /// [`DEFAULT_MAX_RETRIES`] recovery attempts for transient
+    /// [`NeoError::FaultDetected`] errors) yields its structured error,
+    /// ops that depend on it report [`NeoError::PoisonedInput`] naming
+    /// the failed producer, and every op on an untainted path still
+    /// returns its result — bit-identical to a run without the failing
+    /// ops.
     ///
     /// # Errors
     ///
@@ -203,6 +261,33 @@ impl BatchProgram {
         method: KsMethod,
         parallel: bool,
     ) -> Result<Vec<Result<Ciphertext, NeoError>>, NeoError> {
+        self.execute_with_report(chest, inputs, method, parallel, DEFAULT_MAX_RETRIES)
+            .map(|r| r.results)
+    }
+
+    /// [`Self::execute`] with explicit recovery control and accounting.
+    ///
+    /// Each op gets up to `max_retries` additional attempts when it fails
+    /// with a (retryable) [`NeoError::FaultDetected`]: between attempts
+    /// the process-wide NTT plan cache is swept for poisoned entries
+    /// ([`neo_ntt::cache::quarantine_corrupt`] — evict and rebuild once)
+    /// and a deterministic backoff runs. Because every op is a pure
+    /// function of its operands, a successful retry is bit-identical to a
+    /// fault-free execution. Key warm-up still happens once, in issue
+    /// order, *before* the parallel region — retries reuse the cached
+    /// keys and never touch the chest's RNG.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::execute`].
+    pub fn execute_with_report(
+        &self,
+        chest: &KeyChest,
+        inputs: &[Ciphertext],
+        method: KsMethod,
+        parallel: bool,
+        max_retries: u32,
+    ) -> Result<BatchReport, NeoError> {
         if let Some(first) = inputs.first() {
             for ct in &inputs[1..] {
                 if ct.level() != first.level() {
@@ -219,64 +304,112 @@ impl BatchProgram {
             self.warm_keys(chest, first.level(), method)?;
         }
         let ctx = chest.context();
-        let mut tg: TaskGraph<'_, Result<Ciphertext, NeoError>> = TaskGraph::new();
-        for (idx, op) in self.ops.iter().enumerate() {
-            // Task dependencies: operand slots that are earlier ops (the
-            // task index equals the op index — one task per op).
-            let deps: Vec<usize> = op
-                .operands()
-                .into_iter()
-                .filter_map(|s| match s {
-                    Slot::Op(j) => Some(j),
-                    Slot::Input(_) => None,
-                })
-                .collect();
-            let op = *op;
-            let dep_ids = deps.clone();
-            tg.push(
-                &deps,
-                move |resolved: &[&Result<Ciphertext, NeoError>]| {
-                    // A failed producer poisons this op (first failed operand
-                    // in operand order names the upstream culprit).
-                    for (r, &j) in resolved.iter().zip(&dep_ids) {
-                        if r.is_err() {
-                            return Err(NeoError::poisoned(idx, j));
+        let n_ops = self.ops.len();
+        let retries: Vec<AtomicU32> = (0..n_ops).map(|_| AtomicU32::new(0)).collect();
+        let recovered: Vec<AtomicU32> = (0..n_ops).map(|_| AtomicU32::new(0)).collect();
+        let quarantined = AtomicU64::new(0);
+        let results = {
+            let mut tg: TaskGraph<'_, Result<Ciphertext, NeoError>> = TaskGraph::new();
+            for (idx, op) in self.ops.iter().enumerate() {
+                // Task dependencies: operand slots that are earlier ops (the
+                // task index equals the op index — one task per op).
+                let deps: Vec<usize> = op
+                    .operands()
+                    .into_iter()
+                    .filter_map(|s| match s {
+                        Slot::Op(j) => Some(j),
+                        Slot::Input(_) => None,
+                    })
+                    .collect();
+                let op = *op;
+                let dep_ids = deps.clone();
+                let (retries, recovered, quarantined) = (&retries, &recovered, &quarantined);
+                tg.push(
+                    &deps,
+                    move |resolved: &[&Result<Ciphertext, NeoError>]| {
+                        // A failed producer poisons this op (first failed operand
+                        // in operand order names the upstream culprit).
+                        for (r, &j) in resolved.iter().zip(&dep_ids) {
+                            if r.is_err() {
+                                return Err(NeoError::poisoned(idx, j));
+                            }
                         }
-                    }
-                    // Dep outputs arrive in operand order; inputs come from
-                    // the captured slice.
-                    let mut next = resolved.iter();
-                    let mut get = |s: Slot| -> &Ciphertext {
-                        match s {
-                            Slot::Input(i) => &inputs[i],
-                            Slot::Op(_) => next
-                                .next()
-                                .expect("dependency output")
-                                .as_ref()
-                                .expect("poison-checked above"),
+                        let run = || {
+                            // Dep outputs arrive in operand order; inputs come
+                            // from the captured slice.
+                            let mut next = resolved.iter();
+                            let mut get = |s: Slot| -> &Ciphertext {
+                                match s {
+                                    Slot::Input(i) => &inputs[i],
+                                    Slot::Op(_) => next
+                                        .next()
+                                        .expect("dependency output")
+                                        .as_ref()
+                                        .expect("poison-checked above"),
+                                }
+                            };
+                            match op {
+                                BatchOp::HMult(a, b) => {
+                                    let (a, b) = (get(a), get(b));
+                                    ops::try_hmult(chest, a, b, method)
+                                }
+                                BatchOp::HAdd(a, b) => {
+                                    let (a, b) = (get(a), get(b));
+                                    ops::try_hadd(ctx, a, b)
+                                }
+                                BatchOp::HRotate(a, steps) => {
+                                    ops::try_hrotate(chest, get(a), steps, method)
+                                }
+                                BatchOp::Rescale(a) => ops::try_rescale(ctx, get(a)),
+                            }
+                        };
+                        let mut attempt = 0u32;
+                        let mut last_site: Option<&'static str> = None;
+                        loop {
+                            match run() {
+                                Ok(ct) => {
+                                    if attempt > 0 {
+                                        recovered[idx].fetch_add(attempt, Ordering::Relaxed);
+                                        if let Some(site) = last_site.and_then(injection_site) {
+                                            neo_fault::note_recovery(site);
+                                        }
+                                    }
+                                    return Ok(ct);
+                                }
+                                Err(e)
+                                    if e.kind() == ErrorKind::FaultDetected
+                                        && attempt < max_retries =>
+                                {
+                                    if let NeoError::FaultDetected { site, .. } = &e {
+                                        last_site = Some(*site);
+                                    }
+                                    attempt += 1;
+                                    retries[idx].fetch_add(1, Ordering::Relaxed);
+                                    // A detected fault may stem from a rotted
+                                    // plan rather than a transient flip: sweep
+                                    // and rebuild poisoned cache entries so the
+                                    // retry reruns against clean tables.
+                                    let swept = ntt_cache::quarantine_corrupt();
+                                    quarantined.fetch_add(swept as u64, Ordering::Relaxed);
+                                    backoff(attempt);
+                                }
+                                Err(e) => return Err(e),
+                            }
                         }
-                    };
-                    match op {
-                        BatchOp::HMult(a, b) => {
-                            let (a, b) = (get(a), get(b));
-                            ops::try_hmult(chest, a, b, method)
-                        }
-                        BatchOp::HAdd(a, b) => {
-                            let (a, b) = (get(a), get(b));
-                            ops::try_hadd(ctx, a, b)
-                        }
-                        BatchOp::HRotate(a, steps) => {
-                            ops::try_hrotate(chest, get(a), steps, method)
-                        }
-                        BatchOp::Rescale(a) => ops::try_rescale(ctx, get(a)),
-                    }
-                },
-            );
-        }
-        Ok(if parallel {
-            tg.run_parallel()
-        } else {
-            tg.run_serial()
+                    },
+                );
+            }
+            if parallel {
+                tg.run_parallel()
+            } else {
+                tg.run_serial()
+            }
+        };
+        Ok(BatchReport {
+            results,
+            retries_attempted: retries.into_iter().map(AtomicU32::into_inner).collect(),
+            faults_recovered: recovered.into_iter().map(AtomicU32::into_inner).collect(),
+            plans_quarantined: quarantined.into_inner(),
         })
     }
 

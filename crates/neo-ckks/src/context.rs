@@ -2,6 +2,7 @@
 //! conversion tables.
 
 use crate::params::CkksParams;
+use neo_error::NeoError;
 use neo_math::{primes, BconvTable, Domain, MathError, Modulus, RnsBasis, RnsPoly};
 use neo_ntt::{cache as ntt_cache, radix2, NttPlan};
 use parking_lot::RwLock;
@@ -231,6 +232,88 @@ impl CkksContext {
                 radix2::inverse(self.plan(m.value()), limb);
             });
         poly.set_domain(Domain::Coeff);
+    }
+
+    /// Forward NTT with ABFT verification. Unlike [`Self::ntt_forward`],
+    /// plans are re-fetched per limb from the process-wide
+    /// [`neo_ntt::cache`] at transform time — so a quarantine/rebuild (or
+    /// a fault-injected poisoning) of a cached plan is visible to the
+    /// very next transform instead of being frozen at context
+    /// construction. When the active [`neo_fault::VerifyPolicy`] says a
+    /// check is due, each limb's (input, output) pair is spot-checked via
+    /// [`neo_ntt::spot_check_transform`], which also re-hashes the plan
+    /// against its build-time integrity token.
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::FaultDetected`] (site `ntt_forward` / `ntt_plan`) on a
+    /// failed check; [`NeoError::Math`] if a plan cannot be built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the poly is already in NTT domain.
+    pub fn try_ntt_forward(&self, poly: &mut RnsPoly, moduli: &[Modulus]) -> Result<(), NeoError> {
+        assert_eq!(poly.domain(), Domain::Coeff, "already in NTT domain");
+        assert_eq!(poly.limb_count(), moduli.len());
+        let n = self.degree();
+        let verify = neo_fault::verification_due();
+        let checks: Vec<Result<(), NeoError>> = poly
+            .limbs_mut()
+            .par_iter_mut()
+            .zip(moduli.par_iter())
+            .map(|(limb, m)| {
+                let plan = ntt_cache::get_or_build(m.value(), n)?;
+                if verify {
+                    let input = limb.clone();
+                    radix2::forward(&plan, limb);
+                    // Salt with the modulus: deterministic per limb, so a
+                    // rayon schedule cannot change which point is checked.
+                    neo_ntt::spot_check_transform(&plan, &input, limb, m.value(), true)
+                } else {
+                    radix2::forward(&plan, limb);
+                    Ok(())
+                }
+            })
+            .collect();
+        checks.into_iter().collect::<Result<(), NeoError>>()?;
+        poly.set_domain(Domain::Ntt);
+        Ok(())
+    }
+
+    /// Inverse NTT with ABFT verification; see [`Self::try_ntt_forward`].
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::FaultDetected`] (site `ntt_inverse` / `ntt_plan`) on a
+    /// failed check; [`NeoError::Math`] if a plan cannot be built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the poly is already in coefficient domain.
+    pub fn try_ntt_inverse(&self, poly: &mut RnsPoly, moduli: &[Modulus]) -> Result<(), NeoError> {
+        assert_eq!(poly.domain(), Domain::Ntt, "already in coefficient domain");
+        assert_eq!(poly.limb_count(), moduli.len());
+        let n = self.degree();
+        let verify = neo_fault::verification_due();
+        let checks: Vec<Result<(), NeoError>> = poly
+            .limbs_mut()
+            .par_iter_mut()
+            .zip(moduli.par_iter())
+            .map(|(limb, m)| {
+                let plan = ntt_cache::get_or_build(m.value(), n)?;
+                if verify {
+                    let evals = limb.clone();
+                    radix2::inverse(&plan, limb);
+                    neo_ntt::spot_check_transform(&plan, limb, &evals, m.value(), false)
+                } else {
+                    radix2::inverse(&plan, limb);
+                    Ok(())
+                }
+            })
+            .collect();
+        checks.into_iter().collect::<Result<(), NeoError>>()?;
+        poly.set_domain(Domain::Coeff);
+        Ok(())
     }
 
     /// Samples a ternary secret with values in `{-1, 0, 1}`.

@@ -18,6 +18,7 @@ use crate::linear::LinearTransform;
 use crate::params::{CkksParams, KsMethod};
 use crate::{linear, ops};
 use neo_error::NeoError;
+use neo_fault::{VerifyPolicy, VerifyScope};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,6 +42,13 @@ pub struct OpPolicy {
     /// [`NeoError::KeySwitchKeyMissing`]. Useful to catch missed warm-up
     /// in latency-sensitive paths.
     pub require_warm_keys: bool,
+    /// ABFT verification of NTT kernel outputs inside this engine's
+    /// operations: [`VerifyPolicy::Off`] (default, zero overhead),
+    /// `Sampled(n)` (one transform in `n` is spot-checked), or `Always`.
+    /// A failed check surfaces as [`NeoError::FaultDetected`] instead of
+    /// a silently wrong ciphertext; the checks' FLOP/byte overhead is
+    /// tallied under the `abft_*` work counters.
+    pub verify: VerifyPolicy,
 }
 
 impl Default for OpPolicy {
@@ -50,6 +58,7 @@ impl Default for OpPolicy {
             auto_align_levels: true,
             min_noise_budget_bits: 0.0,
             require_warm_keys: false,
+            verify: VerifyPolicy::Off,
         }
     }
 }
@@ -227,6 +236,7 @@ impl FheEngine {
     /// [`NeoError::ParameterMismatch`] if the plaintext's level is outside
     /// the chain.
     pub fn encrypt(&self, pt: &Plaintext) -> Result<Ciphertext, NeoError> {
+        let _v = VerifyScope::enter(self.policy.verify);
         let mut rng = self.rng.lock();
         ops::try_encrypt(self.context(), &self.pk, pt, &mut *rng)
     }
@@ -262,6 +272,7 @@ impl FheEngine {
     /// [`NeoError::ParameterMismatch`] if the ciphertext's level is
     /// outside the chain.
     pub fn decrypt(&self, ct: &Ciphertext) -> Result<Plaintext, NeoError> {
+        let _v = VerifyScope::enter(self.policy.verify);
         ops::try_decrypt(self.context(), self.chest.secret_key(), ct)
     }
 
@@ -325,6 +336,7 @@ impl FheEngine {
     /// [`NeoError::LevelMismatch`], [`NeoError::NoiseBudgetExhausted`], or
     /// (with auto-rescale at level 0) [`NeoError::ModulusChainExhausted`].
     pub fn pmult(&self, a: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, NeoError> {
+        let _v = VerifyScope::enter(self.policy.verify);
         self.guard_budget("pmult", a.level(), a.scale() * pt.scale())?;
         let out = ops::try_pmult(self.context(), a, pt)?;
         self.maybe_rescale(out)
@@ -341,6 +353,7 @@ impl FheEngine {
     /// [`NeoError::KeySwitchKeyMissing`], or (with auto-rescale at
     /// level 0) [`NeoError::ModulusChainExhausted`].
     pub fn hmult(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, NeoError> {
+        let _v = VerifyScope::enter(self.policy.verify);
         let (a, b) = self.align_pair("hmult", a, b)?;
         self.guard_budget("hmult", a.level(), a.scale() * b.scale())?;
         self.guard_warm(a.level(), KeyTarget::Relin)?;
@@ -355,6 +368,7 @@ impl FheEngine {
     /// [`NeoError::KeySwitchKeyMissing`] if the Galois key is unavailable
     /// (or, under `require_warm_keys`, not pre-warmed).
     pub fn hrotate(&self, a: &Ciphertext, steps: usize) -> Result<Ciphertext, NeoError> {
+        let _v = VerifyScope::enter(self.policy.verify);
         let g = ops::galois_element(self.context().degree(), steps);
         self.guard_warm(a.level(), KeyTarget::Galois(g))?;
         ops::try_hrotate(&self.chest, a, steps, self.method)
@@ -367,6 +381,7 @@ impl FheEngine {
     /// [`NeoError::KeySwitchKeyMissing`] if the conjugation key is
     /// unavailable (or, under `require_warm_keys`, not pre-warmed).
     pub fn hconjugate(&self, a: &Ciphertext) -> Result<Ciphertext, NeoError> {
+        let _v = VerifyScope::enter(self.policy.verify);
         let g = 2 * self.context().degree() - 1;
         self.guard_warm(a.level(), KeyTarget::Galois(g))?;
         ops::try_hconjugate(&self.chest, a, self.method)
@@ -411,6 +426,7 @@ impl FheEngine {
         lt: &LinearTransform,
         ct: &Ciphertext,
     ) -> Result<Ciphertext, NeoError> {
+        let _v = VerifyScope::enter(self.policy.verify);
         lt.try_apply(&self.chest, &self.encoder, ct, self.method)
     }
 
@@ -425,6 +441,7 @@ impl FheEngine {
         lt: &LinearTransform,
         ct: &Ciphertext,
     ) -> Result<Ciphertext, NeoError> {
+        let _v = VerifyScope::enter(self.policy.verify);
         let baby = ((lt.diagonal_count() as f64).sqrt().ceil() as usize).max(1);
         lt.try_apply_bsgs(&self.chest, &self.encoder, ct, baby, self.method)
     }
@@ -436,6 +453,7 @@ impl FheEngine {
     /// [`NeoError::ModulusChainExhausted`] if the chain is too short for
     /// the polynomial's degree, plus the underlying op errors.
     pub fn eval_polynomial(&self, ct: &Ciphertext, coeffs: &[f64]) -> Result<Ciphertext, NeoError> {
+        let _v = VerifyScope::enter(self.policy.verify);
         linear::try_eval_polynomial(&self.chest, &self.encoder, ct, coeffs, self.method)
     }
 
@@ -453,7 +471,25 @@ impl FheEngine {
         inputs: &[Ciphertext],
         parallel: bool,
     ) -> Result<Vec<Result<Ciphertext, NeoError>>, NeoError> {
+        let _v = VerifyScope::enter(self.policy.verify);
         prog.execute(&self.chest, inputs, self.method, parallel)
+    }
+
+    /// [`Self::execute_batch`] with explicit retry control and recovery
+    /// accounting ([`crate::batch::BatchReport`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`BatchProgram::execute_with_report`].
+    pub fn execute_batch_with_report(
+        &self,
+        prog: &BatchProgram,
+        inputs: &[Ciphertext],
+        parallel: bool,
+        max_retries: u32,
+    ) -> Result<crate::batch::BatchReport, NeoError> {
+        let _v = VerifyScope::enter(self.policy.verify);
+        prog.execute_with_report(&self.chest, inputs, self.method, parallel, max_retries)
     }
 
     // --- Guardrails ---

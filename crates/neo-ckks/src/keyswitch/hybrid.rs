@@ -33,9 +33,9 @@ pub fn keyswitch_hybrid(
     // Mod Up each digit independently (approximate BConv into the
     // complement basis, reassemble, forward NTT) — digits never touch each
     // other's limbs, so the whole stage fans out across the pool.
-    let xs: Vec<RnsPoly> = ranges
+    let xs: Vec<Result<RnsPoly, NeoError>> = ranges
         .par_iter()
-        .map(|r| {
+        .map(|r| -> Result<RnsPoly, NeoError> {
             // Digit limbs straight from d.
             let digit: Vec<Vec<u64>> = r.clone().map(|i| d.limb(i).to_vec()).collect();
             let digit_primes: Vec<u64> = q_primes[r.clone()].to_vec();
@@ -59,10 +59,11 @@ pub fn keyswitch_hybrid(
                 }
             }
             let mut x = RnsPoly::from_limbs(limbs, Domain::Coeff).expect("valid limbs");
-            ctx.ntt_forward(&mut x, &qp);
-            x
+            ctx.try_ntt_forward(&mut x, &qp)?;
+            Ok(x)
         })
         .collect();
+    let xs: Vec<RnsPoly> = xs.into_iter().collect::<Result<_, _>>()?;
     // Inner product with the digit key (accumulation stays in digit order,
     // so the output is bit-identical to the sequential walk).
     let mut acc0 = RnsPoly::zero(n, qp.len(), Domain::Ntt);
@@ -71,8 +72,8 @@ pub fn keyswitch_hybrid(
         acc0.mul_acc_assign(x, &key.digits[j][0], &qp);
         acc1.mul_acc_assign(x, &key.digits[j][1], &qp);
     }
-    ctx.ntt_inverse(&mut acc0, &qp);
-    ctx.ntt_inverse(&mut acc1, &qp);
+    ctx.try_ntt_inverse(&mut acc0, &qp)?;
+    ctx.try_ntt_inverse(&mut acc1, &qp)?;
     Ok((mod_down(ctx, &acc0, level)?, mod_down(ctx, &acc1, level)?))
 }
 

@@ -51,18 +51,19 @@ pub fn keyswitch_klss(
 
     // --- Mod Up: exact conversion of each digit into R_T, then NTT. ---
     // Digits are independent, so the conversions fan out across the pool.
-    let xs: Vec<RnsPoly> = ranges
+    let xs: Vec<Result<RnsPoly, NeoError>> = ranges
         .par_iter()
-        .map(|r| {
+        .map(|r| -> Result<RnsPoly, NeoError> {
             let digit: Vec<Vec<u64>> = r.clone().map(|i| d.limb(i).to_vec()).collect();
             let digit_primes: Vec<u64> = q_primes[r.clone()].to_vec();
             let table = ctx.bconv_table(&digit_primes, &t_primes);
             let conv = table.convert_exact(&digit);
             let mut x = RnsPoly::from_limbs(conv, Domain::Coeff).expect("valid limbs");
-            ctx.ntt_forward(&mut x, &t_moduli);
-            x
+            ctx.try_ntt_forward(&mut x, &t_moduli)?;
+            Ok(x)
         })
         .collect();
+    let xs: Vec<RnsPoly> = xs.into_iter().collect::<Result<_, _>>()?;
 
     // --- IP: for each output digit ĵ, accumulate over β input digits. ---
     // --- INTT and Recover Limbs per output digit. ---
@@ -74,24 +75,25 @@ pub fn keyswitch_klss(
     // Output digits write disjoint limb ranges of the result, so each
     // (IP, INTT, Recover Limbs) chain runs on its own worker; the recovered
     // limbs are stitched into `result` afterwards.
-    let recovered: Vec<[Vec<Vec<u64>>; 2]> = key_ranges
+    let recovered: Vec<Result<[Vec<Vec<u64>>; 2], NeoError>> = key_ranges
         .par_iter()
         .enumerate()
-        .map(|(jj, range)| {
+        .map(|(jj, range)| -> Result<[Vec<Vec<u64>>; 2], NeoError> {
             let digit_primes: Vec<u64> = qp_primes[range.clone()].to_vec();
             let table = ctx.bconv_table(&t_primes, &digit_primes);
-            let recover = |c: usize| {
+            let recover = |c: usize| -> Result<Vec<Vec<u64>>, NeoError> {
                 let mut acc = RnsPoly::zero(n, t_moduli.len(), Domain::Ntt);
                 for (j, x) in xs.iter().enumerate() {
                     acc.mul_acc_assign(x, &key.digits[j][jj][c], &t_moduli);
                 }
-                ctx.ntt_inverse(&mut acc, &t_moduli);
+                ctx.try_ntt_inverse(&mut acc, &t_moduli)?;
                 // Exact centered BConv of G_ĵ into digit ĵ's limbs.
-                table.convert_exact(acc.limbs())
+                Ok(table.convert_exact(acc.limbs()))
             };
-            [recover(0), recover(1)]
+            Ok([recover(0)?, recover(1)?])
         })
         .collect();
+    let recovered: Vec<[Vec<Vec<u64>>; 2]> = recovered.into_iter().collect::<Result<_, _>>()?;
     let mut result = [
         RnsPoly::zero(n, qp.len(), Domain::Coeff),
         RnsPoly::zero(n, qp.len(), Domain::Coeff),

@@ -47,7 +47,7 @@ pub mod ops;
 pub mod params;
 pub mod sched;
 
-pub use batch::{BatchOp, BatchProgram, Slot};
+pub use batch::{BatchOp, BatchProgram, BatchReport, Slot, DEFAULT_MAX_RETRIES};
 pub use ciphertext::{Ciphertext, Plaintext};
 pub use context::CkksContext;
 pub use encoding::Encoder;
@@ -55,4 +55,5 @@ pub use engine::{FheEngine, OpPolicy};
 pub use keys::{KeyChest, KeyTarget, PublicKey, SecretKey};
 pub use linear::LinearTransform;
 pub use neo_error::{ErrorKind, NeoError};
+pub use neo_fault::VerifyPolicy;
 pub use params::{CkksParams, CkksParamsBuilder, KlssConfig, KsMethod, ParamSet};

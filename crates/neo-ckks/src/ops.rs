@@ -50,6 +50,21 @@ fn emit_budget(ctx: &CkksContext, op: &str, ct: &Ciphertext) {
     }
 }
 
+/// Injection point for spurious op-level faults (`neo_fault`'s `ckks_op`
+/// site): when an armed [`neo_fault::FaultPlan`] draws a fire for this
+/// opportunity, the op fails with a retryable [`NeoError::FaultDetected`]
+/// instead of producing a result — exercising the recovery machinery in
+/// [`crate::batch::BatchProgram::execute_with_report`].
+fn fault_gate(op: &'static str) -> Result<(), NeoError> {
+    if neo_fault::armed() && neo_fault::fires(neo_fault::FaultSite::CkksOp) {
+        return Err(NeoError::fault_detected(
+            "ckks_op",
+            format!("injected transient fault in {op}"),
+        ));
+    }
+    Ok(())
+}
+
 /// The level must sit inside the context's modulus chain.
 fn check_level(ctx: &CkksContext, op: &'static str, level: usize) -> Result<(), NeoError> {
     let max = ctx.params().max_level;
@@ -96,13 +111,13 @@ pub fn try_encrypt<R: Rng + ?Sized>(
     let _s = span!("ckks.encrypt", level = level);
     let moduli = ctx.q_moduli(level).to_vec();
     let mut v = RnsPoly::from_signed(&ctx.sample_ternary(rng), &moduli);
-    ctx.ntt_forward(&mut v, &moduli);
+    ctx.try_ntt_forward(&mut v, &moduli)?;
     let mut c0 = pk.p0_at(level);
     c0.mul_pointwise_assign(&v, &moduli);
     let mut c1 = pk.p1_at(level);
     c1.mul_pointwise_assign(&v, &moduli);
-    ctx.ntt_inverse(&mut c0, &moduli);
-    ctx.ntt_inverse(&mut c1, &moduli);
+    ctx.try_ntt_inverse(&mut c0, &moduli)?;
+    ctx.try_ntt_inverse(&mut c1, &moduli)?;
     let e0 = RnsPoly::from_signed(&ctx.sample_gaussian(rng), &moduli);
     let e1 = RnsPoly::from_signed(&ctx.sample_gaussian(rng), &moduli);
     c0.add_assign(&e0, &moduli);
@@ -129,9 +144,9 @@ pub fn try_decrypt(
     let moduli = ctx.q_moduli(ct.level()).to_vec();
     let s = sk.poly_ntt(ctx, &moduli);
     let mut c1 = ct.c1().clone();
-    ctx.ntt_forward(&mut c1, &moduli);
+    ctx.try_ntt_forward(&mut c1, &moduli)?;
     c1.mul_pointwise_assign(&s, &moduli);
-    ctx.ntt_inverse(&mut c1, &moduli);
+    ctx.try_ntt_inverse(&mut c1, &moduli)?;
     let mut m = ct.c0().clone();
     m.add_assign(&c1, &moduli);
     Ok(Plaintext::new(m, ct.scale(), ct.level()))
@@ -144,6 +159,7 @@ pub fn try_decrypt(
 /// [`NeoError::LevelMismatch`] / [`NeoError::ScaleMismatch`] if the
 /// operands disagree on level or scale.
 pub fn try_hadd(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, NeoError> {
+    fault_gate("hadd")?;
     check_compatible("hadd", a, b)?;
     let moduli = ctx.q_moduli(a.level());
     let mut out = a.clone();
@@ -203,15 +219,15 @@ pub fn try_pmult(
     let _s = span!("ckks.pmult", level = a.level());
     let moduli = ctx.q_moduli(a.level()).to_vec();
     let mut m = pt.poly().clone();
-    ctx.ntt_forward(&mut m, &moduli);
+    ctx.try_ntt_forward(&mut m, &moduli)?;
     let mut c0 = a.c0().clone();
     let mut c1 = a.c1().clone();
-    ctx.ntt_forward(&mut c0, &moduli);
-    ctx.ntt_forward(&mut c1, &moduli);
+    ctx.try_ntt_forward(&mut c0, &moduli)?;
+    ctx.try_ntt_forward(&mut c1, &moduli)?;
     c0.mul_pointwise_assign(&m, &moduli);
     c1.mul_pointwise_assign(&m, &moduli);
-    ctx.ntt_inverse(&mut c0, &moduli);
-    ctx.ntt_inverse(&mut c1, &moduli);
+    ctx.try_ntt_inverse(&mut c0, &moduli)?;
+    ctx.try_ntt_inverse(&mut c1, &moduli)?;
     Ok(Ciphertext::new(c0, c1, a.scale() * pt.scale(), a.level()))
 }
 
@@ -230,6 +246,7 @@ pub fn try_hmult(
     b: &Ciphertext,
     method: KsMethod,
 ) -> Result<Ciphertext, NeoError> {
+    fault_gate("hmult")?;
     if a.level() != b.level() {
         return Err(NeoError::level_mismatch("hmult", a.level(), b.level()));
     }
@@ -242,10 +259,10 @@ pub fn try_hmult(
     let mut a1 = a.c1().clone();
     let mut b0 = b.c0().clone();
     let mut b1 = b.c1().clone();
-    ctx.ntt_forward(&mut a0, &moduli);
-    ctx.ntt_forward(&mut a1, &moduli);
-    ctx.ntt_forward(&mut b0, &moduli);
-    ctx.ntt_forward(&mut b1, &moduli);
+    ctx.try_ntt_forward(&mut a0, &moduli)?;
+    ctx.try_ntt_forward(&mut a1, &moduli)?;
+    ctx.try_ntt_forward(&mut b0, &moduli)?;
+    ctx.try_ntt_forward(&mut b1, &moduli)?;
     let mut d0 = a0.clone();
     d0.mul_pointwise_assign(&b0, &moduli);
     let mut d1 = a0.clone();
@@ -255,9 +272,9 @@ pub fn try_hmult(
     d1.add_assign(&t, &moduli);
     let mut d2 = a1.clone();
     d2.mul_pointwise_assign(&b1, &moduli);
-    ctx.ntt_inverse(&mut d0, &moduli);
-    ctx.ntt_inverse(&mut d1, &moduli);
-    ctx.ntt_inverse(&mut d2, &moduli);
+    ctx.try_ntt_inverse(&mut d0, &moduli)?;
+    ctx.try_ntt_inverse(&mut d1, &moduli)?;
+    ctx.try_ntt_inverse(&mut d2, &moduli)?;
     // Relinearize d2.
     let (u0, u1) = switch(chest, level, KeyTarget::Relin, &d2, method)?;
     d0.add_assign(&u0, &moduli);
@@ -291,6 +308,7 @@ pub fn try_hrotate(
     steps: usize,
     method: KsMethod,
 ) -> Result<Ciphertext, NeoError> {
+    fault_gate("hrotate")?;
     let g = galois_element(chest.context().degree(), steps);
     apply_galois(chest, a, g, method)
 }
@@ -355,6 +373,7 @@ fn switch(
 ///
 /// [`NeoError::ModulusChainExhausted`] at level 0 (no limb left to drop).
 pub fn try_rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, NeoError> {
+    fault_gate("rescale")?;
     let level = ct.level();
     if level < 1 {
         return Err(NeoError::chain_exhausted("rescale", level, 1));

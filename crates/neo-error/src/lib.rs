@@ -51,6 +51,10 @@ pub enum ErrorKind {
     /// A batch operation read the output of an upstream operation that
     /// already failed; the failure short-circuits downstream.
     PoisonedInput,
+    /// A silent-corruption detector fired: an ABFT checksum, NTT spot
+    /// check, or plan-integrity token caught a wrong intermediate before
+    /// it could become a silently wrong ciphertext.
+    FaultDetected,
     /// A numeric-substrate error (modulus construction, prime
     /// generation, RNS basis mismatch) surfaced through the CKKS layer.
     Math,
@@ -58,7 +62,7 @@ pub enum ErrorKind {
 
 impl ErrorKind {
     /// Every kind, in declaration order.
-    pub const ALL: [ErrorKind; 9] = [
+    pub const ALL: [ErrorKind; 10] = [
         ErrorKind::InvalidParams,
         ErrorKind::ParameterMismatch,
         ErrorKind::LevelMismatch,
@@ -67,6 +71,7 @@ impl ErrorKind {
         ErrorKind::NoiseBudgetExhausted,
         ErrorKind::KeySwitchKeyMissing,
         ErrorKind::PoisonedInput,
+        ErrorKind::FaultDetected,
         ErrorKind::Math,
     ];
 
@@ -82,6 +87,7 @@ impl ErrorKind {
             ErrorKind::NoiseBudgetExhausted => "noise_budget_exhausted",
             ErrorKind::KeySwitchKeyMissing => "keyswitch_key_missing",
             ErrorKind::PoisonedInput => "poisoned_input",
+            ErrorKind::FaultDetected => "fault_detected",
             ErrorKind::Math => "math",
         }
     }
@@ -164,6 +170,17 @@ pub enum NeoError {
         /// Index of the upstream operation whose failure poisoned it.
         upstream: usize,
     },
+    /// A silent-corruption detector fired. The result that triggered it
+    /// was discarded, never returned — callers can retry (the executors
+    /// in `neo-sched`/`neo-ckks` do so automatically with bounded
+    /// backoff and plan-cache quarantine).
+    FaultDetected {
+        /// Stable name of the detection site (`"tcu_gemm"`,
+        /// `"ntt_forward"`, `"ntt_inverse"`, `"sched_completion"`, …).
+        site: &'static str,
+        /// What the detector saw (checksum residues, indices, …).
+        detail: String,
+    },
     /// A wrapped numeric-substrate error.
     Math(MathError),
 }
@@ -180,6 +197,7 @@ impl NeoError {
             NeoError::NoiseBudgetExhausted { .. } => ErrorKind::NoiseBudgetExhausted,
             NeoError::KeySwitchKeyMissing { .. } => ErrorKind::KeySwitchKeyMissing,
             NeoError::PoisonedInput { .. } => ErrorKind::PoisonedInput,
+            NeoError::FaultDetected { .. } => ErrorKind::FaultDetected,
             NeoError::Math(_) => ErrorKind::Math,
         }
     }
@@ -246,6 +264,15 @@ impl NeoError {
     pub fn poisoned(op_index: usize, upstream: usize) -> Self {
         NeoError::PoisonedInput { op_index, upstream }.tallied()
     }
+
+    /// A silent-corruption detector fired at `site`.
+    pub fn fault_detected(site: &'static str, detail: impl Into<String>) -> Self {
+        NeoError::FaultDetected {
+            site,
+            detail: detail.into(),
+        }
+        .tallied()
+    }
 }
 
 impl fmt::Display for NeoError {
@@ -288,6 +315,10 @@ impl fmt::Display for NeoError {
             NeoError::PoisonedInput { op_index, upstream } => write!(
                 f,
                 "batch op {op_index} short-circuited: upstream op {upstream} failed"
+            ),
+            NeoError::FaultDetected { site, detail } => write!(
+                f,
+                "fault detected at {site}: {detail} — result discarded, retry or quarantine"
             ),
             NeoError::Math(e) => write!(f, "math error: {e}"),
         }
@@ -351,6 +382,10 @@ mod tests {
                 ErrorKind::KeySwitchKeyMissing,
             ),
             (NeoError::poisoned(4, 2), ErrorKind::PoisonedInput),
+            (
+                NeoError::fault_detected("tcu_gemm", "row checksum mismatch"),
+                ErrorKind::FaultDetected,
+            ),
             (NeoError::from(MathError::InvalidDegree(7)), ErrorKind::Math),
         ];
         for (e, kind) in cases {

@@ -40,11 +40,13 @@ impl KernelProfile {
 
     /// Builds a *measured* profile from `neo-trace` work counters, using
     /// the same cost weights ([`crate::costs`]) that the analytic profiles
-    /// in `neo-kernels` apply: modular MACs/muls, butterflies, and scalar
-    /// GEMM MACs count 1 CUDA MAC each; reorder, split, and merge ops are
-    /// weighted by their relative costs; tensor-core MACs, bytes, and
-    /// launches map through directly. This is what makes measured and
-    /// analytic profiles directly comparable.
+    /// in `neo-kernels` apply: modular MACs/muls, butterflies, scalar
+    /// GEMM MACs, and ABFT checksum MACs count 1 CUDA MAC each; reorder,
+    /// split, and merge ops are weighted by their relative costs;
+    /// tensor-core MACs, bytes, and launches map through directly. This is
+    /// what makes measured and analytic profiles directly comparable —
+    /// and what makes the overhead of a `VerifyPolicy` show up as real
+    /// simulated time rather than disappearing from the cost model.
     pub fn from_counters(name: impl Into<String>, w: &WorkCounters) -> Self {
         let c = |counter: Counter| w.get(counter) as f64;
         Self::new(name)
@@ -53,6 +55,7 @@ impl KernelProfile {
                     + c(Counter::ModMuls)
                     + c(Counter::NttButterflies)
                     + c(Counter::GemmMacs)
+                    + c(Counter::AbftMacs)
                     + REORDER_COST * c(Counter::ReorderOps)
                     + SPLIT_COST * c(Counter::SplitOps)
                     + MERGE_COST * c(Counter::MergeOps),
@@ -188,6 +191,7 @@ mod tests {
     fn from_counters_applies_cost_weights() {
         let (_, w) = neo_trace::record(|| {
             neo_trace::add(Counter::GemmMacs, 100);
+            neo_trace::add(Counter::AbftMacs, 30);
             neo_trace::add(Counter::MergeOps, 10);
             neo_trace::add(Counter::ReorderOps, 8);
             neo_trace::add(Counter::TcuFp64Macs, 256);
@@ -197,7 +201,7 @@ mod tests {
         let p = KernelProfile::from_counters("measured", &w);
         assert_eq!(
             p.cuda_modmacs,
-            100.0 + MERGE_COST * 10.0 + REORDER_COST * 8.0
+            100.0 + 30.0 + MERGE_COST * 10.0 + REORDER_COST * 8.0
         );
         assert_eq!(p.tcu_fp64_macs, 256.0);
         assert_eq!(p.bytes_read, 640.0);

@@ -19,13 +19,23 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, LazyLock};
 
-type PlanMap = HashMap<(u64, usize), Arc<NttPlan>>;
+/// A resident plan plus the integrity token captured when it entered the
+/// cache. The token is stored *beside* the plan (not just inside it) so a
+/// corrupted-in-memory plan cannot vouch for itself: quarantine compares
+/// the live tables against the token recorded at insertion.
+struct CachedPlan {
+    plan: Arc<NttPlan>,
+    token: u64,
+}
+
+type PlanMap = HashMap<(u64, usize), CachedPlan>;
 
 static PLAN_CACHE: LazyLock<RwLock<PlanMap>> = LazyLock::new(|| RwLock::new(HashMap::new()));
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static DISCARDED: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot of the cache's lifetime behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -37,6 +47,9 @@ pub struct CacheStats {
     /// Plans built by a thread that lost the insertion race and were
     /// thrown away (each one is wasted `O(n)` work — benign, but visible).
     pub discarded_builds: u64,
+    /// Plans evicted by [`quarantine_corrupt`] because their tables no
+    /// longer matched the insertion-time integrity token.
+    pub evictions: u64,
     /// Plans currently resident.
     pub entries: usize,
 }
@@ -50,10 +63,28 @@ pub struct CacheStats {
 ///
 /// Propagates [`NttPlan::new`] errors; failures are not cached.
 pub fn get_or_build(q: u64, n: usize) -> Result<Arc<NttPlan>, MathError> {
-    if let Some(plan) = PLAN_CACHE.read().get(&(q, n)) {
+    // Clone out of a scoped read guard: the injection path below needs
+    // the write lock, which would deadlock under a live read guard.
+    let hit = {
+        let cache = PLAN_CACHE.read();
+        cache.get(&(q, n)).map(|e| e.plan.clone())
+    };
+    if let Some(plan) = hit {
         HITS.fetch_add(1, Ordering::Relaxed);
         neo_trace::add(Counter::PlanCacheHits, 1);
-        return Ok(plan.clone());
+        // Fault injection: serve (and keep serving) a plan whose twiddle
+        // tables rotted after insertion. The stored token still describes
+        // the clean tables, so quarantine_corrupt() can convict it.
+        if neo_fault::armed() {
+            if let Some(h) = neo_fault::draw_entropy(neo_fault::FaultSite::NttPlan) {
+                let poisoned = Arc::new(plan.poisoned_clone(h));
+                if let Some(entry) = PLAN_CACHE.write().get_mut(&(q, n)) {
+                    entry.plan = poisoned.clone();
+                }
+                return Ok(poisoned);
+            }
+        }
+        return Ok(plan);
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
     neo_trace::add(Counter::PlanCacheMisses, 1);
@@ -66,10 +97,41 @@ pub fn get_or_build(q: u64, n: usize) -> Result<Arc<NttPlan>, MathError> {
             // Another thread built the same plan first; ours is discarded.
             DISCARDED.fetch_add(1, Ordering::Relaxed);
             neo_trace::add(Counter::PlanCacheDiscards, 1);
-            Ok(e.get().clone())
+            Ok(e.get().plan.clone())
         }
-        Entry::Vacant(v) => Ok(v.insert(built).clone()),
+        Entry::Vacant(v) => {
+            let token = built.integrity_token();
+            Ok(v.insert(CachedPlan { plan: built, token }).plan.clone())
+        }
     }
+}
+
+/// Audits every resident plan against its insertion-time integrity token,
+/// evicting and rebuilding the ones that fail. Returns the number of
+/// plans quarantined. Outstanding `Arc`s to a poisoned plan stay alive
+/// (and stay poisoned) — callers must re-fetch after a detected fault,
+/// which is exactly what the retrying executors do.
+pub fn quarantine_corrupt() -> usize {
+    let mut cache = PLAN_CACHE.write();
+    let corrupt: Vec<(u64, usize)> = cache
+        .iter()
+        .filter(|(_, e)| e.plan.checksum() != e.token)
+        .map(|(&k, _)| k)
+        .collect();
+    for &(q, n) in &corrupt {
+        cache.remove(&(q, n));
+        EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        neo_trace::add(Counter::PlanCacheEvictions, 1);
+        // Rebuild once: the key built successfully before, so a failure
+        // here (impossible for a previously valid (q, n)) just leaves the
+        // entry absent for the next get_or_build to rebuild.
+        if let Ok(fresh) = NttPlan::new(q, n) {
+            let fresh = Arc::new(fresh);
+            let token = fresh.integrity_token();
+            cache.insert((q, n), CachedPlan { plan: fresh, token });
+        }
+    }
+    corrupt.len()
 }
 
 /// Number of plans currently cached (diagnostics/tests).
@@ -83,6 +145,7 @@ pub fn stats() -> CacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
         discarded_builds: DISCARDED.load(Ordering::Relaxed),
+        evictions: EVICTIONS.load(Ordering::Relaxed),
         entries: cached_plans(),
     }
 }
@@ -95,6 +158,7 @@ pub fn clear() {
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
     DISCARDED.store(0, Ordering::Relaxed);
+    EVICTIONS.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -185,6 +249,37 @@ mod tests {
         let rebuilt = get_or_build(q, 1024).unwrap();
         assert!(!Arc::ptr_eq(&plan, &rebuilt));
         assert_eq!(stats().misses, 1);
+    }
+
+    #[test]
+    fn poisoned_entry_is_quarantined_and_rebuilt() {
+        let _g = lock();
+        clear();
+        let q = primes::ntt_primes(36, 64, 1).unwrap()[0];
+        let clean = get_or_build(q, 64).unwrap();
+        assert_eq!(quarantine_corrupt(), 0, "clean cache has nothing to evict");
+
+        // Poison the resident entry via the injection hook.
+        let plan = std::sync::Arc::new(
+            neo_fault::FaultPlan::new(3)
+                .with_site(neo_fault::FaultSite::NttPlan, neo_fault::FaultSpec::once()),
+        );
+        let scope = neo_fault::FaultScope::install(plan.clone());
+        let poisoned = get_or_build(q, 64).unwrap();
+        drop(scope);
+        assert_eq!(plan.injected(neo_fault::FaultSite::NttPlan), 1);
+        assert!(!Arc::ptr_eq(&clean, &poisoned));
+        assert!(!poisoned.verify_integrity(), "poison keeps the clean token");
+        assert!(clean.verify_integrity());
+
+        // Quarantine convicts exactly one entry and rebuilds it clean.
+        assert_eq!(quarantine_corrupt(), 1);
+        assert_eq!(stats().evictions, 1);
+        let rebuilt = get_or_build(q, 64).unwrap();
+        assert!(rebuilt.verify_integrity());
+        assert_eq!(rebuilt.integrity_token(), clean.integrity_token());
+        assert_eq!(quarantine_corrupt(), 0);
+        clear();
     }
 
     #[test]

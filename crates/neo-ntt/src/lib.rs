@@ -42,8 +42,10 @@ pub mod complexity;
 pub mod matrix;
 mod plan;
 pub mod radix2;
+pub mod verify;
 
 pub use plan::NttPlan;
+pub use verify::{spot_check_forward, spot_check_inverse, spot_check_transform};
 
 use neo_math::Modulus;
 

@@ -22,6 +22,10 @@ pub struct NttPlan {
     psi_inv_n_inv_shoup: Vec<ShoupMul>,
     fwd_twiddles: Vec<ShoupMul>,
     inv_twiddles: Vec<ShoupMul>,
+    /// Integrity token: checksum of every table, frozen at build time.
+    /// [`NttPlan::verify_integrity`] recomputes and compares, so the plan
+    /// cache can quarantine entries whose twiddles rotted after insertion.
+    token: u64,
 }
 
 impl NttPlan {
@@ -97,7 +101,7 @@ impl NttPlan {
             }
             size *= 2;
         }
-        Ok(Self {
+        let mut plan = Self {
             n,
             m,
             psi_pows,
@@ -110,7 +114,10 @@ impl NttPlan {
             psi_inv_n_inv_shoup,
             fwd_twiddles,
             inv_twiddles,
-        })
+            token: 0,
+        };
+        plan.token = plan.checksum();
+        Ok(plan)
     }
 
     /// Ring degree `N`.
@@ -174,6 +181,79 @@ impl NttPlan {
     pub(crate) fn inv_twiddles(&self) -> &[ShoupMul] {
         &self.inv_twiddles
     }
+
+    /// Recomputes the checksum of every table (power tables, swap pairs,
+    /// and all Shoup doubles). `O(n)` mixes — cheap next to a rebuild.
+    pub fn checksum(&self) -> u64 {
+        #[inline]
+        fn fold(h: u64, v: u64) -> u64 {
+            neo_fault::splitmix64(h ^ v)
+        }
+        let mut h = fold(self.n as u64, self.m.value());
+        h = fold(h, self.n_inv);
+        for &v in self
+            .psi_pows
+            .iter()
+            .chain(&self.psi_inv_pows)
+            .chain(&self.omega_pows)
+            .chain(&self.omega_inv_pows)
+        {
+            h = fold(h, v);
+        }
+        for &(i, r) in &self.bitrev_pairs {
+            h = fold(h, (u64::from(i) << 32) | u64::from(r));
+        }
+        for s in self
+            .psi_rev_shoup
+            .iter()
+            .chain(&self.psi_inv_n_inv_shoup)
+            .chain(&self.fwd_twiddles)
+            .chain(&self.inv_twiddles)
+        {
+            h = fold(fold(h, s.w), s.w_shoup);
+        }
+        h
+    }
+
+    /// The integrity token frozen when the plan was built.
+    pub fn integrity_token(&self) -> u64 {
+        self.token
+    }
+
+    /// True iff the tables still hash to the build-time token.
+    pub fn verify_integrity(&self) -> bool {
+        self.checksum() == self.token
+    }
+
+    /// Test support: a clone with one forward fast-path twiddle corrupted
+    /// (bit flip chosen from `salt`) but the *original* integrity token,
+    /// modelling in-memory table rot. The corrupted entry is a consistent
+    /// Shoup pair for a *wrong* twiddle, so transforms run without
+    /// tripping debug assertions yet produce wrong outputs — only
+    /// [`NttPlan::verify_integrity`] (or a downstream spot check against
+    /// the untouched `psi`/`omega` power tables) can tell.
+    #[must_use]
+    pub fn poisoned_clone(&self, salt: u64) -> NttPlan {
+        let mut poisoned = self.clone();
+        let h = neo_fault::splitmix64(salt ^ 0x706f_6973_6f6e);
+        // Corrupt a *final-stage* twiddle: the fast path's first-twiddle
+        // shortcuts (ω⁰ = 1 handled by conditional subtraction) never read
+        // some earlier entries, and a poison must not be benign.
+        let half = self.n / 2;
+        let idx = (half - 1) + (h >> 32) as usize % half;
+        let w = poisoned.fwd_twiddles[idx].w;
+        let q = poisoned.m.value();
+        let mut bit = (h >> 8) % 63;
+        let corrupted = loop {
+            let candidate = (w ^ (1 << bit)) % q;
+            if candidate != w {
+                break candidate;
+            }
+            bit = (bit + 1) % 63;
+        };
+        poisoned.fwd_twiddles[idx] = poisoned.m.shoup(corrupted);
+        poisoned
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +283,26 @@ mod tests {
         assert!(NttPlan::new(q, 1 << 40).is_err());
         // composite modulus
         assert!(NttPlan::new((1 << 36) - 1, 64).is_err());
+    }
+
+    #[test]
+    fn integrity_token_convicts_poisoned_clones() {
+        let q = primes::ntt_primes(36, 64, 1).unwrap()[0];
+        let plan = NttPlan::new(q, 64).unwrap();
+        assert!(plan.verify_integrity());
+        assert_eq!(plan.checksum(), plan.integrity_token());
+        for salt in 0..32 {
+            let poisoned = plan.poisoned_clone(salt);
+            assert_eq!(poisoned.integrity_token(), plan.integrity_token());
+            assert!(
+                !poisoned.verify_integrity(),
+                "salt {salt} escaped detection"
+            );
+            // Poison touches only the fast-path twiddles; the reference
+            // power tables the spot check trusts stay clean.
+            assert_eq!(poisoned.psi_pows(), plan.psi_pows());
+            assert_eq!(poisoned.omega_pows(), plan.omega_pows());
+        }
     }
 
     #[test]

@@ -122,6 +122,11 @@ pub fn forward(plan: &NttPlan, x: &mut [u64]) {
     }
     butterflies += half as u64;
     neo_trace::add(Counter::NttButterflies, butterflies);
+    // Fault injection: a limb corrupted after stage execution, before the
+    // result leaves the kernel — what a flipped write-back bit looks like.
+    if neo_fault::armed() {
+        neo_fault::corrupt_limb(neo_fault::FaultSite::NttStage, x);
+    }
 }
 
 /// In-place inverse negacyclic NTT (natural order in and out) — Shoup
@@ -144,6 +149,9 @@ pub fn inverse(plan: &NttPlan, x: &mut [u64]) {
         *v = m.mul_shoup(*v, s);
     }
     neo_trace::add(Counter::ModMuls, n as u64);
+    if neo_fault::armed() {
+        neo_fault::corrupt_limb(neo_fault::FaultSite::NttStage, x);
+    }
 }
 
 /// Cooley–Tukey stages with Harvey lazy butterflies.

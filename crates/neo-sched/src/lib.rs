@@ -22,12 +22,18 @@
 //! * [`exec`] — a **host batch executor**: [`exec::TaskGraph`] runs
 //!   independent ciphertext operations of a batch concurrently in
 //!   topological wavefronts on the rayon pool, bit-identical to serial
-//!   execution.
+//!   execution, with retry-capable variants
+//!   ([`exec::TaskGraph::run_serial_retry`] /
+//!   [`exec::TaskGraph::run_parallel_retry`]) that re-run tasks whose
+//!   outputs a caller-supplied predicate flags as transient failures.
 
 pub mod exec;
 pub mod graph;
 pub mod sim;
 
-pub use exec::TaskGraph;
+pub use exec::{RetryRun, TaskGraph};
 pub use graph::{FusionStats, NodeId, OpGraph, OpNode};
-pub use sim::{chrome_trace, simulate, simulate_best, NodeTimeline, Schedule, SimConfig};
+pub use sim::{
+    chrome_trace, simulate, simulate_best, try_simulate, CompletionFaults, NodeTimeline, Schedule,
+    SimConfig,
+};

@@ -23,6 +23,14 @@
 //!   streams; writes are still in flight). A cross-stream dependency
 //!   waits for the producer's *full* completion — compute done and bytes
 //!   served — modelling the event-wait a real stream sync inserts.
+//! - **Completion faults.** When a `neo_fault` plan arms
+//!   [`neo_fault::FaultSite::SchedCompletion`], engine-completion signals
+//!   can be *dropped* (the watchdog observes the idle engine and
+//!   resynthesizes the signal at the same timestamp) or *duplicated*
+//!   (the stale second delivery is detected and discarded). Both
+//!   recoveries are tallied on [`Schedule::faults`] and leave the
+//!   timeline bit-identical to a clean run; [`try_simulate`] additionally
+//!   turns a stalled timeline into a typed error.
 //!
 //! With one stream this collapses to
 //! `Σlaunches·launch_s + max(Σcuda+Σtcu, Σmem)` — the closed-form serial
@@ -31,6 +39,8 @@
 //! `tests/scheduler.rs`).
 
 use crate::graph::OpGraph;
+use neo_error::NeoError;
+use neo_fault::{CompletionFault, FaultSite};
 use neo_gpu_sim::DeviceModel;
 use neo_trace::SimSpan;
 use serde::{Deserialize, Serialize};
@@ -76,6 +86,28 @@ impl NodeTimeline {
     }
 }
 
+/// Tallies of injected completion-signal faults a run survived.
+///
+/// Both recoveries are *timeline-neutral*: a dropped signal is
+/// resynthesized at the very timestamp the watchdog observes the idle
+/// engine, and a stale duplicate is discarded before it mutates state, so
+/// a faulted run's [`Schedule::timeline`] is bit-identical to the clean
+/// run's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CompletionFaults {
+    /// Dropped completion interrupts the watchdog resynthesized.
+    pub resynthesized: u64,
+    /// Duplicate completion deliveries detected as stale and ignored.
+    pub deduplicated: u64,
+}
+
+impl CompletionFaults {
+    /// Total completion faults injected into (and recovered by) the run.
+    pub fn total(&self) -> u64 {
+        self.resynthesized + self.deduplicated
+    }
+}
+
 /// Result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Schedule {
@@ -87,6 +119,9 @@ pub struct Schedule {
     pub makespan_s: f64,
     /// Per-node timelines, indexed like the graph's nodes.
     pub timeline: Vec<NodeTimeline>,
+    /// Completion-signal faults injected and recovered during the run
+    /// (all-zero unless a `neo_fault` plan arms `SchedCompletion`).
+    pub faults: CompletionFaults,
 }
 
 /// Simulates `g` on `cfg.streams` streams of `dev`.
@@ -95,14 +130,24 @@ pub struct Schedule {
 /// finish, ties to the lowest stream index); the timeline then replays
 /// that assignment under the event semantics described at module level.
 pub fn simulate(g: &OpGraph, dev: &DeviceModel, cfg: SimConfig) -> Schedule {
+    try_simulate(g, dev, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`simulate`]: a timeline that stalls — every
+/// remaining node waiting on a completion signal that never arrives —
+/// surfaces as [`NeoError::FaultDetected`] at site `sched_completion`
+/// instead of a panic. The infallible entry points keep panicking, which
+/// on a clean (un-injected) run remains unreachable.
+pub fn try_simulate(g: &OpGraph, dev: &DeviceModel, cfg: SimConfig) -> Result<Schedule, NeoError> {
     let prologue = g.launch_prologue_s(dev);
     if g.is_empty() {
-        return Schedule {
+        return Ok(Schedule {
             streams: cfg.streams,
             prologue_s: prologue,
             makespan_s: prologue,
             timeline: Vec::new(),
-        };
+            faults: CompletionFaults::default(),
+        });
     }
     let assignment = assign_streams(g, dev, cfg.streams);
     run_events(g, dev, cfg.streams, prologue, &assignment)
@@ -205,6 +250,30 @@ impl Engine {
 
 const EPS: f64 = 1e-18;
 
+/// Draws a completion fault for a finishing engine phase and returns how
+/// many deliveries of the completion signal the executor observes.
+///
+/// A **dropped** signal still yields one delivery: the engine has gone
+/// idle with its kernel unreported, the watchdog notices at that same
+/// timestamp and resynthesizes the completion, so the recovery is tallied
+/// here and the timeline stays bit-identical. A **duplicated** signal
+/// yields two deliveries; the second must be detected as stale at the
+/// delivery site (the node already left the phase) and discarded.
+fn completion_deliveries(faults: &mut CompletionFaults) -> u32 {
+    if !neo_fault::armed() {
+        return 1;
+    }
+    match neo_fault::completion_fault() {
+        None => 1,
+        Some(CompletionFault::Dropped) => {
+            faults.resynthesized += 1;
+            neo_fault::note_recovery(FaultSite::SchedCompletion);
+            1
+        }
+        Some(CompletionFault::Duplicated) => 2,
+    }
+}
+
 /// Phase B: event-driven replay of a fixed stream assignment.
 fn run_events(
     g: &OpGraph,
@@ -212,7 +281,7 @@ fn run_events(
     streams: usize,
     prologue: f64,
     assignment: &[usize],
-) -> Schedule {
+) -> Result<Schedule, NeoError> {
     let n = g.len();
     let (mut cuda_s, mut tcu_s, mut mem_s) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
     for (i, node) in g.nodes().iter().enumerate() {
@@ -256,6 +325,7 @@ fn run_events(
     let mut tcu_engine = Engine::default();
     let mut now = prologue;
     let mut compute_left = n;
+    let mut faults = CompletionFaults::default();
 
     loop {
         // Settle: issue ready nodes and grant idle engines until stable.
@@ -322,10 +392,15 @@ fn run_events(
                 dt = dt.min(rem * mem_active as f64);
             }
         }
-        assert!(
-            dt.is_finite() && dt >= 0.0,
-            "scheduler stalled at t={now}s with {compute_left} nodes unfinished"
-        );
+        if !(dt.is_finite() && dt >= 0.0) {
+            return Err(NeoError::fault_detected(
+                "sched_completion",
+                format!(
+                    "timeline stalled at t={now}s with {compute_left} compute phases \
+                     unfinished: a completion signal was lost and never resynthesized"
+                ),
+            ));
+        }
         now += dt;
 
         // Advance the CUDA engine; a kernel finishing its CUDA phase
@@ -334,14 +409,23 @@ fn run_events(
             let left = rem - dt;
             if left <= EPS {
                 cuda_engine.busy = None;
-                if tcu_s[i] > 0.0 {
-                    phase[i] = Phase::InTcu;
-                    tcu_engine.queue.push(i);
-                } else {
-                    phase[i] = Phase::ComputeDone;
-                    timeline[i].compute_end_s = now;
-                    head[assignment[i]] += 1;
-                    compute_left -= 1;
+                for _ in 0..completion_deliveries(&mut faults) {
+                    if phase[i] != Phase::InCuda {
+                        // Stale duplicate: the node already left its CUDA
+                        // phase, so the signal is detected and discarded.
+                        faults.deduplicated += 1;
+                        neo_fault::note_recovery(FaultSite::SchedCompletion);
+                        continue;
+                    }
+                    if tcu_s[i] > 0.0 {
+                        phase[i] = Phase::InTcu;
+                        tcu_engine.queue.push(i);
+                    } else {
+                        phase[i] = Phase::ComputeDone;
+                        timeline[i].compute_end_s = now;
+                        head[assignment[i]] += 1;
+                        compute_left -= 1;
+                    }
                 }
             } else {
                 cuda_engine.busy = Some((i, left));
@@ -352,10 +436,17 @@ fn run_events(
             let left = rem - dt;
             if left <= EPS {
                 tcu_engine.busy = None;
-                phase[i] = Phase::ComputeDone;
-                timeline[i].compute_end_s = now;
-                head[assignment[i]] += 1;
-                compute_left -= 1;
+                for _ in 0..completion_deliveries(&mut faults) {
+                    if phase[i] != Phase::InTcu {
+                        faults.deduplicated += 1;
+                        neo_fault::note_recovery(FaultSite::SchedCompletion);
+                        continue;
+                    }
+                    phase[i] = Phase::ComputeDone;
+                    timeline[i].compute_end_s = now;
+                    head[assignment[i]] += 1;
+                    compute_left -= 1;
+                }
             } else {
                 tcu_engine.busy = Some((i, left));
             }
@@ -381,12 +472,13 @@ fn run_events(
         .iter()
         .map(NodeTimeline::end_s)
         .fold(prologue, f64::max);
-    Schedule {
+    Ok(Schedule {
         streams,
         prologue_s: prologue,
         makespan_s: makespan,
         timeline,
-    }
+        faults,
+    })
 }
 
 /// Chrome-trace export of a simulated schedule: one compute track and one
@@ -530,6 +622,46 @@ mod tests {
         let s = simulate(&g, &dev, SimConfig::streams(3));
         assert_eq!(s.makespan_s, 0.0);
         assert!(s.timeline.is_empty());
+    }
+
+    /// Dropped and duplicated completion signals are recovered without
+    /// perturbing the timeline: an always-firing `SchedCompletion` plan
+    /// yields a schedule bit-identical to the clean run, with every
+    /// injection tallied as either a resynthesis or a dedup, and every
+    /// injection matched by a recovery on the plan.
+    #[test]
+    fn completion_faults_recover_bit_identically() {
+        use neo_fault::{FaultPlan, FaultScope, FaultSpec};
+        use std::sync::Arc;
+
+        let dev = unit_device();
+        let mut g = OpGraph::new();
+        let a = g.add(kern("a", 1.0, 1.0, 1.0), false, 0);
+        let b = g.add(kern("b", 1.0, 0.0, 2.0), false, 1);
+        let c = g.add(kern("c", 2.0, 1.0, 1.0), false, 0);
+        g.depend(a, c);
+        g.depend(b, c);
+        let clean = simulate(&g, &dev, SimConfig::streams(2));
+        assert_eq!(clean.faults, CompletionFaults::default());
+
+        let plan =
+            Arc::new(FaultPlan::new(97).with_site(FaultSite::SchedCompletion, FaultSpec::always()));
+        let scope = FaultScope::install(plan.clone());
+        let faulty = try_simulate(&g, &dev, SimConfig::streams(2)).unwrap();
+        drop(scope);
+
+        assert!(faulty.faults.total() > 0, "always-firing plan must inject");
+        assert_eq!(
+            faulty.timeline, clean.timeline,
+            "completion-fault recovery must be timeline-neutral"
+        );
+        assert_eq!(faulty.makespan_s, clean.makespan_s);
+        // Every injection was recovered — by this run or a concurrent one;
+        // nothing is ever lost silently.
+        assert_eq!(
+            plan.recovered(FaultSite::SchedCompletion),
+            plan.injected(FaultSite::SchedCompletion)
+        );
     }
 
     /// Chrome trace export mentions every kernel and every stream track.

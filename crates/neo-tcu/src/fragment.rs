@@ -74,6 +74,9 @@ pub fn mma_fp64(a: &[f64], b: &[f64], c: &mut [f64]) {
             c[i * 8 + j] = acc;
         }
     }
+    if neo_fault::armed() {
+        neo_fault::corrupt_f64(neo_fault::FaultSite::TcuFragment, c);
+    }
 }
 
 /// One INT8 fragment MMA of the given shape: `d = a × b + c` with unsigned
@@ -101,6 +104,9 @@ pub fn mma_int8(shape: FragmentShape, a: &[u8], b: &[u8], c: &mut [i32]) {
             }
             c[i * shape.n + j] = acc;
         }
+    }
+    if neo_fault::armed() {
+        neo_fault::corrupt_i32(neo_fault::FaultSite::TcuFragment, c);
     }
 }
 

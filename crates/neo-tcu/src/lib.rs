@@ -41,12 +41,14 @@
 //! # }
 //! ```
 
+pub mod abft;
 pub mod fragment;
 pub mod gemm;
 pub mod multimod;
 pub mod split;
 pub mod stats;
 
+pub use abft::{verify_gemm, CheckedGemm};
 pub use fragment::{FragmentShape, FP64_FRAGMENT, INT8_FRAGMENTS};
 pub use gemm::{reference_gemm, Fp64TcuGemm, GemmEngine, Int8TcuGemm, ScalarGemm};
 pub use multimod::{gemm_multi_mod_fp64, gemm_multi_mod_int8, gemm_multi_mod_scalar};

@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Number of distinct counters (length of the backing array).
-pub const N_COUNTERS: usize = 15;
+pub const N_COUNTERS: usize = 18;
 
 /// Everything the instrumented kernels tally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +47,14 @@ pub enum Counter {
     PlanCacheMisses = 13,
     /// Plans built concurrently by a losing thread and thrown away.
     PlanCacheDiscards = 14,
+    /// ABFT verifications executed (GEMM checksum or NTT spot check).
+    AbftChecks = 15,
+    /// Modular MACs spent computing ABFT checksums and spot checks —
+    /// the arithmetic overhead of verification, kept separate so the
+    /// cost model can price it explicitly.
+    AbftMacs = 16,
+    /// NTT plans evicted from the cache by integrity quarantine.
+    PlanCacheEvictions = 17,
 }
 
 impl Counter {
@@ -67,6 +75,9 @@ impl Counter {
         Counter::PlanCacheHits,
         Counter::PlanCacheMisses,
         Counter::PlanCacheDiscards,
+        Counter::AbftChecks,
+        Counter::AbftMacs,
+        Counter::PlanCacheEvictions,
     ];
 
     /// Stable snake_case name used in reports and JSON keys.
@@ -87,6 +98,9 @@ impl Counter {
             Counter::PlanCacheHits => "plan_cache_hits",
             Counter::PlanCacheMisses => "plan_cache_misses",
             Counter::PlanCacheDiscards => "plan_cache_discards",
+            Counter::AbftChecks => "abft_checks",
+            Counter::AbftMacs => "abft_macs",
+            Counter::PlanCacheEvictions => "plan_cache_evictions",
         }
     }
 }

@@ -21,6 +21,9 @@ pub use neo_baselines as baselines;
 /// The CKKS scheme: encoding, keys, operations, Hybrid/KLSS key-switching,
 /// rescaling, and bootstrapping.
 pub use neo_ckks as ckks;
+/// Deterministic fault injection ([`fault::FaultPlan`]) and the ABFT
+/// verification gate ([`fault::VerifyPolicy`]).
+pub use neo_fault as fault;
 /// A100 analytic device model and kernel timing.
 pub use neo_gpu_sim as gpu_sim;
 /// The six Neo kernels in original and matrix-multiplication form.
@@ -55,8 +58,8 @@ pub use neo_trace as trace;
 pub mod prelude {
     pub use neo_ckks::encoding::Complex64;
     pub use neo_ckks::{
-        BatchOp, BatchProgram, Ciphertext, CkksContext, CkksParams, CkksParamsBuilder, Encoder,
-        ErrorKind, FheEngine, KeyChest, KeyTarget, KsMethod, LinearTransform, NeoError, OpPolicy,
-        ParamSet, Plaintext, PublicKey, SecretKey, Slot,
+        BatchOp, BatchProgram, BatchReport, Ciphertext, CkksContext, CkksParams, CkksParamsBuilder,
+        Encoder, ErrorKind, FheEngine, KeyChest, KeyTarget, KsMethod, LinearTransform, NeoError,
+        OpPolicy, ParamSet, Plaintext, PublicKey, SecretKey, Slot, VerifyPolicy,
     };
 }

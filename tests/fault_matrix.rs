@@ -1,0 +1,334 @@
+//! The fault matrix: ≥ 1000 seeded injection trials across every
+//! [`neo::fault::FaultSite`], asserting the stack's end-to-end safety
+//! contract — **no silent corruption, ever**. Each trial arms a
+//! deterministic fault plan, runs the affected layer, and requires one of
+//! exactly two outcomes:
+//!
+//! 1. a result **bit-identical** to the fault-free run (the fault was
+//!    detected and recovered — retry, quarantine, resynthesis, dedup), or
+//! 2. a **typed** error naming the site ([`NeoError::FaultDetected`], or
+//!    [`ErrorKind::PoisonedInput`] for ops downstream of a detected one).
+//!
+//! A trial where the output differs from clean without a typed error is a
+//! silent corruption and fails the matrix; the failing seed is printed so
+//! the trial reproduces exactly.
+//!
+//! This binary is its own process, so the globally armed plans cannot leak
+//! into other test binaries; within the binary every test serializes on
+//! `test_lock` because clean baseline phases must not overlap another
+//! test's armed window.
+
+use neo::fault::{FaultPlan, FaultScope, FaultSite, FaultSpec};
+use neo::gpu_sim::{DeviceModel, DeviceSpec, KernelProfile};
+use neo::math::{primes, Modulus};
+use neo::prelude::*;
+use neo::sched::{simulate, try_simulate, NodeId, OpGraph, SimConfig};
+use neo::tcu::{CheckedGemm, Fp64TcuGemm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+const TCU_TRIALS: u64 = 300;
+const NTT_STAGE_TRIALS: u64 = 300;
+const NTT_PLAN_TRIALS: u64 = 100;
+const SCHED_TRIALS: u64 = 250;
+const CKKS_TRIALS: u64 = 100;
+
+fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Detection sites an error may legitimately name.
+const DETECTION_SITES: [&str; 6] = [
+    "tcu_gemm",
+    "ntt_forward",
+    "ntt_inverse",
+    "ntt_plan",
+    "ckks_op",
+    "sched_completion",
+];
+
+fn assert_detected(err: &NeoError, trial: u64, seed: u64) {
+    match err {
+        NeoError::FaultDetected { site, .. } => assert!(
+            DETECTION_SITES.contains(site),
+            "trial {trial} (seed {seed}): unknown detection site {site}"
+        ),
+        other => assert_eq!(
+            other.kind(),
+            ErrorKind::PoisonedInput,
+            "trial {trial} (seed {seed}): untyped failure {other}"
+        ),
+    }
+}
+
+/// Every batch op either matches the clean run bit-for-bit or fails with
+/// a typed fault/poison error — the core no-silent-corruption check.
+fn assert_batch_sound(report: &BatchReport, clean: &[Ciphertext], trial: u64, seed: u64) {
+    for (i, r) in report.results.iter().enumerate() {
+        match r {
+            Ok(ct) => assert_eq!(
+                ct, &clean[i],
+                "trial {trial} (seed {seed}): SILENT CORRUPTION at op {i}"
+            ),
+            Err(e) => assert_detected(e, trial, seed),
+        }
+    }
+}
+
+#[test]
+#[allow(clippy::assertions_on_constants)] // the point: pin the trial-count floor
+fn the_matrix_covers_at_least_1000_trials() {
+    assert!(
+        TCU_TRIALS + NTT_STAGE_TRIALS + NTT_PLAN_TRIALS + SCHED_TRIALS + CKKS_TRIALS >= 1000,
+        "fault matrix shrank below the 1000-trial floor"
+    );
+}
+
+/// Bit flips in tensor-core fragment accumulators across random GEMM
+/// shapes: the Huang–Abraham checksum must catch every one.
+#[test]
+fn tcu_fragment_matrix() {
+    let _l = test_lock();
+    let q = Modulus::new(primes::ntt_primes(36, 8, 1).unwrap()[0]).unwrap();
+    let gemm = CheckedGemm::new(Fp64TcuGemm::for_word_size(36));
+    let mut injected = 0u64;
+    for trial in 0..TCU_TRIALS {
+        let seed = 0x7c00 + trial;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (m, k, n) = (
+            rng.gen_range(1..12usize),
+            rng.gen_range(1..12usize),
+            rng.gen_range(1..12usize),
+        );
+        let a: Vec<u64> = (0..m * k).map(|_| rng.gen_range(0..q.value())).collect();
+        let b: Vec<u64> = (0..k * n).map(|_| rng.gen_range(0..q.value())).collect();
+        let mut clean = vec![0u64; m * n];
+        gemm.gemm_verified(&q, &a, &b, m, k, n, &mut clean).unwrap();
+
+        let plan =
+            Arc::new(FaultPlan::new(seed).with_site(FaultSite::TcuFragment, FaultSpec::once()));
+        let scope = FaultScope::install(plan.clone());
+        let mut out = vec![0u64; m * n];
+        let res = gemm.gemm_verified(&q, &a, &b, m, k, n, &mut out);
+        drop(scope);
+        injected += plan.injected(FaultSite::TcuFragment);
+        match res {
+            Ok(()) => assert_eq!(
+                out, clean,
+                "trial {trial} (seed {seed}): SILENT CORRUPTION in {m}x{k}x{n} GEMM"
+            ),
+            Err(e) => assert_detected(&e, trial, seed),
+        }
+    }
+    assert!(
+        injected >= TCU_TRIALS / 2,
+        "matrix is vacuous: only {injected} injections over {TCU_TRIALS} trials"
+    );
+}
+
+/// Corrupted limbs after NTT stage execution: the spot check must flag
+/// the transform whenever the output deviates from clean.
+#[test]
+fn ntt_stage_matrix() {
+    let _l = test_lock();
+    let q = primes::ntt_primes(36, 256, 1).unwrap()[0];
+    let plan_fwd = neo::ntt::cache::get_or_build(q, 128).unwrap();
+    let modulus = Modulus::new(q).unwrap();
+    let mut injected = 0u64;
+    for trial in 0..NTT_STAGE_TRIALS {
+        let seed = 0x57a6e00 + trial;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coeffs: Vec<u64> = (0..128)
+            .map(|_| rng.gen_range(0..modulus.value()))
+            .collect();
+        let forward = trial % 2 == 0;
+        let transform = |x: &mut [u64]| {
+            if forward {
+                neo::ntt::radix2::forward(&plan_fwd, x);
+            } else {
+                neo::ntt::radix2::inverse(&plan_fwd, x);
+            }
+        };
+        let mut clean = coeffs.clone();
+        transform(&mut clean);
+
+        let plan = Arc::new(FaultPlan::new(seed).with_site(FaultSite::NttStage, FaultSpec::once()));
+        let scope = FaultScope::install(plan.clone());
+        let mut out = coeffs.clone();
+        transform(&mut out);
+        drop(scope);
+        injected += plan.injected(FaultSite::NttStage);
+
+        let check = if forward {
+            neo::ntt::spot_check_transform(&plan_fwd, &coeffs, &out, seed, true)
+        } else {
+            neo::ntt::spot_check_transform(&plan_fwd, &out, &coeffs, seed, false)
+        };
+        match check {
+            Ok(()) => assert_eq!(
+                out, clean,
+                "trial {trial} (seed {seed}): SILENT CORRUPTION in NTT output"
+            ),
+            Err(e) => assert_detected(&e, trial, seed),
+        }
+    }
+    assert!(
+        injected >= NTT_STAGE_TRIALS / 2,
+        "matrix is vacuous: only {injected} injections over {NTT_STAGE_TRIALS} trials"
+    );
+}
+
+/// Poisoned plan-cache entries under an always-verifying engine: batches
+/// must quarantine the entry and recover, or fail typed — never return a
+/// ciphertext computed with corrupt twiddles.
+#[test]
+fn ntt_plan_matrix() {
+    let _l = test_lock();
+    let e = FheEngine::new(CkksParams::test_tiny(), engine_seed())
+        .unwrap()
+        .with_policy(OpPolicy {
+            verify: VerifyPolicy::Always,
+            ..OpPolicy::default()
+        });
+    let (prog, cts) = batch_fixture(&e);
+    let clean = unwrap_all(e.execute_batch(&prog, &cts, false).unwrap());
+    let mut injected = 0u64;
+    for trial in 0..NTT_PLAN_TRIALS {
+        let seed = 0x91a700 + trial;
+        let plan = Arc::new(FaultPlan::new(seed).with_site(FaultSite::NttPlan, FaultSpec::once()));
+        let scope = FaultScope::install(plan.clone());
+        let report = e
+            .execute_batch_with_report(&prog, &cts, trial % 2 == 1, 2)
+            .unwrap();
+        drop(scope);
+        injected += plan.injected(FaultSite::NttPlan);
+        assert_batch_sound(&report, &clean, trial, seed);
+        // Sweep any leftover poisoned entry so trials stay independent.
+        neo::ntt::cache::quarantine_corrupt();
+    }
+    assert!(
+        injected >= NTT_PLAN_TRIALS / 2,
+        "matrix is vacuous: only {injected} injections over {NTT_PLAN_TRIALS} trials"
+    );
+}
+
+/// Dropped/duplicated kernel completions in the timeline simulator:
+/// watchdog resynthesis and dedup must keep the schedule bit-identical.
+#[test]
+fn sched_completion_matrix() {
+    let _l = test_lock();
+    let dev = DeviceModel::new(DeviceSpec::a100());
+    let mut injected = 0u64;
+    for trial in 0..SCHED_TRIALS {
+        let seed = 0x5c4ed00 + trial;
+        let g = random_graph(seed);
+        let clean = simulate(&g, &dev, SimConfig::streams(2));
+
+        let plan = Arc::new(FaultPlan::new(seed).with_site(
+            FaultSite::SchedCompletion,
+            FaultSpec::with_probability_ppm(500_000),
+        ));
+        let scope = FaultScope::install(plan.clone());
+        let faulty = try_simulate(&g, &dev, SimConfig::streams(2));
+        drop(scope);
+        injected += plan.injected(FaultSite::SchedCompletion);
+        match faulty {
+            Ok(s) => {
+                assert_eq!(
+                    s.timeline, clean.timeline,
+                    "trial {trial} (seed {seed}): SILENT TIMELINE CORRUPTION"
+                );
+                assert_eq!(s.makespan_s, clean.makespan_s);
+            }
+            Err(e) => assert_detected(&e, trial, seed),
+        }
+    }
+    assert!(
+        injected >= SCHED_TRIALS / 4,
+        "matrix is vacuous: only {injected} injections over {SCHED_TRIALS} trials"
+    );
+}
+
+/// Spurious transient op errors in the CKKS layer: bounded retry must
+/// recover them bit-identically or isolate them with typed errors.
+#[test]
+fn ckks_op_matrix() {
+    let _l = test_lock();
+    let e = FheEngine::new(CkksParams::test_tiny(), engine_seed()).unwrap();
+    let (prog, cts) = batch_fixture(&e);
+    let clean = unwrap_all(e.execute_batch(&prog, &cts, false).unwrap());
+    let mut injected = 0u64;
+    for trial in 0..CKKS_TRIALS {
+        let seed = 0xcc5500 + trial;
+        let plan = Arc::new(FaultPlan::new(seed).with_site(
+            FaultSite::CkksOp,
+            FaultSpec::with_probability_ppm(400_000).max_fires(3),
+        ));
+        let scope = FaultScope::install(plan.clone());
+        let report = e
+            .execute_batch_with_report(&prog, &cts, trial % 2 == 1, 2)
+            .unwrap();
+        drop(scope);
+        injected += plan.injected(FaultSite::CkksOp);
+        assert_batch_sound(&report, &clean, trial, seed);
+    }
+    assert!(
+        injected >= CKKS_TRIALS / 4,
+        "matrix is vacuous: only {injected} injections over {CKKS_TRIALS} trials"
+    );
+}
+
+// --- fixtures -------------------------------------------------------------
+
+/// Engine seed shared by the engine-level matrices (clean baselines are
+/// computed once per test against this seed).
+fn engine_seed() -> u64 {
+    20250
+}
+
+/// HMult → Rescale chain plus an independent HAdd, so one failing op
+/// leaves a clean subset to complete.
+fn batch_fixture(e: &FheEngine) -> (BatchProgram, Vec<Ciphertext>) {
+    let mut prog = BatchProgram::new();
+    let m = prog
+        .try_push(BatchOp::HMult(Slot::Input(0), Slot::Input(1)))
+        .unwrap();
+    prog.try_push(BatchOp::Rescale(m)).unwrap();
+    prog.try_push(BatchOp::HAdd(Slot::Input(0), Slot::Input(1)))
+        .unwrap();
+    let a = e.encrypt_f64(&[1.25, -0.75, 2.0], e.max_level()).unwrap();
+    let b = e.encrypt_f64(&[0.5, 3.0, -1.5], e.max_level()).unwrap();
+    (prog, vec![a, b])
+}
+
+fn unwrap_all(results: Vec<Result<Ciphertext, NeoError>>) -> Vec<Ciphertext> {
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+/// Deterministic pseudo-random kernel DAG: 4–8 nodes with mixed
+/// CUDA/TCU/memory work and forward edges.
+fn random_graph(seed: u64) -> OpGraph {
+    let h0 = neo::fault::splitmix64(seed);
+    let mut g = OpGraph::new();
+    let nodes = 4 + (h0 % 5) as usize;
+    let mut ids: Vec<NodeId> = Vec::with_capacity(nodes);
+    for i in 0..nodes {
+        let h = neo::fault::splitmix64(seed ^ ((i as u64 + 1) << 8));
+        let profile = KernelProfile::new(format!("k{i}"))
+            .cuda_modmacs((h % 2048) as f64)
+            .tcu_fp64_macs(((h >> 16) % 2048) as f64)
+            .bytes(((h >> 32) % 4096) as f64, 0.0)
+            .launches(1.0);
+        let id = g.add(profile, false, i);
+        if i > 0 && !h.is_multiple_of(3) {
+            let from = ids[(h >> 48) as usize % i];
+            g.depend(from, id);
+        }
+        ids.push(id);
+    }
+    g
+}
