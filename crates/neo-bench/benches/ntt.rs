@@ -14,41 +14,9 @@ fn random_poly(plan: &NttPlan, seed: u64) -> Vec<u64> {
         .collect()
 }
 
-/// The radix-2 forward NTT exactly as the tree had it before the Shoup
-/// rewrite: every modular multiply is a 128-bit `%` division. This is the
-/// "before" row of `BENCH_ntt.json`.
-fn forward_division_baseline(plan: &NttPlan, x: &mut [u64]) {
-    let n = x.len();
-    let q = plan.modulus().value();
-    let mulq = |a: u64, b: u64| ((a as u128 * b as u128) % q as u128) as u64;
-    for (v, &p) in x.iter_mut().zip(plan.psi_pows()) {
-        *v = mulq(*v, p);
-    }
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = (i as u64).reverse_bits().wrapping_shr(64 - bits) as usize;
-        if j > i {
-            x.swap(i, j);
-        }
-    }
-    let pows = plan.omega_pows();
-    let mut size = 2;
-    while size <= n {
-        let half = size / 2;
-        let step = n / size;
-        for block in (0..n).step_by(size) {
-            for j in 0..half {
-                let w = pows[j * step];
-                let u = x[block + j];
-                let t = mulq(x[block + j + half], w);
-                let s = u + t;
-                x[block + j] = if s >= q { s - q } else { s };
-                x[block + j + half] = if u >= t { u - t } else { u + q - t };
-            }
-        }
-        size *= 2;
-    }
-}
+// The division-based "before" baseline lives in `neo_ntt::reference` so
+// the property tests pin the same oracle this bench times.
+use neo_ntt::reference::forward_division_baseline;
 
 /// The tentpole comparison: the pre-PR division butterflies, the Barrett
 /// reference, the lazy-reduction fast path, and the matrix NTT, at

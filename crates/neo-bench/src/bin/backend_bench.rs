@@ -1,0 +1,185 @@
+//! `backend_bench` — portable vs SIMD compute-backend comparison on the
+//! three hot kernels the [`neo_math::ComputeBackend`] seam covers: the
+//! negacyclic forward NTT at `n = 2^14`, the exact RNS base conversion,
+//! and the 256×256×256 modular GEMM.
+//!
+//! Before timing, every kernel's SIMD output is asserted bit-identical to
+//! the portable output on the same inputs — the numbers are only
+//! meaningful because the results are interchangeable.
+//!
+//! Timing budget comes from the shared `NEO_BENCH_WARMUP_MS` /
+//! `NEO_BENCH_MEASURE_MS` / `NEO_BENCH_SAMPLES` knobs (see
+//! [`neo_bench::measure`]). Artifacts: `BENCH_simd.json` at the repo root
+//! and `results/backend_bench.json`.
+//!
+//! Note: without `--features simd` the "simd" rows time the stable
+//! manually-unrolled fallback, not `std::simd` — the JSON records which
+//! flavour ran under `simd_flavor`.
+
+use neo_bench::measure::{self, MeasureConfig, Measurement};
+use neo_bench::{emit, ratio};
+use neo_math::{BackendKind, Modulus, RnsBasis};
+use neo_ntt::{radix2, NttPlan};
+use neo_tcu::{BackendGemm, GemmEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+
+fn stats_json(m: &Measurement) -> serde_json::Value {
+    json!({
+        "min_us": m.min_ns / 1e3,
+        "median_us": m.median_ns / 1e3,
+        "mean_us": m.mean_ns / 1e3,
+        "max_us": m.max_ns / 1e3,
+        "samples": m.samples,
+    })
+}
+
+fn main() {
+    let cfg = MeasureConfig::from_env();
+    let simd_flavor = if cfg!(feature = "simd") {
+        "std::simd (portable_simd)"
+    } else {
+        "stable unrolled fallback"
+    };
+    let mut human = format!(
+        "Compute-backend comparison (portable vs simd [{simd_flavor}])\n\
+         warmup {:?}, measure {:?}, {} samples\n\n\
+         kernel                 | portable med | simd med     | speedup\n\
+         -----------------------+--------------+--------------+--------\n",
+        cfg.warmup, cfg.measure, cfg.samples
+    );
+    let mut rows = Vec::new();
+    let mut push_row = |human: &mut String,
+                        name: &str,
+                        portable: Measurement,
+                        simd: Measurement,
+                        extra: serde_json::Value| {
+        let speedup = ratio(portable.median_ns, simd.median_ns);
+        human.push_str(&format!(
+            "{name:22} | {:9.1} us | {:9.1} us | {speedup:6.2}x\n",
+            portable.median_ns / 1e3,
+            simd.median_ns / 1e3
+        ));
+        rows.push(json!({
+            "kernel": name,
+            "portable": stats_json(&portable),
+            "simd": stats_json(&simd),
+            "speedup_simd_vs_portable": speedup,
+            "config": extra,
+        }));
+    };
+
+    // --- Forward NTT, n = 2^14, 55-bit prime. ---
+    let n = 1usize << 14;
+    let q = neo_math::primes::ntt_primes(55, n, 1).unwrap()[0];
+    let plan_portable = NttPlan::with_backend(q, n, BackendKind::Portable).unwrap();
+    let plan_simd = NttPlan::with_backend(q, n, BackendKind::Simd).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xbe);
+    let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+    let (mut xp, mut xs) = (a.clone(), a.clone());
+    radix2::forward(&plan_portable, &mut xp);
+    radix2::forward(&plan_simd, &mut xs);
+    assert_eq!(xp, xs, "SIMD forward NTT diverged from portable");
+    radix2::inverse(&plan_simd, &mut xs);
+    assert_eq!(xs, a, "SIMD inverse NTT is not the inverse of forward");
+    let ntt_portable = measure::time(&cfg, || {
+        let mut x = a.clone();
+        radix2::forward(&plan_portable, &mut x);
+        x
+    });
+    let ntt_simd = measure::time(&cfg, || {
+        let mut x = a.clone();
+        radix2::forward(&plan_simd, &mut x);
+        x
+    });
+    push_row(
+        &mut human,
+        "ntt_forward_n16384",
+        ntt_portable,
+        ntt_simd,
+        json!({ "n": n, "prime_bits": 55 }),
+    );
+
+    // --- Exact base conversion, 3 -> 4 limbs at n = 2^14. ---
+    let src = RnsBasis::new(&neo_math::primes::ntt_primes(36, n, 3).unwrap()).unwrap();
+    let dst = RnsBasis::new(&neo_math::primes::ntt_primes(40, n, 4).unwrap()).unwrap();
+    let table_portable = neo_math::BconvTable::new(&src, &dst)
+        .unwrap()
+        .with_backend(BackendKind::Portable);
+    let table_simd = neo_math::BconvTable::new(&src, &dst)
+        .unwrap()
+        .with_backend(BackendKind::Simd);
+    let limbs: Vec<Vec<u64>> = src
+        .moduli()
+        .iter()
+        .map(|m| (0..n).map(|_| rng.gen_range(0..m.value())).collect())
+        .collect();
+    assert_eq!(
+        table_portable.convert_exact(&limbs),
+        table_simd.convert_exact(&limbs),
+        "SIMD bconv diverged from portable"
+    );
+    let bconv_portable = measure::time(&cfg, || table_portable.convert_exact(&limbs));
+    let bconv_simd = measure::time(&cfg, || table_simd.convert_exact(&limbs));
+    push_row(
+        &mut human,
+        "bconv_exact_3to4",
+        bconv_portable,
+        bconv_simd,
+        json!({ "n": n, "src_limbs": 3, "dst_limbs": 4, "src_bits": 36, "dst_bits": 40 }),
+    );
+
+    // --- 256x256x256 modular GEMM, 55-bit prime. ---
+    let dim = 256usize;
+    let qm = Modulus::new(q).unwrap();
+    let ga: Vec<u64> = (0..dim * dim).map(|_| rng.gen_range(0..q)).collect();
+    let gb: Vec<u64> = (0..dim * dim).map(|_| rng.gen_range(0..q)).collect();
+    let engine_portable = BackendGemm::new(BackendKind::Portable);
+    let engine_simd = BackendGemm::new(BackendKind::Simd);
+    let (mut cp, mut cs) = (vec![0u64; dim * dim], vec![0u64; dim * dim]);
+    engine_portable.gemm(&qm, &ga, &gb, dim, dim, dim, &mut cp);
+    engine_simd.gemm(&qm, &ga, &gb, dim, dim, dim, &mut cs);
+    assert_eq!(cp, cs, "SIMD GEMM diverged from portable");
+    let gemm_portable = measure::time(&cfg, || {
+        let mut out = vec![0u64; dim * dim];
+        engine_portable.gemm(&qm, &ga, &gb, dim, dim, dim, &mut out);
+        out
+    });
+    let gemm_simd = measure::time(&cfg, || {
+        let mut out = vec![0u64; dim * dim];
+        engine_simd.gemm(&qm, &ga, &gb, dim, dim, dim, &mut out);
+        out
+    });
+    push_row(
+        &mut human,
+        "gemm_256",
+        gemm_portable,
+        gemm_simd,
+        json!({ "m": dim, "k": dim, "n": dim, "prime_bits": 55 }),
+    );
+
+    let doc = json!({
+        "description": "Portable vs SIMD compute-backend medians for the three \
+                        ComputeBackend hot kernels. Bit-identity is asserted on the \
+                        bench inputs before timing. Re-run with: cargo +nightly run \
+                        --release -p neo-bench --bin backend_bench --features simd",
+        "simd_flavor": simd_flavor,
+        "detected_default": BackendKind::detect().name(),
+        "kernels": rows,
+        "notes": [
+            "Medians over NEO_BENCH_SAMPLES samples; the container is a single shared \
+             core, so absolute numbers drift between runs while same-run ratios are stable.",
+            "Without --features simd the `simd` rows time the stable unrolled fallback \
+             kernels, which share the SimdBackend dispatch but not its vector lanes.",
+        ],
+    });
+    match serde_json::to_string_pretty(&doc) {
+        Ok(s) => match std::fs::write("BENCH_simd.json", s) {
+            Ok(()) => eprintln!("[wrote BENCH_simd.json]"),
+            Err(e) => eprintln!("warning: could not write BENCH_simd.json: {e}"),
+        },
+        Err(e) => eprintln!("warning: could not serialize BENCH_simd.json: {e}"),
+    }
+    emit("backend_bench", &human, doc);
+}

@@ -207,6 +207,19 @@ fn main() {
         if all_ok { "PASS" } else { "FAIL" }
     ));
 
+    // --- NTT plan-cache behaviour over the whole run. ---
+    let cache = neo_ntt::cache::stats();
+    human.push_str(&format!(
+        "\nNTT plan cache: {} hits / {} misses / {} discarded builds / \
+         {} evictions / {} resident ({} backend)\n",
+        cache.hits,
+        cache.misses,
+        cache.discarded_builds,
+        cache.evictions,
+        cache.entries,
+        params.backend
+    ));
+
     // --- Artifacts. ---
     let chrome = report::chrome_trace();
     if std::fs::create_dir_all("results").is_ok() {
@@ -222,9 +235,17 @@ fn main() {
             "params": "test_small",
             "tolerance": TOLERANCE,
             "pass": all_ok,
+            "backend": params.backend.name(),
             "ops": ops_json,
             "bootstrap_segments": segments,
             "crosschecks": checks_json,
+            "plan_cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "discarded_builds": cache.discarded_builds,
+                "evictions": cache.evictions,
+                "entries": cache.entries,
+            },
         }),
     );
     if !all_ok {

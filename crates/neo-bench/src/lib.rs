@@ -9,6 +9,8 @@ use serde_json::Value;
 use std::fs;
 use std::path::PathBuf;
 
+pub mod measure;
+
 /// Prints the human-readable table and writes `results/<id>.json`.
 pub fn emit(id: &str, human: &str, json: Value) {
     println!("{human}");

@@ -83,7 +83,7 @@ impl CkksContext {
         let t_moduli = to_moduli(&t_primes)?;
         let mut plans = HashMap::new();
         for &q in q_primes.iter().chain(&p_primes).chain(&t_primes) {
-            plans.insert(q, ntt_cache::get_or_build(q, n)?);
+            plans.insert(q, ntt_cache::get_or_build_with(q, n, params.backend)?);
         }
         let mut p_mod_q = Vec::with_capacity(q_moduli.len());
         let mut p_inv_mod_q = Vec::with_capacity(q_moduli.len());
@@ -256,13 +256,14 @@ impl CkksContext {
         assert_eq!(poly.domain(), Domain::Coeff, "already in NTT domain");
         assert_eq!(poly.limb_count(), moduli.len());
         let n = self.degree();
+        let backend = self.params.backend;
         let verify = neo_fault::verification_due();
         let checks: Vec<Result<(), NeoError>> = poly
             .limbs_mut()
             .par_iter_mut()
             .zip(moduli.par_iter())
             .map(|(limb, m)| {
-                let plan = ntt_cache::get_or_build(m.value(), n)?;
+                let plan = ntt_cache::get_or_build_with(m.value(), n, backend)?;
                 if verify {
                     let input = limb.clone();
                     radix2::forward(&plan, limb);
@@ -294,13 +295,14 @@ impl CkksContext {
         assert_eq!(poly.domain(), Domain::Ntt, "already in coefficient domain");
         assert_eq!(poly.limb_count(), moduli.len());
         let n = self.degree();
+        let backend = self.params.backend;
         let verify = neo_fault::verification_due();
         let checks: Vec<Result<(), NeoError>> = poly
             .limbs_mut()
             .par_iter_mut()
             .zip(moduli.par_iter())
             .map(|(limb, m)| {
-                let plan = ntt_cache::get_or_build(m.value(), n)?;
+                let plan = ntt_cache::get_or_build_with(m.value(), n, backend)?;
                 if verify {
                     let evals = limb.clone();
                     radix2::inverse(&plan, limb);
@@ -357,7 +359,11 @@ impl CkksContext {
         }
         let src_basis = RnsBasis::new(src).expect("valid source basis");
         let dst_basis = RnsBasis::new(dst).expect("valid target basis");
-        let table = Arc::new(BconvTable::new(&src_basis, &dst_basis).expect("coprime bases"));
+        let table = Arc::new(
+            BconvTable::new(&src_basis, &dst_basis)
+                .expect("coprime bases")
+                .with_backend(self.params.backend),
+        );
         self.bconv_cache.write().insert(key, table.clone());
         table
     }

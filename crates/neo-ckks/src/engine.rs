@@ -134,6 +134,15 @@ impl FheEngine {
         self.chest.context()
     }
 
+    /// The compute backend every hot path of this session dispatches to,
+    /// fixed at build time via
+    /// [`CkksParamsBuilder::backend`](crate::CkksParamsBuilder::backend)
+    /// (or [`BackendKind::detect`](neo_math::BackendKind::detect) by
+    /// default).
+    pub fn backend(&self) -> neo_math::BackendKind {
+        self.context().params().backend
+    }
+
     /// The key chest (exposed for warm-up and the batch executor).
     pub fn chest(&self) -> &KeyChest {
         &self.chest

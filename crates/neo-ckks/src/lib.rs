@@ -56,4 +56,5 @@ pub use keys::{KeyChest, KeyTarget, PublicKey, SecretKey};
 pub use linear::LinearTransform;
 pub use neo_error::{ErrorKind, NeoError};
 pub use neo_fault::VerifyPolicy;
+pub use neo_math::BackendKind;
 pub use params::{CkksParams, CkksParamsBuilder, KlssConfig, KsMethod, ParamSet};

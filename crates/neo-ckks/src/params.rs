@@ -4,7 +4,7 @@
 //! infeasible configurations *before* any prime generation runs.
 
 use neo_error::NeoError;
-use neo_math::MathError;
+use neo_math::{BackendKind, MathError};
 use serde::{Deserialize, Serialize};
 
 /// KLSS key-switching configuration (Section 2.2).
@@ -51,6 +51,12 @@ pub struct CkksParams {
     /// Use single scaling (plain Rescale) in bootstrapping even at small
     /// word sizes — the TensorFHE\_SS / Neo\_SS rows of Table 5.
     pub single_scaling: bool,
+    /// Compute backend for the NTT/bconv/GEMM hot paths. Defaults to
+    /// [`BackendKind::detect`] (the `NEO_BACKEND` override if set,
+    /// otherwise the best backend the build and CPU support). Outputs are
+    /// bit-identical across backends, so this is purely a throughput knob.
+    #[serde(default)]
+    pub backend: BackendKind,
 }
 
 impl CkksParams {
@@ -149,6 +155,7 @@ impl CkksParams {
             scale_bits: 36,
             lambda: 0,
             single_scaling: false,
+            backend: BackendKind::detect(),
         }
     }
 
@@ -199,6 +206,7 @@ pub struct CkksParamsBuilder {
     scale_bits: Option<u32>,
     lambda: u32,
     single_scaling: bool,
+    backend: Option<BackendKind>,
 }
 
 impl Default for CkksParamsBuilder {
@@ -223,6 +231,7 @@ impl CkksParamsBuilder {
             scale_bits: None,
             lambda: 0,
             single_scaling: false,
+            backend: None,
         }
     }
 
@@ -295,6 +304,14 @@ impl CkksParamsBuilder {
         self
     }
 
+    /// Pins the compute backend for the NTT/bconv/GEMM hot paths
+    /// (defaults to [`BackendKind::detect`]). Results are bit-identical
+    /// across backends; only throughput differs.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
     /// Approximate count of NTT-friendly primes (`p ≡ 1 mod 2N`) of
     /// exactly `bits` bits, by the prime-counting density: of the
     /// `2^(bits-1)` integers in range, one in `ln(2^bits)` is prime and
@@ -328,6 +345,7 @@ impl CkksParamsBuilder {
             scale_bits: self.scale_bits.unwrap_or(self.word_size),
             lambda: self.lambda,
             single_scaling: self.single_scaling,
+            backend: self.backend.unwrap_or_else(BackendKind::detect),
         };
         p.validate()?;
         // alpha() divides by dnum, so derive the default special count
@@ -471,6 +489,7 @@ impl ParamSet {
             scale_bits: 36,
             lambda: 128,
             single_scaling: false,
+            backend: BackendKind::detect(),
         };
         let mut p = match self {
             ParamSet::A => CkksParams { dnum: 1, ..base },
@@ -583,6 +602,25 @@ mod tests {
         assert_eq!(built.klss, None);
         let with_klss = CkksParams::builder().klss(48, 2).build().unwrap();
         assert_eq!(with_klss, CkksParams::test_small());
+    }
+
+    #[test]
+    fn builder_pins_backend() {
+        let p = CkksParams::builder()
+            .backend(BackendKind::Portable)
+            .build()
+            .unwrap();
+        assert_eq!(p.backend, BackendKind::Portable);
+        let s = CkksParams::builder()
+            .backend(BackendKind::Simd)
+            .build()
+            .unwrap();
+        assert_eq!(s.backend, BackendKind::Simd);
+        // Unset defaults to the process-wide detection.
+        assert_eq!(
+            CkksParams::builder().build().unwrap().backend,
+            BackendKind::detect()
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! this): the fractional sum then stays at least `1/4` away from the `1/2`
 //! rounding boundary while the f64 accumulation error is below `k·2⁻⁴⁰`.
 
+use crate::backend::{self, BackendKind};
 use crate::{MathError, RnsBasis};
 use neo_trace::Counter;
 
@@ -41,6 +42,8 @@ pub struct BconvTable {
     q_mod_dst: Vec<u64>,
     /// `1.0 / q_i` for the correction accumulator.
     inv_q: Vec<f64>,
+    /// Compute backend for the limb-wise scaling and inner-product loops.
+    backend: BackendKind,
 }
 
 impl BconvTable {
@@ -87,7 +90,22 @@ impl BconvTable {
             qhat_mod_dst,
             q_mod_dst,
             inv_q,
+            backend: BackendKind::detect(),
         })
+    }
+
+    /// Pins the limb-wise hot loops to `kind` (the constructor defaults to
+    /// [`BackendKind::detect`]). Outputs are bit-identical across backends;
+    /// only throughput differs.
+    #[must_use]
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
+        self
+    }
+
+    /// The backend the limb-wise paths dispatch to.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     /// Source basis.
@@ -160,26 +178,73 @@ impl BconvTable {
         self.convert_limbs(x, true)
     }
 
+    /// Limb-major conversion on the pinned backend. Bit-identical to the
+    /// coefficient-wise oracles: the scaling multiply lands on the same
+    /// canonical residue as `mul(reduce(x), q̂⁻¹)`, the per-target inner
+    /// product is an exact u128 sum (order-independent) reduced once, and
+    /// the exact correction accumulates the fractional sum in the same
+    /// source-limb order so the f64 rounding decision cannot differ.
     fn convert_limbs(&self, x: &[Vec<u64>], exact: bool) -> Vec<Vec<u64>> {
         assert_eq!(x.len(), self.src.len(), "source limb count mismatch");
         let n = x[0].len();
         for limb in x {
             assert_eq!(limb.len(), n, "ragged limb lengths");
         }
+        let be = backend::get(self.backend);
+        // y_i = [x_i · q̂_i⁻¹]_{q_i}, whole limbs at a time.
+        let mut ys = vec![vec![0u64; n]; self.src.len()];
+        for ((m, limb), (y, &hi)) in self
+            .src
+            .moduli()
+            .iter()
+            .zip(x)
+            .zip(ys.iter_mut().zip(&self.qhat_inv))
+        {
+            be.mul_const(m, m.shoup(hi), limb, y);
+        }
+        let ys_rows: Vec<&[u64]> = ys.iter().map(Vec::as_slice).collect();
+        // Overshoot counts for the exact flavour, fractional sums taken in
+        // source-limb order per coefficient (same order as the oracle).
+        let ks: Vec<u64> = if exact {
+            let mut frac = vec![0.0f64; n];
+            for (y, &inv) in ys.iter().zip(&self.inv_q) {
+                for (f, &v) in frac.iter_mut().zip(y) {
+                    *f += v as f64 * inv;
+                }
+            }
+            frac.into_iter().map(|f| f.round() as u64).collect()
+        } else {
+            Vec::new()
+        };
         let mut out = vec![vec![0u64; n]; self.dst.len()];
-        let mut xcol = vec![0u64; self.src.len()];
-        let mut ocol = vec![0u64; self.dst.len()];
-        for c in 0..n {
-            for (i, limb) in x.iter().enumerate() {
-                xcol[i] = limb[c];
+        let mut w = vec![0u64; self.src.len()];
+        // Exclusive bound on the scaled residues: `mul_const` emits
+        // canonical values, so the largest source modulus bounds every row.
+        // Backends use this to pick narrower multiply paths (IFMA).
+        let y_bound = self
+            .src
+            .moduli()
+            .iter()
+            .map(crate::Modulus::value)
+            .max()
+            .unwrap_or(u64::MAX);
+        for (j, (t, limb)) in self.dst.moduli().iter().zip(out.iter_mut()).enumerate() {
+            for (wi, row) in w.iter_mut().zip(&self.qhat_mod_dst) {
+                *wi = row[j];
             }
+            be.bconv_ip(t, &ys_rows, y_bound, &w, limb);
             if exact {
-                self.convert_exact_coeff(&xcol, &mut ocol);
-            } else {
-                self.convert_approx_coeff(&xcol, &mut ocol);
-            }
-            for (j, limb) in out.iter_mut().enumerate() {
-                limb[c] = ocol[j];
+                let qj = self.q_mod_dst[j];
+                // Each fractional term is < 1, so the overshoot count k is
+                // at most src.len(): the correction multiples `k·q mod t`
+                // come from a tiny table instead of a per-coefficient
+                // Barrett multiply (same formula, so bit-identical).
+                let kq: Vec<u64> = (0..=self.src.len() as u64)
+                    .map(|k| t.mul(t.reduce(k), qj))
+                    .collect();
+                for (o, &k) in limb.iter_mut().zip(&ks) {
+                    *o = t.sub(*o, kq[k as usize]);
+                }
             }
         }
         // One MAC per (coeff, src, dst) triple plus the per-source residue
@@ -214,12 +279,17 @@ impl BconvTable {
         assert_eq!(x.len(), self.src.len(), "source limb count mismatch");
         let elems: u64 = x.iter().map(|l| l.len() as u64).sum();
         neo_trace::add(Counter::ModMuls, elems);
+        let be = backend::get(self.backend);
         self.src
             .moduli()
             .iter()
             .zip(x)
             .zip(&self.qhat_inv)
-            .map(|((m, limb), &hi)| limb.iter().map(|&v| m.mul(m.reduce(v), hi)).collect())
+            .map(|((m, limb), &hi)| {
+                let mut y = vec![0u64; limb.len()];
+                be.mul_const(m, m.shoup(hi), limb, &mut y);
+                y
+            })
             .collect()
     }
 
@@ -301,6 +371,33 @@ mod tests {
             out == residues(&dst, &w)
         });
         assert!(found, "approximate conversion not within eps*Q");
+    }
+
+    #[test]
+    fn limbwise_is_bit_identical_across_backends() {
+        let (src, dst) = bases();
+        let n = 37; // odd length exercises the vector tails
+        let x: Vec<Vec<u64>> = src
+            .moduli()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                (0..n)
+                    .map(|c| m.reduce((c as u64 + 3) * 104_729 + i as u64))
+                    .collect()
+            })
+            .collect();
+        let portable = BconvTable::new(&src, &dst)
+            .unwrap()
+            .with_backend(BackendKind::Portable);
+        let simd = BconvTable::new(&src, &dst)
+            .unwrap()
+            .with_backend(BackendKind::Simd);
+        assert_eq!(portable.backend(), BackendKind::Portable);
+        assert_eq!(simd.backend(), BackendKind::Simd);
+        assert_eq!(portable.convert_exact(&x), simd.convert_exact(&x));
+        assert_eq!(portable.convert_approx(&x), simd.convert_approx(&x));
+        assert_eq!(portable.scale_limbs(&x), simd.scale_limbs(&x));
     }
 
     #[test]

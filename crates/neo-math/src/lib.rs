@@ -28,7 +28,9 @@
 //! # Ok(())
 //! # }
 //! ```
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
+pub mod backend;
 pub mod bconv;
 mod biguint;
 mod error;
@@ -37,6 +39,7 @@ pub mod poly;
 pub mod primes;
 pub mod rns;
 
+pub use backend::{BackendKind, ComputeBackend, PortableBackend, SimdBackend};
 pub use bconv::BconvTable;
 pub use biguint::BigUint;
 pub use error::MathError;

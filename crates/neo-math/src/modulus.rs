@@ -226,7 +226,13 @@ impl Modulus {
 }
 
 /// A constant prepared for Shoup multiplication against a fixed [`Modulus`].
+///
+/// `repr(C)` is load-bearing: the SIMD backend reads slices of pairs as
+/// flat `[w, w_shoup, w, w_shoup, …]` words with two wide loads and a
+/// deinterleave, which needs the field order and absence of padding
+/// guaranteed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub struct ShoupMul {
     /// The constant itself, reduced mod q.
     pub w: u64,

@@ -42,6 +42,7 @@ pub mod complexity;
 pub mod matrix;
 mod plan;
 pub mod radix2;
+pub mod reference;
 pub mod verify;
 
 pub use plan::NttPlan;

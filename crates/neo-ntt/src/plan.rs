@@ -1,4 +1,4 @@
-use neo_math::{primes, MathError, Modulus, ShoupMul};
+use neo_math::{primes, BackendKind, MathError, Modulus, ShoupMul};
 
 /// Precomputed tables for NTTs of degree `n` modulo one prime.
 ///
@@ -22,6 +22,11 @@ pub struct NttPlan {
     psi_inv_n_inv_shoup: Vec<ShoupMul>,
     fwd_twiddles: Vec<ShoupMul>,
     inv_twiddles: Vec<ShoupMul>,
+    /// Which [`ComputeBackend`](neo_math::ComputeBackend) executes this
+    /// plan's stages. Not part of the checksum: two plans for the same
+    /// `(q, n)` share identical tables (and integrity tokens) regardless
+    /// of which backend runs them.
+    backend: BackendKind,
     /// Integrity token: checksum of every table, frozen at build time.
     /// [`NttPlan::verify_integrity`] recomputes and compares, so the plan
     /// cache can quarantine entries whose twiddles rotted after insertion.
@@ -30,7 +35,8 @@ pub struct NttPlan {
 
 impl NttPlan {
     /// Builds a plan for degree `n` (power of two, ≥ 4) and prime `q` with
-    /// `q ≡ 1 (mod 2n)`.
+    /// `q ≡ 1 (mod 2n)`, executing on the process-default backend
+    /// ([`BackendKind::detect`]).
     ///
     /// # Errors
     ///
@@ -38,6 +44,15 @@ impl NttPlan {
     /// [`MathError::InvalidModulus`] if `q` is out of range or lacks the
     /// root of unity.
     pub fn new(q: u64, n: usize) -> Result<Self, MathError> {
+        Self::with_backend(q, n, BackendKind::detect())
+    }
+
+    /// [`NttPlan::new`] with an explicit compute backend.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NttPlan::new`].
+    pub fn with_backend(q: u64, n: usize, backend: BackendKind) -> Result<Self, MathError> {
         if !n.is_power_of_two() || n < 4 {
             return Err(MathError::InvalidDegree(n));
         }
@@ -114,6 +129,7 @@ impl NttPlan {
             psi_inv_n_inv_shoup,
             fwd_twiddles,
             inv_twiddles,
+            backend,
             token: 0,
         };
         plan.token = plan.checksum();
@@ -153,6 +169,11 @@ impl NttPlan {
     /// `N⁻¹ mod q`.
     pub fn n_inv(&self) -> u64 {
         self.n_inv
+    }
+
+    /// The compute backend this plan's transforms execute on.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     /// Shoup doubles of `ψ^{rev(i)}` — the forward twist in bit-reversed
@@ -303,6 +324,22 @@ mod tests {
             assert_eq!(poisoned.psi_pows(), plan.psi_pows());
             assert_eq!(poisoned.omega_pows(), plan.omega_pows());
         }
+    }
+
+    #[test]
+    fn backend_choice_does_not_change_tables_or_token() {
+        let q = primes::ntt_primes(36, 64, 1).unwrap()[0];
+        let a = NttPlan::with_backend(q, 64, BackendKind::Portable).unwrap();
+        let b = NttPlan::with_backend(q, 64, BackendKind::Simd).unwrap();
+        assert_eq!(a.backend(), BackendKind::Portable);
+        assert_eq!(b.backend(), BackendKind::Simd);
+        // The tables (and therefore the integrity token) are backend-
+        // agnostic: quarantine can rebuild under any kind and still match.
+        assert_eq!(a.integrity_token(), b.integrity_token());
+        assert_eq!(
+            NttPlan::new(q, 64).unwrap().integrity_token(),
+            a.integrity_token()
+        );
     }
 
     #[test]

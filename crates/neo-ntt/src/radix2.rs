@@ -17,9 +17,15 @@
 //! the final reduction into its last stage, so every element is touched
 //! exactly `log₂ n + 1` times.
 //!
+//! The stage inner loops execute on the plan's
+//! [`ComputeBackend`](neo_math::ComputeBackend) — scalar or vectorized —
+//! while this driver keeps the stage schedule, the butterfly tallies, and
+//! the fault-injection hook, so telemetry and the fault model are
+//! backend-independent by construction.
+//!
 //! The reference path ([`forward_reference`]/[`inverse_reference`]) reduces
 //! after every operation and serves as the correctness oracle and the
-//! baseline for `benches/ntt.rs`.
+//! baseline for `benches/ntt.rs` (shared via [`crate::reference`]).
 
 use crate::NttPlan;
 use neo_trace::Counter;
@@ -40,87 +46,27 @@ pub fn forward(plan: &NttPlan, x: &mut [u64]) {
     let n = plan.degree();
     assert_eq!(x.len(), n, "length mismatch");
     let m = plan.modulus();
-    let q = m.value();
-    let two_q = 2 * q;
+    let be = neo_math::backend::get(plan.backend());
     let mut butterflies = 0u64;
     bit_reverse_planned(x, plan);
     // Stage 1 with the ψ-twist folded in: after bit-reversal, position i
     // holds a[rev(i)], which needs twist factor ψ^{rev(i)}; the stage-1
     // twiddle is ω^0 = 1, so both operands take exactly one lazy Shoup
     // multiply (landing in [0, 2q)) and no separate twist pass is needed.
-    for (pair, s) in x
-        .chunks_exact_mut(2)
-        .zip(plan.psi_rev_shoup().chunks_exact(2))
-    {
-        let u = m.mul_shoup_lazy(pair[0], s[0]);
-        let t = m.mul_shoup_lazy(pair[1], s[1]);
-        pair[0] = u + t;
-        pair[1] = u + two_q - t;
-    }
-    butterflies += (n / 2) as u64;
+    butterflies += be.ntt_twist_stage(m, x, plan.psi_rev_shoup());
     // Middle stages stay lazy in [0, 4q).
     let twiddles = plan.fwd_twiddles();
     let mut size = 4;
     let mut stage_off = 1;
     while size < n {
         let half = size / 2;
-        let stage = &twiddles[stage_off..stage_off + half];
-        for block in x.chunks_exact_mut(size) {
-            let (lo, hi) = block.split_at_mut(half);
-            // j = 0 has w = ω^0 = 1: a conditional subtraction stands in
-            // for the multiply (any [0, 2q) representative works).
-            let mut u = lo[0];
-            if u >= two_q {
-                u -= two_q;
-            }
-            let mut t = hi[0];
-            if t >= two_q {
-                t -= two_q;
-            }
-            lo[0] = u + t;
-            hi[0] = u + two_q - t;
-            for ((a, b), &w) in lo[1..].iter_mut().zip(hi[1..].iter_mut()).zip(&stage[1..]) {
-                let mut u = *a;
-                if u >= two_q {
-                    u -= two_q;
-                }
-                let t = m.mul_shoup_lazy(*b, w);
-                *a = u + t;
-                *b = u + two_q - t;
-            }
-            butterflies += half as u64;
-        }
+        butterflies += be.ntt_fwd_stage(m, x, size, &twiddles[stage_off..stage_off + half]);
         stage_off += half;
         size *= 2;
     }
     // Last stage with the final [0, 4q) -> [0, q) reduction folded in.
     let half = n / 2;
-    let stage = &twiddles[stage_off..stage_off + half];
-    let (lo, hi) = x.split_at_mut(half);
-    for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
-        let mut u = *a;
-        if u >= two_q {
-            u -= two_q;
-        }
-        let t = m.mul_shoup_lazy(*b, w);
-        let mut r0 = u + t;
-        if r0 >= two_q {
-            r0 -= two_q;
-        }
-        if r0 >= q {
-            r0 -= q;
-        }
-        let mut r1 = u + two_q - t;
-        if r1 >= two_q {
-            r1 -= two_q;
-        }
-        if r1 >= q {
-            r1 -= q;
-        }
-        *a = r0;
-        *b = r1;
-    }
-    butterflies += half as u64;
+    butterflies += be.ntt_fwd_stage_final(m, x, &twiddles[stage_off..stage_off + half]);
     neo_trace::add(Counter::NttButterflies, butterflies);
     // Fault injection: a limb corrupted after stage execution, before the
     // result leaves the kernel — what a flipped write-back bit looks like.
@@ -140,57 +86,30 @@ pub fn inverse(plan: &NttPlan, x: &mut [u64]) {
     let n = plan.degree();
     assert_eq!(x.len(), n, "length mismatch");
     let m = plan.modulus();
+    let be = neo_math::backend::get(plan.backend());
     bit_reverse_planned(x, plan);
-    let butterflies = lazy_butterflies(x, plan, plan.inv_twiddles());
-    neo_trace::add(Counter::NttButterflies, butterflies);
-    // mul_shoup accepts the unreduced [0, 4q) values directly and returns
-    // the exact representative in [0, q).
-    for (v, &s) in x.iter_mut().zip(plan.psi_inv_n_inv_shoup()) {
-        *v = m.mul_shoup(*v, s);
-    }
-    neo_trace::add(Counter::ModMuls, n as u64);
-    if neo_fault::armed() {
-        neo_fault::corrupt_limb(neo_fault::FaultSite::NttStage, x);
-    }
-}
-
-/// Cooley–Tukey stages with Harvey lazy butterflies.
-///
-/// Invariant: all values entering a stage are `< 4q`. Each butterfly
-/// conditionally subtracts `2q` from `u` (making it `< 2q`), takes
-/// `t = v * w` in `[0, 2q)` via lazy Shoup, and emits `u + t < 4q` and
-/// `u - t + 2q` in `(0, 4q)`. `twiddles` is stage-major (see `NttPlan`).
-/// Returns the number of butterflies executed (tallied per block from the
-/// loop structure, for the telemetry cross-check).
-fn lazy_butterflies(x: &mut [u64], plan: &NttPlan, twiddles: &[neo_math::ShoupMul]) -> u64 {
-    let n = x.len();
-    let m = plan.modulus();
-    let two_q = 2 * m.value();
+    // Cooley–Tukey stages with Harvey lazy butterflies. Invariant: all
+    // values entering a stage are < 4q; each butterfly conditionally
+    // subtracts 2q from u, takes t = v·w in [0, 2q) via lazy Shoup, and
+    // emits u + t and u - t + 2q, both < 4q.
+    let twiddles = plan.inv_twiddles();
     let mut size = 2;
     let mut stage_off = 0;
     let mut butterflies = 0u64;
     while size <= n {
         let half = size / 2;
-        let stage = &twiddles[stage_off..stage_off + half];
-        // chunks_exact + split_at keep the inner loop free of bounds
-        // checks, which is worth ~25% at bootstrapping-sized degrees.
-        for block in x.chunks_exact_mut(size) {
-            let (lo, hi) = block.split_at_mut(half);
-            for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
-                let mut u = *a;
-                if u >= two_q {
-                    u -= two_q;
-                }
-                let t = m.mul_shoup_lazy(*b, w);
-                *a = u + t;
-                *b = u + two_q - t;
-            }
-            butterflies += half as u64;
-        }
+        butterflies += be.ntt_inv_stage(m, x, size, &twiddles[stage_off..stage_off + half]);
         stage_off += half;
         size *= 2;
     }
-    butterflies
+    neo_trace::add(Counter::NttButterflies, butterflies);
+    // The scale multiply accepts the unreduced [0, 4q) values directly and
+    // returns the exact representative in [0, q).
+    be.ntt_scale(m, x, plan.psi_inv_n_inv_shoup());
+    neo_trace::add(Counter::ModMuls, n as u64);
+    if neo_fault::armed() {
+        neo_fault::corrupt_limb(neo_fault::FaultSite::NttStage, x);
+    }
 }
 
 /// Bit-reversal permutation via the plan's precomputed swap list — one

@@ -236,6 +236,32 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn abft_detection_is_backend_independent() {
+        use neo_math::BackendKind;
+        let q = test_modulus(48);
+        let (a, b, _) = random_gemm(3, &q, 9, 33, 7);
+        for kind in [BackendKind::Portable, BackendKind::Simd] {
+            let checked = CheckedGemm::new(crate::gemm::BackendGemm::new(kind));
+            assert_eq!(checked.name(), format!("{}+abft", kind.name()));
+            let mut out = vec![0u64; 63];
+            checked
+                .gemm_verified(&q, &a, &b, 9, 33, 7, &mut out)
+                .unwrap_or_else(|e| panic!("clean {kind} product rejected: {e}"));
+            // A single flipped accumulator bit must trip the checksum no
+            // matter which backend produced the product.
+            out[17] ^= 1 << 29;
+            let err = verify_gemm(&q, &a, &b, 9, 33, 7, &out).unwrap_err();
+            assert!(matches!(
+                err,
+                NeoError::FaultDetected {
+                    site: "tcu_gemm",
+                    ..
+                }
+            ));
+        }
+    }
+
     proptest! {
         /// Clean GEMMs always pass, and any single bit flip in any output
         /// limb is always detected, across random (q, m, n, k).

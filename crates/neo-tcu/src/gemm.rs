@@ -1,22 +1,24 @@
 //! Modular GEMM engines.
 //!
 //! [`GemmEngine`] is the pluggable matrix-multiplication backend used by the
-//! NTT, BConv and IP kernels. Three engines are provided:
+//! NTT, BConv and IP kernels. Four engines are provided:
 //!
 //! * [`ScalarGemm`] — straightforward modular arithmetic (the CUDA-core
 //!   path, and the correctness oracle);
+//! * [`BackendGemm`] — the same contract routed through a pinned
+//!   [`neo_math::ComputeBackend`], so the inner loop can run vectorized;
 //! * [`Fp64TcuGemm`] — Neo's pipeline: split → FP64 `8×8×4` fragment MMAs →
 //!   shift-merge → reduce;
 //! * [`Int8TcuGemm`] — TensorFHE's pipeline with byte planes and INT8
 //!   fragments.
 //!
-//! All three produce **identical** outputs for reduced inputs; the TCU
+//! All four produce **identical** outputs for reduced inputs; the TCU
 //! engines really route every multiply through the fragment emulation in
 //! [`crate::fragment`].
 
 use crate::fragment::{self, FragmentShape, FP64_FRAGMENT, INT8_FRAGMENTS};
 use crate::split::{Fp64SplitScheme, Int8SplitScheme};
-use neo_math::Modulus;
+use neo_math::{BackendKind, Modulus, PortableBackend};
 use neo_trace::Counter;
 use std::cell::RefCell;
 
@@ -75,37 +77,71 @@ impl GemmEngine for ScalarGemm {
     ) {
         check_dims(a, b, out, m, k, n);
         neo_trace::add(Counter::GemmMacs, (m * k * n) as u64);
-        // Each product of reduced operands is at most (q-1)²; after a fold
-        // the accumulator restarts below q, so `span` additions fit in
-        // u128 without wrapping: span·(q-1)² + (q-1) ≤ u128::MAX.
-        let qm1 = u128::from(q.value() - 1);
-        let span = usize::try_from((u128::MAX - qm1) / (qm1 * qm1).max(1))
-            .unwrap_or(usize::MAX)
-            .max(1);
-        let mut acc = vec![0u128; n];
-        for i in 0..m {
-            acc.fill(0);
-            let a_row = &a[i * k..(i + 1) * k];
-            for t0 in (0..k).step_by(span) {
-                for (t, &ai) in a_row.iter().enumerate().skip(t0).take(span) {
-                    let ai = u128::from(ai);
-                    for (s, &bj) in acc.iter_mut().zip(&b[t * n..(t + 1) * n]) {
-                        *s += ai * u128::from(bj);
-                    }
-                }
-                // Fold every accumulator back below q before the next span.
-                for s in acc.iter_mut() {
-                    *s = u128::from(q.reduce_u128(*s));
-                }
-            }
-            for (o, &s) in out[i * n..(i + 1) * n].iter_mut().zip(&acc) {
-                *o = s as u64;
-            }
-        }
+        use neo_math::ComputeBackend;
+        PortableBackend.gemm(q, a, b, m, k, n, out);
     }
 
     fn name(&self) -> &'static str {
         "scalar"
+    }
+}
+
+/// Modular GEMM dispatched through a [`neo_math::ComputeBackend`].
+///
+/// Same contract and telemetry as [`ScalarGemm`] — `GemmMacs` tallies the
+/// full `m·k·n` regardless of backend — but the i-k-j inner loop runs on
+/// the pinned backend, which may use vector lanes. Output is bit-identical
+/// to [`ScalarGemm`] and [`reference_gemm`]: every backend folds its
+/// accumulators on the same K-span schedule and emits the canonical
+/// representative in `[0, q)`.
+#[derive(Debug, Clone, Copy)]
+pub struct BackendGemm {
+    kind: BackendKind,
+}
+
+impl BackendGemm {
+    /// Engine pinned to `kind`.
+    pub fn new(kind: BackendKind) -> Self {
+        Self { kind }
+    }
+
+    /// Engine using the process-default backend ([`BackendKind::detect`]):
+    /// the `NEO_BACKEND` override if set, otherwise the best backend the
+    /// build and CPU support.
+    pub fn auto() -> Self {
+        Self::new(BackendKind::detect())
+    }
+
+    /// The pinned backend kind.
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+}
+
+impl Default for BackendGemm {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl GemmEngine for BackendGemm {
+    fn gemm(
+        &self,
+        q: &Modulus,
+        a: &[u64],
+        b: &[u64],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [u64],
+    ) {
+        check_dims(a, b, out, m, k, n);
+        neo_trace::add(Counter::GemmMacs, (m * k * n) as u64);
+        neo_math::backend::get(self.kind).gemm(q, a, b, m, k, n, out);
+    }
+
+    fn name(&self) -> &'static str {
+        self.kind.name()
     }
 }
 
@@ -463,6 +499,28 @@ mod tests {
         assert_eq!(ScalarGemm.name(), "scalar");
         assert_eq!(Fp64TcuGemm::for_word_size(36).name(), "tcu-fp64");
         assert_eq!(Int8TcuGemm::for_word_size(36).name(), "tcu-int8");
+        assert_eq!(BackendGemm::new(BackendKind::Portable).name(), "portable");
+        assert_eq!(BackendGemm::new(BackendKind::Simd).name(), "simd");
+        assert_eq!(BackendGemm::auto().kind(), BackendKind::detect());
+    }
+
+    #[test]
+    fn backend_gemm_is_bit_identical_across_kinds() {
+        // Wide modulus + long K forces mid-row folds, the place where a
+        // backend with a different fold schedule would diverge.
+        let q = Modulus::new(primes::ntt_primes(61, 1 << 10, 1).unwrap()[0]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let (m, k, n) = (4usize, 600usize, 19usize);
+        let a = random_mat(&mut rng, &q, m * k);
+        let b = random_mat(&mut rng, &q, k * n);
+        let mut scalar = vec![0u64; m * n];
+        let mut portable = vec![0u64; m * n];
+        let mut simd = vec![0u64; m * n];
+        ScalarGemm.gemm(&q, &a, &b, m, k, n, &mut scalar);
+        BackendGemm::new(BackendKind::Portable).gemm(&q, &a, &b, m, k, n, &mut portable);
+        BackendGemm::new(BackendKind::Simd).gemm(&q, &a, &b, m, k, n, &mut simd);
+        assert_eq!(scalar, portable);
+        assert_eq!(scalar, simd);
     }
 
     #[test]
