@@ -5,28 +5,54 @@
 //! formatted table to stdout and writing machine-readable JSON under
 //! `results/`.
 
+#![deny(clippy::unwrap_used)]
+
 use serde_json::Value;
 use std::fs;
 use std::path::PathBuf;
 
+pub mod guard;
 pub mod measure;
 
-/// Prints the human-readable table and writes `results/<id>.json`.
+/// The `--out <path>` (or `--out=<path>`) override every bench binary
+/// accepts: when present, [`emit`] writes its JSON artifact to that path
+/// instead of `results/<id>.json`. See `crates/neo-bench/README.md` for
+/// the artifact/promotion convention.
+pub fn out_override() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--out=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Prints the human-readable table and writes the JSON artifact —
+/// `results/<id>.json` by default, or the [`out_override`] path when the
+/// binary was invoked with `--out`.
 pub fn emit(id: &str, human: &str, json: Value) {
     println!("{human}");
-    let dir = PathBuf::from("results");
-    if fs::create_dir_all(&dir).is_ok() {
-        let path = dir.join(format!("{id}.json"));
-        match serde_json::to_string_pretty(&json) {
-            Ok(s) => {
-                if let Err(e) = fs::write(&path, s) {
-                    eprintln!("warning: could not write {}: {e}", path.display());
-                } else {
-                    eprintln!("[wrote {}]", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: could not serialize {id}: {e}"),
+    let path =
+        out_override().unwrap_or_else(|| PathBuf::from("results").join(format!("{id}.json")));
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() && fs::create_dir_all(dir).is_err() {
+            eprintln!("warning: could not create {}", dir.display());
+            return;
         }
+    }
+    match serde_json::to_string_pretty(&json) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("[wrote {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {id}: {e}"),
     }
 }
 

@@ -405,12 +405,14 @@ impl BatchProgram {
                 tg.run_serial()
             }
         };
-        Ok(BatchReport {
+        let report = BatchReport {
             results,
             retries_attempted: retries.into_iter().map(AtomicU32::into_inner).collect(),
             faults_recovered: recovered.into_iter().map(AtomicU32::into_inner).collect(),
             plans_quarantined: quarantined.into_inner(),
-        })
+        };
+        crate::metrics::record_batch_report(&report);
+        Ok(report)
     }
 
     /// The program's kernel DAG on the device model: each operation's

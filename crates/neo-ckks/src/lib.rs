@@ -42,6 +42,7 @@ pub mod engine;
 pub mod keys;
 pub mod keyswitch;
 pub mod linear;
+pub(crate) mod metrics;
 pub mod noise;
 pub mod ops;
 pub mod params;

@@ -161,11 +161,15 @@ pub fn try_decrypt(
 pub fn try_hadd(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, NeoError> {
     fault_gate("hadd")?;
     check_compatible("hadd", a, b)?;
+    let obs = crate::metrics::ObserveOp::start(crate::metrics::OpKind::HAdd, ctx, &[a, b]);
     let moduli = ctx.q_moduli(a.level());
     let mut out = a.clone();
     let (c0, c1) = out.parts_mut();
     c0.add_assign(b.c0(), moduli);
     c1.add_assign(b.c1(), moduli);
+    if let Some(obs) = obs {
+        obs.success(ctx, &out);
+    }
     Ok(out)
 }
 
@@ -251,6 +255,7 @@ pub fn try_hmult(
         return Err(NeoError::level_mismatch("hmult", a.level(), b.level()));
     }
     let ctx = chest.context();
+    let obs = crate::metrics::ObserveOp::start(crate::metrics::OpKind::HMult, ctx, &[a, b]);
     let level = a.level();
     let _s = span!("ckks.hmult", level = level);
     let moduli = ctx.q_moduli(level).to_vec();
@@ -281,6 +286,9 @@ pub fn try_hmult(
     d1.add_assign(&u1, &moduli);
     let out = Ciphertext::new(d0, d1, a.scale() * b.scale(), level);
     emit_budget(ctx, "hmult", &out);
+    if let Some(obs) = obs {
+        obs.success(ctx, &out);
+    }
     Ok(out)
 }
 
@@ -309,8 +317,14 @@ pub fn try_hrotate(
     method: KsMethod,
 ) -> Result<Ciphertext, NeoError> {
     fault_gate("hrotate")?;
-    let g = galois_element(chest.context().degree(), steps);
-    apply_galois(chest, a, g, method)
+    let ctx = chest.context();
+    let obs = crate::metrics::ObserveOp::start(crate::metrics::OpKind::HRotate, ctx, &[a]);
+    let g = galois_element(ctx.degree(), steps);
+    let out = apply_galois(chest, a, g, method)?;
+    if let Some(obs) = obs {
+        obs.success(ctx, &out);
+    }
+    Ok(out)
 }
 
 /// Complex conjugation of all slots (`X ↦ X^{2N-1}`).
@@ -378,6 +392,7 @@ pub fn try_rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, Neo
     if level < 1 {
         return Err(NeoError::chain_exhausted("rescale", level, 1));
     }
+    let obs = crate::metrics::ObserveOp::start(crate::metrics::OpKind::Rescale, ctx, &[ct]);
     let _s = span!("ckks.rescale", level = level);
     let q_last = ctx.q_moduli(level)[level];
     let moduli = ctx.q_moduli(level - 1).to_vec();
@@ -401,6 +416,9 @@ pub fn try_rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, Neo
     let c1 = rescale_poly(ct.c1());
     let out = Ciphertext::new(c0, c1, ct.scale() / q_last.value() as f64, level - 1);
     emit_budget(ctx, "rescale", &out);
+    if let Some(obs) = obs {
+        obs.success(ctx, &out);
+    }
     Ok(out)
 }
 

@@ -40,6 +40,7 @@
 pub mod cache;
 pub mod complexity;
 pub mod matrix;
+pub mod metrics;
 mod plan;
 pub mod radix2;
 pub mod reference;

@@ -45,6 +45,8 @@ use neo_trace::Counter;
 pub fn forward(plan: &NttPlan, x: &mut [u64]) {
     let n = plan.degree();
     assert_eq!(x.len(), n, "length mismatch");
+    // Gate before touching the clock: one relaxed load when disabled.
+    let t0 = neo_metrics::enabled().then(std::time::Instant::now);
     let m = plan.modulus();
     let be = neo_math::backend::get(plan.backend());
     let mut butterflies = 0u64;
@@ -73,6 +75,9 @@ pub fn forward(plan: &NttPlan, x: &mut [u64]) {
     if neo_fault::armed() {
         neo_fault::corrupt_limb(neo_fault::FaultSite::NttStage, x);
     }
+    if let Some(t0) = t0 {
+        crate::metrics::FWD_NS.record_ns(t0.elapsed().as_nanos() as u64);
+    }
 }
 
 /// In-place inverse negacyclic NTT (natural order in and out) — Shoup
@@ -85,6 +90,7 @@ pub fn forward(plan: &NttPlan, x: &mut [u64]) {
 pub fn inverse(plan: &NttPlan, x: &mut [u64]) {
     let n = plan.degree();
     assert_eq!(x.len(), n, "length mismatch");
+    let t0 = neo_metrics::enabled().then(std::time::Instant::now);
     let m = plan.modulus();
     let be = neo_math::backend::get(plan.backend());
     bit_reverse_planned(x, plan);
@@ -109,6 +115,9 @@ pub fn inverse(plan: &NttPlan, x: &mut [u64]) {
     neo_trace::add(Counter::ModMuls, n as u64);
     if neo_fault::armed() {
         neo_fault::corrupt_limb(neo_fault::FaultSite::NttStage, x);
+    }
+    if let Some(t0) = t0 {
+        crate::metrics::INV_NS.record_ns(t0.elapsed().as_nanos() as u64);
     }
 }
 

@@ -29,11 +29,13 @@
 
 pub mod exec;
 pub mod graph;
+pub mod metrics;
 pub mod sim;
 
 pub use exec::{RetryRun, TaskGraph};
 pub use graph::{FusionStats, NodeId, OpGraph, OpNode};
+pub use metrics::publish_utilization;
 pub use sim::{
-    chrome_trace, simulate, simulate_best, try_simulate, CompletionFaults, NodeTimeline, Schedule,
-    SimConfig,
+    chrome_trace, simulate, simulate_best, try_simulate, CompletionFaults, EngineBusy,
+    NodeTimeline, Schedule, SimConfig,
 };

@@ -108,6 +108,28 @@ impl CompletionFaults {
     }
 }
 
+/// Busy-time accounting of one simulated run, accumulated event by event
+/// inside the replay loop (not derived from the timeline afterwards) — so
+/// it can be cross-checked against the analytic per-kernel component
+/// times, and exported as `sched_*_busy_fraction` gauges via
+/// [`crate::metrics::publish_utilization`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EngineBusy {
+    /// Seconds the exclusive CUDA-core engine spent serving a phase.
+    pub cuda_s: f64,
+    /// Seconds the exclusive tensor-core engine spent serving a phase.
+    pub tcu_s: f64,
+    /// Seconds HBM spent serving bytes (the bandwidth split is
+    /// work-conserving, so this is wall-clock time with ≥ 1 active
+    /// memory queue).
+    pub hbm_s: f64,
+    /// Per-stream compute engine service time (CUDA + TCU phases of the
+    /// stream's kernels).
+    pub stream_compute_s: Vec<f64>,
+    /// Per-stream HBM service time at the stream's bandwidth share.
+    pub stream_mem_s: Vec<f64>,
+}
+
 /// Result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Schedule {
@@ -122,6 +144,17 @@ pub struct Schedule {
     /// Completion-signal faults injected and recovered during the run
     /// (all-zero unless a `neo_fault` plan arms `SchedCompletion`).
     pub faults: CompletionFaults,
+    /// Per-engine and per-stream busy time accumulated by the event loop
+    /// (defaults to all-zero when deserializing pre-accounting artifacts).
+    #[serde(default)]
+    pub busy: EngineBusy,
+}
+
+impl Schedule {
+    /// The device-active window: makespan minus the launch prologue.
+    pub fn device_window_s(&self) -> f64 {
+        (self.makespan_s - self.prologue_s).max(0.0)
+    }
 }
 
 /// Simulates `g` on `cfg.streams` streams of `dev`.
@@ -147,6 +180,11 @@ pub fn try_simulate(g: &OpGraph, dev: &DeviceModel, cfg: SimConfig) -> Result<Sc
             makespan_s: prologue,
             timeline: Vec::new(),
             faults: CompletionFaults::default(),
+            busy: EngineBusy {
+                stream_compute_s: vec![0.0; cfg.streams],
+                stream_mem_s: vec![0.0; cfg.streams],
+                ..EngineBusy::default()
+            },
         });
     }
     let assignment = assign_streams(g, dev, cfg.streams);
@@ -326,6 +364,11 @@ fn run_events(
     let mut now = prologue;
     let mut compute_left = n;
     let mut faults = CompletionFaults::default();
+    let mut busy = EngineBusy {
+        stream_compute_s: vec![0.0; streams],
+        stream_mem_s: vec![0.0; streams],
+        ..EngineBusy::default()
+    };
 
     loop {
         // Settle: issue ready nodes and grant idle engines until stable.
@@ -403,6 +446,28 @@ fn run_events(
         }
         now += dt;
 
+        // Busy accounting: the engines served continuously through the
+        // whole interval (dt is the minimum over remaining service
+        // times), and each active memory queue consumed its equal
+        // bandwidth share.
+        if let Some((i, _)) = cuda_engine.busy {
+            busy.cuda_s += dt;
+            busy.stream_compute_s[assignment[i]] += dt;
+        }
+        if let Some((i, _)) = tcu_engine.busy {
+            busy.tcu_s += dt;
+            busy.stream_compute_s[assignment[i]] += dt;
+        }
+        if mem_active > 0 {
+            busy.hbm_s += dt;
+            let share = dt / mem_active as f64;
+            for (s, q) in mem_queue.iter().enumerate() {
+                if !q.is_empty() {
+                    busy.stream_mem_s[s] += share;
+                }
+            }
+        }
+
         // Advance the CUDA engine; a kernel finishing its CUDA phase
         // hands off to the TCU queue (or completes its compute).
         if let Some((i, rem)) = cuda_engine.busy {
@@ -478,6 +543,7 @@ fn run_events(
         makespan_s: makespan,
         timeline,
         faults,
+        busy,
     })
 }
 

@@ -52,6 +52,7 @@ pub fn verify_gemm(
     assert_eq!(b.len(), k * n, "B must be k x n");
     assert_eq!(c.len(), m * n, "C must be m x n");
     neo_trace::add(Counter::AbftChecks, 1);
+    crate::metrics::ABFT_CHECKS.inc();
     neo_trace::add(
         Counter::AbftMacs,
         (2 * m * k + 2 * k * n + 2 * m * n) as u64,
@@ -78,6 +79,7 @@ pub fn verify_gemm(
         }
         let (expect, got) = (q.reduce_u128(expect), q.reduce_u128(got));
         if expect != got {
+            crate::metrics::ABFT_DETECTIONS.inc();
             return Err(NeoError::fault_detected(
                 "tcu_gemm",
                 format!(
@@ -109,6 +111,7 @@ pub fn verify_gemm(
         }
         let (expect, got) = (q.reduce_u128(expect), q.reduce_u128(got));
         if expect != got {
+            crate::metrics::ABFT_DETECTIONS.inc();
             return Err(NeoError::fault_detected(
                 "tcu_gemm",
                 format!(

@@ -137,7 +137,12 @@ impl GemmEngine for BackendGemm {
     ) {
         check_dims(a, b, out, m, k, n);
         neo_trace::add(Counter::GemmMacs, (m * k * n) as u64);
+        // Gate before touching the clock: one relaxed load when disabled.
+        let t0 = neo_metrics::enabled().then(std::time::Instant::now);
         neo_math::backend::get(self.kind).gemm(q, a, b, m, k, n, out);
+        if let Some(t0) = t0 {
+            crate::metrics::gemm_hist(self.kind).record_ns(t0.elapsed().as_nanos() as u64);
+        }
     }
 
     fn name(&self) -> &'static str {

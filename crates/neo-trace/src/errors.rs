@@ -56,14 +56,34 @@ mod tests {
 
     #[test]
     fn tallies_accumulate_per_kind() {
-        // Use names no other test touches so parallel runs stay isolated.
-        count_error("test_kind_a");
-        count_error("test_kind_a");
-        count_error("test_kind_b");
-        assert!(error_count("test_kind_a") >= 2);
-        assert!(error_count("test_kind_b") >= 1);
-        assert_eq!(error_count("test_kind_never"), 0);
-        let json = errors_json();
-        assert!(json.contains("\"test_kind_a\":"));
+        // Use names no other test touches, and run under the record()
+        // lock so the reset regression test below cannot clear the map
+        // between our increments and assertions.
+        let _ = crate::record(|| {
+            count_error("test_kind_a");
+            count_error("test_kind_a");
+            count_error("test_kind_b");
+            assert!(error_count("test_kind_a") >= 2);
+            assert!(error_count("test_kind_b") >= 1);
+            assert_eq!(error_count("test_kind_never"), 0);
+            let json = errors_json();
+            assert!(json.contains("\"test_kind_a\":"));
+        });
+    }
+
+    #[test]
+    fn reset_clears_error_tallies() {
+        // Regression: `neo_trace::reset()` must zero the per-kind error
+        // tallies along with the work counters and spans — a stale tally
+        // surviving reset() would double-count every error in long-running
+        // sessions that reset between batches. Runs under the record()
+        // lock so the process-wide clear cannot race the tally test above.
+        let _ = crate::record(|| {
+            count_error("test_reset_kind");
+            assert!(error_count("test_reset_kind") >= 1);
+            crate::reset();
+            assert_eq!(error_count("test_reset_kind"), 0);
+            assert!(!errors_json().contains("test_reset_kind"));
+        });
     }
 }

@@ -30,6 +30,9 @@ pub use neo_gpu_sim as gpu_sim;
 pub use neo_kernels as kernels;
 /// Modular arithmetic, RNS bases, base conversion, RNS polynomials.
 pub use neo_math as math;
+/// Production metrics: latency/noise histograms, labeled registry,
+/// Prometheus-text and JSON exporters.
+pub use neo_metrics as metrics;
 /// Negacyclic NTTs: radix-2, four-step, and radix-16 (ten-step) matrix form.
 pub use neo_ntt as ntt;
 /// Kernel-DAG scheduling: fusion rewrites, the discrete-event multi-stream
