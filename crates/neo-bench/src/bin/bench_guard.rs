@@ -25,11 +25,12 @@ use neo_bench::measure::{self, MeasureConfig, Measurement};
 use neo_bench::{emit, fmt_time};
 use neo_ckks::cost::{CostConfig, Operation};
 use neo_ckks::sched::batch_op_graph;
-use neo_ckks::ParamSet;
+use neo_ckks::{BatchOp, BatchProgram, ParamSet, Slot};
 use neo_gpu_sim::DeviceModel;
 use neo_math::{BackendKind, Modulus, RnsBasis};
 use neo_ntt::{radix2, NttPlan};
 use neo_sched::{publish_utilization, simulate, SimConfig};
+use neo_serve::{price_request, AdmissionConfig, AdmissionQueue, QueuedRequest};
 use neo_tcu::{BackendGemm, GemmEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -122,6 +123,47 @@ fn main() {
     let sched = simulate(&hmult_fused, &DeviceModel::a100(), SimConfig::streams(4));
     publish_utilization(&sched);
 
+    // Deterministic serve-layer kernel: eight paper-scale requests (two
+    // multiply-rescale-add, six rotate-accumulate — serve_bench's
+    // workload mix) through sim-priced coalescing admission; the tracked
+    // value is the merged batch's estimated multi-stream makespan.
+    let dev = DeviceModel::a100();
+    let serve_cost = CostConfig::neo();
+    let mut queue = AdmissionQueue::new(AdmissionConfig {
+        makespan_budget: std::time::Duration::from_secs(86_400),
+        ..AdmissionConfig::default()
+    });
+    for i in 0..8u64 {
+        let mut prog = BatchProgram::new();
+        if i % 4 == 0 {
+            let m = prog
+                .try_push(BatchOp::HMult(Slot::Input(0), Slot::Input(0)))
+                .expect("push");
+            let rs = prog.try_push(BatchOp::Rescale(m)).expect("push");
+            prog.try_push(BatchOp::HAdd(rs, rs)).expect("push");
+        } else {
+            let r = prog
+                .try_push(BatchOp::HRotate(Slot::Input(0), 1))
+                .expect("push");
+            prog.try_push(BatchOp::HAdd(r, Slot::Input(0)))
+                .expect("push");
+        }
+        let solo = price_request(&prog, &p, 35, &serve_cost, &dev);
+        queue
+            .try_enqueue(QueuedRequest {
+                id: i + 1,
+                tenant: i,
+                program: prog,
+                inputs: Vec::new(), // pricing never touches ciphertexts
+                level: 35,
+                noise_bits: 30.0,
+                solo_est: solo,
+                submitted: std::time::Instant::now(),
+            })
+            .expect("queue is empty enough");
+    }
+    let serve_batch = queue.coalesce(&p, &dev).expect("eight requests queued");
+
     // --- Guard evaluation. ---
     let baselines = match Baselines::load(Path::new(BASELINE_PATH)) {
         Ok(b) => b.unwrap_or_default(),
@@ -137,6 +179,10 @@ fn main() {
         (
             "sched_klss_hmult_makespan",
             guard::apply_injection(sched.makespan_s),
+        ),
+        (
+            "serve_coalesce8_makespan",
+            guard::apply_injection(serve_batch.est_makespan.as_secs_f64()),
         ),
     ];
     let results: Vec<GuardResult> = measured
@@ -167,7 +213,7 @@ fn main() {
     );
     for r in &results {
         let unit_time = |v: f64| {
-            if r.kernel.starts_with("sched_") {
+            if r.kernel.starts_with("sched_") || r.kernel.starts_with("serve_") {
                 fmt_time(v)
             } else {
                 fmt_time(v / 1e9)

@@ -76,6 +76,18 @@ fn injection_site(site: &str) -> Option<neo_fault::FaultSite> {
     }
 }
 
+/// Whether a detected fault at `site` justifies sweeping the process-wide
+/// NTT plan cache before the retry. Only NTT-side detections can implicate
+/// a cached plan; sweeping on unrelated sites (TCU checksums, injected op
+/// errors) takes the cache's write lock and — under fault injection —
+/// can evict and rebuild plans other tenants are concurrently using.
+fn sweeps_plan_cache(site: Option<&'static str>) -> bool {
+    matches!(
+        site,
+        Some("ntt_plan" | "ntt_forward" | "ntt_inverse" | "ntt_stage")
+    )
+}
+
 /// Deterministic backoff between retry attempts: a bounded spin whose
 /// length depends only on the attempt number, so a retried run's
 /// schedule does not depend on wall-clock timing.
@@ -385,12 +397,21 @@ impl BatchProgram {
                                     }
                                     attempt += 1;
                                     retries[idx].fetch_add(1, Ordering::Relaxed);
-                                    // A detected fault may stem from a rotted
+                                    // An NTT-site fault may stem from a rotted
                                     // plan rather than a transient flip: sweep
                                     // and rebuild poisoned cache entries so the
-                                    // retry reruns against clean tables.
-                                    let swept = ntt_cache::quarantine_corrupt();
-                                    quarantined.fetch_add(swept as u64, Ordering::Relaxed);
+                                    // retry reruns against clean tables. The
+                                    // sweep is gated on the detection site: a
+                                    // TCU or spurious-op fault says nothing
+                                    // about the plan cache, and the sweep's
+                                    // write lock on the process-wide cache
+                                    // would stall every other tenant's NTTs
+                                    // for no reason (see the interleaved-
+                                    // tenant regression test).
+                                    if sweeps_plan_cache(last_site) {
+                                        let swept = ntt_cache::quarantine_corrupt();
+                                        quarantined.fetch_add(swept as u64, Ordering::Relaxed);
+                                    }
                                     backoff(attempt);
                                 }
                                 Err(e) => return Err(e),
@@ -420,6 +441,24 @@ impl BatchProgram {
     /// operation's first kernel depending on its producers' exit kernels.
     pub fn kernel_graph(&self, p: &CkksParams, input_level: usize, cfg: &CostConfig) -> OpGraph {
         let mut g = OpGraph::new();
+        self.append_kernel_graph(&mut g, p, input_level, cfg, 0);
+        g
+    }
+
+    /// Appends this program's kernel DAG to an existing graph, tagging its
+    /// operations `tag_base..tag_base + ops.len()`. Programs appended to
+    /// the same graph share no edges — they are independent work the
+    /// multi-stream simulator may overlap — which is exactly how a serving
+    /// layer prices a coalesced batch of several tenants' programs as one
+    /// admission unit.
+    pub fn append_kernel_graph(
+        &self,
+        g: &mut OpGraph,
+        p: &CkksParams,
+        input_level: usize,
+        cfg: &CostConfig,
+        tag_base: usize,
+    ) {
         let levels = self.op_levels(input_level);
         let mut exits = Vec::with_capacity(self.ops.len());
         for (tag, (op, &level)) in self.ops.iter().zip(&levels).enumerate() {
@@ -432,16 +471,15 @@ impl BatchProgram {
                 })
                 .collect();
             exits.push(append_op(
-                &mut g,
+                g,
                 p,
                 level,
                 op.operation(),
                 cfg,
                 &after,
-                tag,
+                tag_base + tag,
             ));
         }
-        g
     }
 
     /// A random but *legal* program over `n_inputs` inputs at
@@ -567,6 +605,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn appended_programs_are_independent() {
+        let p = ParamSet::C.params();
+        let cfg = CostConfig::neo();
+        let mut prog = BatchProgram::new();
+        let m = push(&mut prog, BatchOp::HMult(Slot::Input(0), Slot::Input(1)));
+        push(&mut prog, BatchOp::Rescale(m));
+        let single = prog.kernel_graph(&p, 10, &cfg);
+        let mut g = OpGraph::new();
+        prog.append_kernel_graph(&mut g, &p, 10, &cfg, 0);
+        prog.append_kernel_graph(&mut g, &p, 10, &cfg, prog.ops.len());
+        // Disjoint union: no edge crosses the two appended programs.
+        assert_eq!(g.len(), 2 * single.len());
+        assert_eq!(g.edge_count(), 2 * single.edge_count());
+    }
+
+    #[test]
+    fn plan_sweep_is_site_gated() {
+        for site in ["ntt_plan", "ntt_forward", "ntt_inverse", "ntt_stage"] {
+            assert!(sweeps_plan_cache(Some(site)), "{site}");
+        }
+        assert!(!sweeps_plan_cache(Some("tcu_gemm")));
+        assert!(!sweeps_plan_cache(Some("ckks_op")));
+        assert!(!sweeps_plan_cache(None));
     }
 
     #[test]

@@ -96,6 +96,16 @@ impl FheEngine {
     /// generation.
     pub fn new(params: CkksParams, seed: u64) -> Result<Self, NeoError> {
         let ctx = Arc::new(CkksContext::new(params)?);
+        Ok(Self::with_context(ctx, seed))
+    }
+
+    /// Builds a session over an *existing* context: fresh secret/public
+    /// keys and key chest seeded from `seed`, but the (expensive) context
+    /// — prime chains, NTT plans, BConv tables — shared with every other
+    /// session built from the same `Arc`. This is the multi-tenant seam:
+    /// a serving layer gives each tenant its own keys and policy while
+    /// thousands of tenants share one parameter set's tables.
+    pub fn with_context(ctx: Arc<CkksContext>, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let sk = SecretKey::generate(&ctx, &mut rng);
         let pk = PublicKey::generate(&ctx, &sk, &mut rng);
@@ -106,14 +116,26 @@ impl FheEngine {
             KsMethod::Hybrid
         };
         let chest = KeyChest::new(ctx, sk, seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
-        Ok(Self {
+        Self {
             chest,
             encoder,
             pk,
             method,
             policy: OpPolicy::default(),
             rng: Mutex::new(rng),
-        })
+        }
+    }
+
+    /// Pre-generates every key-switching key `prog` will need at
+    /// `input_level`, in deterministic issue order (see
+    /// [`BatchProgram::warm_keys`]) — the warm-up a serving layer runs at
+    /// admission time so execution never generates keys mid-batch.
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::KeySwitchKeyMissing`] if a key cannot be generated.
+    pub fn warm_program(&self, prog: &BatchProgram, input_level: usize) -> Result<(), NeoError> {
+        prog.warm_keys(&self.chest, input_level, self.method)
     }
 
     /// Overrides the key-switching method (defaults to KLSS when the

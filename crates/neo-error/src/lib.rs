@@ -51,6 +51,10 @@ pub enum ErrorKind {
     /// A batch operation read the output of an upstream operation that
     /// already failed; the failure short-circuits downstream.
     PoisonedInput,
+    /// A serving layer refused to admit the request: the admission queue
+    /// is at its depth bound, or the tenant's retry/verify budget is
+    /// exhausted and its traffic is being shed.
+    Overloaded,
     /// A silent-corruption detector fired: an ABFT checksum, NTT spot
     /// check, or plan-integrity token caught a wrong intermediate before
     /// it could become a silently wrong ciphertext.
@@ -62,7 +66,7 @@ pub enum ErrorKind {
 
 impl ErrorKind {
     /// Every kind, in declaration order.
-    pub const ALL: [ErrorKind; 10] = [
+    pub const ALL: [ErrorKind; 11] = [
         ErrorKind::InvalidParams,
         ErrorKind::ParameterMismatch,
         ErrorKind::LevelMismatch,
@@ -71,6 +75,7 @@ impl ErrorKind {
         ErrorKind::NoiseBudgetExhausted,
         ErrorKind::KeySwitchKeyMissing,
         ErrorKind::PoisonedInput,
+        ErrorKind::Overloaded,
         ErrorKind::FaultDetected,
         ErrorKind::Math,
     ];
@@ -87,6 +92,7 @@ impl ErrorKind {
             ErrorKind::NoiseBudgetExhausted => "noise_budget_exhausted",
             ErrorKind::KeySwitchKeyMissing => "keyswitch_key_missing",
             ErrorKind::PoisonedInput => "poisoned_input",
+            ErrorKind::Overloaded => "overloaded",
             ErrorKind::FaultDetected => "fault_detected",
             ErrorKind::Math => "math",
         }
@@ -170,6 +176,16 @@ pub enum NeoError {
         /// Index of the upstream operation whose failure poisoned it.
         upstream: usize,
     },
+    /// A serving layer shed the request instead of admitting it. The
+    /// request was **not** executed; the caller may retry later (queue
+    /// pressure) or must slow down (budget exhaustion).
+    Overloaded {
+        /// What tripped (`"queue_depth"`, `"retry_budget"`,
+        /// `"tenant_inflight"`, …).
+        what: &'static str,
+        /// Human-readable detail (bounds, tenant, observed value).
+        detail: String,
+    },
     /// A silent-corruption detector fired. The result that triggered it
     /// was discarded, never returned — callers can retry (the executors
     /// in `neo-sched`/`neo-ckks` do so automatically with bounded
@@ -197,6 +213,7 @@ impl NeoError {
             NeoError::NoiseBudgetExhausted { .. } => ErrorKind::NoiseBudgetExhausted,
             NeoError::KeySwitchKeyMissing { .. } => ErrorKind::KeySwitchKeyMissing,
             NeoError::PoisonedInput { .. } => ErrorKind::PoisonedInput,
+            NeoError::Overloaded { .. } => ErrorKind::Overloaded,
             NeoError::FaultDetected { .. } => ErrorKind::FaultDetected,
             NeoError::Math(_) => ErrorKind::Math,
         }
@@ -265,6 +282,15 @@ impl NeoError {
         NeoError::PoisonedInput { op_index, upstream }.tallied()
     }
 
+    /// A serving layer shed the request (`what` names the tripped bound).
+    pub fn overloaded(what: &'static str, detail: impl Into<String>) -> Self {
+        NeoError::Overloaded {
+            what,
+            detail: detail.into(),
+        }
+        .tallied()
+    }
+
     /// A silent-corruption detector fired at `site`.
     pub fn fault_detected(site: &'static str, detail: impl Into<String>) -> Self {
         NeoError::FaultDetected {
@@ -315,6 +341,10 @@ impl fmt::Display for NeoError {
             NeoError::PoisonedInput { op_index, upstream } => write!(
                 f,
                 "batch op {op_index} short-circuited: upstream op {upstream} failed"
+            ),
+            NeoError::Overloaded { what, detail } => write!(
+                f,
+                "overloaded ({what}): {detail} — request shed, not executed; retry later"
             ),
             NeoError::FaultDetected { site, detail } => write!(
                 f,
@@ -382,6 +412,10 @@ mod tests {
                 ErrorKind::KeySwitchKeyMissing,
             ),
             (NeoError::poisoned(4, 2), ErrorKind::PoisonedInput),
+            (
+                NeoError::overloaded("queue_depth", "depth 512 at bound 512"),
+                ErrorKind::Overloaded,
+            ),
             (
                 NeoError::fault_detected("tcu_gemm", "row checksum mismatch"),
                 ErrorKind::FaultDetected,

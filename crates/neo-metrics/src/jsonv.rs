@@ -1,6 +1,6 @@
 //! A strict, dependency-free JSON parser.
 //!
-//! The vendored `serde_json` stub is write-only (it can print a [`Value`]
+//! The vendored `serde_json` stub is write-only (it can print a `Value`
 //! tree but not read one back), so consumers that must *validate* JSON —
 //! the exporter round-trip tests and `bench_guard`'s committed baseline
 //! file — parse through this module instead.

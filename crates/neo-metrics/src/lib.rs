@@ -13,7 +13,7 @@
 //!   immutable [`HistogramSnapshot`].
 //! * **Registry** ([`MetricsRegistry`]): counters, gauges, and histograms
 //!   keyed by `(name, labels)`. A process-wide default registry
-//!   ([`registry`]) backs the convenience constructors [`counter`],
+//!   ([`registry()`][fn@registry]) backs the convenience constructors [`counter`],
 //!   [`gauge`], and [`histogram`]. [`MetricsRegistry::snapshot`] captures
 //!   every metric at one instant; [`MetricsSnapshot::since`] yields the
 //!   delta between two snapshots.
@@ -31,7 +31,7 @@
 //! the NTT hot path — see `BENCH_metrics.json`). Enabled recording is one
 //! relaxed `fetch_add` per histogram bucket plus the `Instant` pair at the
 //! call site; registry lookups on hot paths are amortised by caching the
-//! returned [`Handle`]s.
+//! returned handles.
 //!
 //! ```rust
 //! neo_metrics::enable();

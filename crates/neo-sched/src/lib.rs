@@ -36,6 +36,6 @@ pub use exec::{RetryRun, TaskGraph};
 pub use graph::{FusionStats, NodeId, OpGraph, OpNode};
 pub use metrics::publish_utilization;
 pub use sim::{
-    chrome_trace, simulate, simulate_best, try_simulate, CompletionFaults, EngineBusy,
-    NodeTimeline, Schedule, SimConfig,
+    chrome_trace, estimate_makespan, estimate_makespan_best, simulate, simulate_best, try_simulate,
+    CompletionFaults, EngineBusy, NodeTimeline, Schedule, SimConfig,
 };

@@ -44,6 +44,7 @@ use neo_fault::{CompletionFault, FaultSite};
 use neo_gpu_sim::DeviceModel;
 use neo_trace::SimSpan;
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// Simulator knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -204,6 +205,30 @@ pub fn simulate_best(g: &OpGraph, dev: &DeviceModel, max_streams: usize) -> Sche
         .map(|s| simulate(g, dev, SimConfig::streams(s)))
         .min_by(|a, b| a.makespan_s.total_cmp(&b.makespan_s))
         .expect("at least one stream count")
+}
+
+/// The simulated makespan of `g` on `streams` streams, as a [`Duration`]
+/// — the cost-oracle entry point for callers (serve admission, a future
+/// planner) that need *a price*, not a full [`Schedule`].
+///
+/// Identical to `simulate(g, dev, SimConfig::streams(streams)).makespan_s`
+/// (tested below); exists so every admission policy doesn't re-derive the
+/// `SimConfig` / `Schedule` boilerplate.
+pub fn estimate_makespan(g: &OpGraph, dev: &DeviceModel, streams: usize) -> Duration {
+    Duration::from_secs_f64(simulate(g, dev, SimConfig::streams(streams)).makespan_s)
+}
+
+/// Sweeps `1..=max_streams` like [`simulate_best`] and returns the
+/// winning `(stream_count, makespan)` pair — what an admission policy
+/// needs to both price a candidate batch and pick the stream count its
+/// execution should request.
+pub fn estimate_makespan_best(
+    g: &OpGraph,
+    dev: &DeviceModel,
+    max_streams: usize,
+) -> (usize, Duration) {
+    let best = simulate_best(g, dev, max_streams);
+    (best.streams, Duration::from_secs_f64(best.makespan_s))
 }
 
 /// Phase A: static greedy list scheduling. Nodes are visited in
@@ -728,6 +753,31 @@ mod tests {
             plan.recovered(FaultSite::SchedCompletion),
             plan.injected(FaultSite::SchedCompletion)
         );
+    }
+
+    /// The makespan-oracle helpers agree exactly with the schedules they
+    /// wrap: `estimate_makespan` with `simulate`, `estimate_makespan_best`
+    /// with `simulate_best` (same winning stream count, same makespan).
+    #[test]
+    fn estimate_helpers_match_schedules() {
+        let dev = unit_device();
+        let mut g = OpGraph::new();
+        let a = g.add(kern("a", 1.0, 1.0, 1.0), false, 0);
+        g.add(kern("b", 2.0, 0.0, 1.0), false, 1);
+        let c = g.add(kern("c", 1.0, 2.0, 0.5), false, 2);
+        g.depend(a, c);
+        for streams in 1..=4 {
+            let sched = simulate(&g, &dev, SimConfig::streams(streams));
+            let est = estimate_makespan(&g, &dev, streams);
+            assert!((est.as_secs_f64() - sched.makespan_s).abs() < 1e-12);
+        }
+        let best = simulate_best(&g, &dev, 4);
+        let (streams, est) = estimate_makespan_best(&g, &dev, 4);
+        assert_eq!(streams, best.streams);
+        assert!((est.as_secs_f64() - best.makespan_s).abs() < 1e-12);
+        // More streams can only help (simulate_best is monotone).
+        let (_, est1) = estimate_makespan_best(&g, &dev, 1);
+        assert!(est <= est1);
     }
 
     /// Chrome trace export mentions every kernel and every stream track.

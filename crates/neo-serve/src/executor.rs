@@ -1,0 +1,201 @@
+//! Executor bridge: runs a coalesced batch against the tenants' engines.
+//!
+//! Key warm-up runs **serially, in admission order, before the parallel
+//! region**: each tenant's key chest draws from its own deterministic
+//! RNG, and warming from worker threads would make the generated keys
+//! depend on thread timing. With every key cached up front, the
+//! per-request executions are free to run concurrently on the rayon
+//! pool — requests are independent (separate tenants or separate
+//! programs), and each one runs its own program *serially* inside, so
+//! results are bit-identical to a fully serial pass.
+
+use crate::admission::CoalescedBatch;
+use crate::tenant::{TenantId, TenantRegistry};
+use neo_ckks::{Ciphertext, NeoError};
+use neo_trace::SpanGuard;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// The service's answer to one request.
+#[derive(Debug)]
+pub struct Response {
+    /// The id [`crate::ServiceCore::submit`] returned, or `0` if the
+    /// request was shed at admission (it never entered the queue).
+    pub request_id: u64,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Whole-batch outcome: per-op results on success, or the structural
+    /// error (shed, warm-up failure, malformed program) that prevented
+    /// execution.
+    pub outcome: Result<Vec<Result<Ciphertext, NeoError>>, NeoError>,
+    /// Retries the engine attempted across the program's ops.
+    pub retries: u32,
+    /// Detected faults retry absorbed (results still bit-exact).
+    pub faults_recovered: u32,
+    /// Time from submission to batch formation.
+    pub queue: Duration,
+    /// Time executing the request inside its batch.
+    pub exec: Duration,
+    /// Requests in the coalesced batch this one ran in (0 when shed).
+    pub batch_requests: usize,
+    /// Stream count the cost oracle picked for the batch (0 when shed).
+    pub streams: usize,
+}
+
+impl Response {
+    /// A response for a request shed before entering the queue.
+    pub(crate) fn shed(tenant: TenantId, err: NeoError) -> Self {
+        Self {
+            request_id: 0,
+            tenant,
+            outcome: Err(err),
+            retries: 0,
+            faults_recovered: 0,
+            queue: Duration::ZERO,
+            exec: Duration::ZERO,
+            batch_requests: 0,
+            streams: 0,
+        }
+    }
+}
+
+/// Wall-clock accounting for one executed batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchStats {
+    /// Requests coalesced into the batch.
+    pub requests: usize,
+    /// Total `BatchOp`s across the batch.
+    pub total_ops: usize,
+    /// Stream count the cost oracle picked.
+    pub streams: usize,
+    /// The oracle's simulated makespan for the merged graph.
+    pub est_makespan: Duration,
+    /// Host wall time actually spent executing the batch.
+    pub exec_wall: Duration,
+}
+
+/// Executes a coalesced batch: serial deterministic warm-up, then the
+/// per-request executions in admission order — concurrently across
+/// requests when `parallel` is set, each request serial inside.
+pub fn execute_coalesced(
+    registry: &TenantRegistry,
+    batch: CoalescedBatch,
+    parallel: bool,
+) -> (Vec<Response>, BatchStats) {
+    let _span = SpanGuard::enter("serve_batch", || {
+        format!(
+            "requests={} ops={} streams={}",
+            batch.requests.len(),
+            batch.total_ops,
+            batch.streams
+        )
+    });
+    let t0 = Instant::now();
+    let n_requests = batch.requests.len();
+    let streams = batch.streams;
+    let est_makespan = batch.est_makespan;
+    let total_ops = batch.total_ops;
+
+    // Phase 1 — deterministic warm-up, admission order. A request whose
+    // warm-up fails is answered with the error and skipped in phase 2
+    // (its key material may be incomplete).
+    let mut warm: Vec<Option<NeoError>> = Vec::with_capacity(n_requests);
+    for req in &batch.requests {
+        let res = match registry.get(req.tenant) {
+            Some(session) => session.engine().warm_program(&req.program, req.level).err(),
+            None => Some(NeoError::invalid_params(format!(
+                "tenant {} vanished between admission and execution",
+                req.tenant
+            ))),
+        };
+        warm.push(res);
+    }
+
+    // Phase 2 — execute. Collect preserves input order, so responses come
+    // back in admission order regardless of rayon's schedule.
+    let run_one = |(idx, req): (usize, &crate::admission::QueuedRequest)| -> Response {
+        let _rspan = SpanGuard::enter("serve_request", || {
+            format!("tenant={} request={}", req.tenant, req.id)
+        });
+        let queued = t0.saturating_duration_since(req.submitted);
+        let e0 = Instant::now();
+        let (outcome, retries, recovered) = match (&warm[idx], registry.get(req.tenant)) {
+            (Some(err), _) => (Err(err.clone()), 0, 0),
+            (None, None) => (
+                Err(NeoError::invalid_params(format!(
+                    "tenant {} vanished between admission and execution",
+                    req.tenant
+                ))),
+                0,
+                0,
+            ),
+            (None, Some(session)) => {
+                match session.engine().execute_batch_with_report(
+                    &req.program,
+                    &req.inputs,
+                    false,
+                    session.config().max_retries,
+                ) {
+                    Ok(report) => {
+                        let r = report.total_retries();
+                        let f = report.total_recovered();
+                        (Ok(report.results), r, f)
+                    }
+                    Err(e) => (Err(e), 0, 0),
+                }
+            }
+        };
+        Response {
+            request_id: req.id,
+            tenant: req.tenant,
+            outcome,
+            retries,
+            faults_recovered: recovered,
+            queue: queued,
+            exec: e0.elapsed(),
+            batch_requests: n_requests,
+            streams,
+        }
+    };
+
+    let indexed: Vec<(usize, &crate::admission::QueuedRequest)> =
+        batch.requests.iter().enumerate().collect();
+    let responses: Vec<Response> = if parallel {
+        indexed.into_par_iter().map(run_one).collect()
+    } else {
+        indexed.into_iter().map(run_one).collect()
+    };
+
+    // Post-execution accounting, serial so budget charges are ordered.
+    for resp in &responses {
+        if let Some(session) = registry.get(resp.tenant) {
+            session.charge_recovery(u64::from(resp.retries) + u64::from(resp.faults_recovered));
+            session.note_completed();
+            session.release_inflight();
+        }
+    }
+
+    let exec_wall = t0.elapsed();
+    crate::metrics::note_batch(
+        n_requests,
+        exec_wall.as_nanos() as u64,
+        est_makespan.as_micros() as u64,
+    );
+    for resp in &responses {
+        crate::metrics::note_response(
+            resp.queue.as_nanos() as u64,
+            (resp.queue + resp.exec).as_nanos() as u64,
+        );
+    }
+
+    (
+        responses,
+        BatchStats {
+            requests: n_requests,
+            total_ops,
+            streams,
+            est_makespan,
+            exec_wall,
+        },
+    )
+}

@@ -38,6 +38,9 @@ pub use neo_ntt as ntt;
 /// Kernel-DAG scheduling: fusion rewrites, the discrete-event multi-stream
 /// simulator, and the rayon wavefront batch executor.
 pub use neo_sched as sched;
+/// Multi-tenant serving: per-tenant sessions over a shared context,
+/// sim-priced admission and batch coalescing, typed backpressure.
+pub use neo_serve as serve;
 /// Tensor-core fragment emulation (FP64 / INT8) and splitting schemes.
 pub use neo_tcu as tcu;
 /// Runtime telemetry: work counters, spans, and trace exporters.

@@ -33,6 +33,7 @@ const NTT_STAGE_TRIALS: u64 = 300;
 const NTT_PLAN_TRIALS: u64 = 100;
 const SCHED_TRIALS: u64 = 250;
 const CKKS_TRIALS: u64 = 100;
+const SERVE_TRIALS: u64 = 50;
 
 fn test_lock() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
@@ -83,7 +84,8 @@ fn assert_batch_sound(report: &BatchReport, clean: &[Ciphertext], trial: u64, se
 #[allow(clippy::assertions_on_constants)] // the point: pin the trial-count floor
 fn the_matrix_covers_at_least_1000_trials() {
     assert!(
-        TCU_TRIALS + NTT_STAGE_TRIALS + NTT_PLAN_TRIALS + SCHED_TRIALS + CKKS_TRIALS >= 1000,
+        TCU_TRIALS + NTT_STAGE_TRIALS + NTT_PLAN_TRIALS + SCHED_TRIALS + CKKS_TRIALS + SERVE_TRIALS
+            >= 1000,
         "fault matrix shrank below the 1000-trial floor"
     );
 }
@@ -279,6 +281,79 @@ fn ckks_op_matrix() {
     assert!(
         injected >= CKKS_TRIALS / 4,
         "matrix is vacuous: only {injected} injections over {CKKS_TRIALS} trials"
+    );
+}
+
+/// The same no-silent-corruption contract, asserted through the serving
+/// layer: coalesced multi-tenant batches under spurious op faults must
+/// return, per tenant, either that tenant's serial fault-free bits or a
+/// typed error — never a neighbour's fault leaking across sessions.
+#[test]
+fn serve_layer_matrix() {
+    let _l = test_lock();
+    use neo::serve::{ServeConfig, ServiceCore, TenantConfig, TenantRegistry};
+    const TENANTS: u64 = 3;
+    let registry = Arc::new(TenantRegistry::new(CkksParams::test_tiny()).unwrap());
+    let mut clean = Vec::new();
+    for id in 0..TENANTS {
+        let cfg = TenantConfig {
+            policy: OpPolicy {
+                verify: VerifyPolicy::Always,
+                ..OpPolicy::default()
+            },
+            fault_budget: u64::MAX, // budget shedding is tested elsewhere
+            ..TenantConfig::default()
+        };
+        let s = registry.register(id, engine_seed() + id, cfg).unwrap();
+        let (prog, cts) = batch_fixture(s.engine());
+        let reference = unwrap_all(s.engine().execute_batch(&prog, &cts, false).unwrap());
+        clean.push((prog, cts, reference));
+    }
+    let mut core = ServiceCore::new(Arc::clone(&registry), ServeConfig::default());
+
+    let mut injected = 0u64;
+    for trial in 0..SERVE_TRIALS {
+        let seed = 0x5e77e00 + trial;
+        for id in 0..TENANTS {
+            let (prog, cts, _) = &clean[id as usize];
+            core.submit(id, prog.clone(), cts.clone()).unwrap();
+        }
+        let plan = Arc::new(FaultPlan::new(seed).with_site(
+            FaultSite::CkksOp,
+            FaultSpec::with_probability_ppm(400_000).max_fires(3),
+        ));
+        let scope = FaultScope::install(plan.clone());
+        let responses = core.run_until_idle();
+        drop(scope);
+        injected += plan.injected(FaultSite::CkksOp);
+
+        assert_eq!(
+            responses.len(),
+            TENANTS as usize,
+            "trial {trial} (seed {seed}): a tenant was starved"
+        );
+        for resp in &responses {
+            let reference = &clean[resp.tenant as usize].2;
+            match &resp.outcome {
+                Ok(results) => {
+                    for (i, r) in results.iter().enumerate() {
+                        match r {
+                            Ok(ct) => assert_eq!(
+                                ct, &reference[i],
+                                "trial {trial} (seed {seed}): SILENT CORRUPTION for tenant {} op {i}",
+                                resp.tenant
+                            ),
+                            Err(e) => assert_detected(e, trial, seed),
+                        }
+                    }
+                }
+                Err(e) => assert_detected(e, trial, seed),
+            }
+        }
+    }
+    assert!(
+        injected >= SERVE_TRIALS / 4,
+        "matrix is vacuous: only {injected} injections over {SERVE_TRIALS} trials"
     );
 }
 

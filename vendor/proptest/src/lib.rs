@@ -60,6 +60,38 @@ pub mod strategy {
     }
 }
 
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with a length drawn from `len` and each
+    /// element drawn independently from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — as in upstream proptest.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 /// Test execution: configuration, case errors, and the runner loop.
 pub mod test_runner {
     use rand::rngs::StdRng;
@@ -223,6 +255,7 @@ macro_rules! prop_assert_eq {
 
 /// The glob-import surface used by test files.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::strategy::{any, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, proptest};
