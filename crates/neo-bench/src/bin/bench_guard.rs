@@ -2,7 +2,8 @@
 //!
 //! Re-runs the tracked micro-kernels (portable backend, the same setups
 //! as `backend_bench`) plus the deterministic 4-stream KLSS HMult
-//! schedule, compares each median against the committed baselines in
+//! schedule and the `neo-plan` autotuner's planned-HMult makespan,
+//! compares each median against the committed baselines in
 //! `results/baselines.json`, and applies the [`neo_bench::guard`] policy:
 //! >15% slower fails the build (exit 1), >7% warns.
 //!
@@ -164,6 +165,22 @@ fn main() {
     }
     let serve_batch = queue.coalesce(&p, &dev).expect("eight requests queued");
 
+    // Deterministic planner kernel: the autotuner's chosen makespan for
+    // the eight-copy HMult batch (plan_bench's flagship workload). A
+    // regression here means either the simulator got slower-looking or
+    // the sweep stopped finding the winning configuration.
+    let mut plan_prog = BatchProgram::new();
+    for i in 0..8 {
+        let m = plan_prog
+            .try_push(BatchOp::HMult(Slot::Input(i), Slot::Input(i)))
+            .expect("push");
+        plan_prog.try_push(BatchOp::Rescale(m)).expect("push");
+    }
+    let planner = neo_plan::Planner::new(p.clone(), dev.clone());
+    let hmult_plan = planner
+        .plan_program(&plan_prog, 35)
+        .expect("plan space has feasible candidates");
+
     // --- Guard evaluation. ---
     let baselines = match Baselines::load(Path::new(BASELINE_PATH)) {
         Ok(b) => b.unwrap_or_default(),
@@ -183,6 +200,10 @@ fn main() {
         (
             "serve_coalesce8_makespan",
             guard::apply_injection(serve_batch.est_makespan.as_secs_f64()),
+        ),
+        (
+            "plan_hmult8_makespan",
+            guard::apply_injection(hmult_plan.predicted_makespan_s),
         ),
     ];
     let results: Vec<GuardResult> = measured
@@ -213,7 +234,10 @@ fn main() {
     );
     for r in &results {
         let unit_time = |v: f64| {
-            if r.kernel.starts_with("sched_") || r.kernel.starts_with("serve_") {
+            if r.kernel.starts_with("sched_")
+                || r.kernel.starts_with("serve_")
+                || r.kernel.starts_with("plan_")
+            {
                 fmt_time(v)
             } else {
                 fmt_time(v / 1e9)

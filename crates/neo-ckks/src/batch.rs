@@ -98,7 +98,7 @@ fn backoff(attempt: u32) {
 }
 
 /// An operand of a batch operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Slot {
     /// The `i`-th input ciphertext of the batch.
     Input(usize),
@@ -107,7 +107,7 @@ pub enum Slot {
 }
 
 /// One ciphertext operation of a batch program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BatchOp {
     /// Ciphertext × ciphertext with relinearization.
     HMult(Slot, Slot),
@@ -171,12 +171,6 @@ impl BatchProgram {
         }
         self.ops.push(op);
         Ok(Slot::Op(self.ops.len() - 1))
-    }
-
-    /// Appends an operation; aborts on a forward operand reference.
-    #[deprecated(since = "0.2.0", note = "use `try_push`")]
-    pub fn push(&mut self, op: BatchOp) -> Slot {
-        self.try_push(op).expect("push")
     }
 
     /// The level each operation *runs at* (its input level; a rescale's

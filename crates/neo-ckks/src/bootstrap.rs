@@ -73,12 +73,6 @@ impl BootstrapPlan {
         Ok(plan)
     }
 
-    /// Deprecated form of [`Self::try_standard`] without validation.
-    #[deprecated(since = "0.2.0", note = "use `try_standard`")]
-    pub fn standard(p: &CkksParams) -> Self {
-        Self::unchecked_standard(p)
-    }
-
     fn unchecked_standard(p: &CkksParams) -> Self {
         let slots = p.slots().max(2);
         let stages = 3usize;

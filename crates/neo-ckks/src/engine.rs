@@ -16,6 +16,7 @@ use crate::encoding::{Complex64, Encoder};
 use crate::keys::{describe_target, KeyChest, KeyTarget, PublicKey, SecretKey};
 use crate::linear::LinearTransform;
 use crate::params::{CkksParams, KsMethod};
+use crate::plan::ExecPlan;
 use crate::{linear, ops};
 use neo_error::NeoError;
 use neo_fault::{VerifyPolicy, VerifyScope};
@@ -83,6 +84,7 @@ pub struct FheEngine {
     pk: PublicKey,
     method: KsMethod,
     policy: OpPolicy,
+    plan: Option<ExecPlan>,
     rng: Mutex<StdRng>,
 }
 
@@ -122,6 +124,7 @@ impl FheEngine {
             pk,
             method,
             policy: OpPolicy::default(),
+            plan: None,
             rng: Mutex::new(rng),
         }
     }
@@ -140,9 +143,49 @@ impl FheEngine {
 
     /// Overrides the key-switching method (defaults to KLSS when the
     /// parameter set carries a KLSS configuration, Hybrid otherwise).
+    #[deprecated(
+        since = "0.3.0",
+        note = "install an `ExecPlan` via `with_plan` (the planned surface \
+                replaces per-knob setters)"
+    )]
     pub fn with_method(mut self, method: KsMethod) -> Self {
         self.method = method;
         self
+    }
+
+    /// Installs an execution plan: the session adopts the plan's
+    /// key-switching method and verify policy, and
+    /// [`Self::execute_batch_planned`] honors its stream choice. The
+    /// single planned entry point replacing the per-knob setters
+    /// (`with_method`, manual `OpPolicy.verify` edits, ad-hoc
+    /// parallelism flags).
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::ParameterMismatch`] if the plan was tuned on a
+    /// different compute backend than this session runs on — a cached
+    /// plan only replays on the backend it was priced for.
+    pub fn with_plan(mut self, plan: &ExecPlan) -> Result<Self, NeoError> {
+        let backend = self.backend();
+        if plan.backend != backend {
+            return Err(NeoError::parameter_mismatch(
+                "with_plan",
+                format!(
+                    "plan was tuned on the {} backend but this session runs {}",
+                    plan.backend.name(),
+                    backend.name()
+                ),
+            ));
+        }
+        self.method = plan.method;
+        self.policy.verify = plan.verify;
+        self.plan = Some(*plan);
+        Ok(self)
+    }
+
+    /// The installed execution plan, if any.
+    pub fn plan(&self) -> Option<&ExecPlan> {
+        self.plan.as_ref()
     }
 
     /// Overrides the guardrail policy.
@@ -504,6 +547,30 @@ impl FheEngine {
     ) -> Result<Vec<Result<Ciphertext, NeoError>>, NeoError> {
         let _v = VerifyScope::enter(self.policy.verify);
         prog.execute(&self.chest, inputs, self.method, parallel)
+    }
+
+    /// Runs a batch program under the installed [`ExecPlan`]: the
+    /// plan's method and verify policy are already active on the
+    /// session, and its stream choice decides serial vs parallel
+    /// execution. Outputs are bit-identical to
+    /// [`Self::execute_batch`] under the same key-switching method —
+    /// fusion, streams and verify are timing-side knobs.
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::InvalidParams`] if no plan is installed; otherwise
+    /// as [`Self::execute_batch`].
+    pub fn execute_batch_planned(
+        &self,
+        prog: &BatchProgram,
+        inputs: &[Ciphertext],
+    ) -> Result<Vec<Result<Ciphertext, NeoError>>, NeoError> {
+        let plan = self.plan.as_ref().ok_or_else(|| {
+            NeoError::invalid_params(
+                "execute_batch_planned requires a plan — install one with FheEngine::with_plan",
+            )
+        })?;
+        self.execute_batch(prog, inputs, plan.parallel())
     }
 
     /// [`Self::execute_batch`] with explicit retry control and recovery

@@ -23,9 +23,13 @@
 //! # }
 //! ```
 //!
-//! The free functions in [`ops`] remain available in fallible `try_*`
-//! form; the original panicking names are deprecated and will be removed
-//! after one release.
+//! The free functions in [`ops`] are available in fallible `try_*` form
+//! (the original panicking names were removed after their one-release
+//! migration window). Performance knobs — key-switching method, fusion,
+//! stream count, verify policy, backend — travel as a typed
+//! [`ExecPlan`] installed via [`FheEngine::with_plan`]; the `neo-plan`
+//! crate's autotuner produces one by sweeping the knob space through the
+//! `neo-sched` simulator.
 
 // Library code must surface failures as typed `NeoError`s, never by
 // unwrapping; tests may unwrap freely.
@@ -46,6 +50,7 @@ pub(crate) mod metrics;
 pub mod noise;
 pub mod ops;
 pub mod params;
+pub mod plan;
 pub mod sched;
 
 pub use batch::{BatchOp, BatchProgram, BatchReport, Slot, DEFAULT_MAX_RETRIES};
@@ -59,3 +64,4 @@ pub use neo_error::{ErrorKind, NeoError};
 pub use neo_fault::VerifyPolicy;
 pub use neo_math::BackendKind;
 pub use params::{CkksParams, CkksParamsBuilder, KlssConfig, KsMethod, ParamSet};
+pub use plan::ExecPlan;

@@ -79,18 +79,6 @@ impl LinearTransform {
         Ok(Self { slots, diagonals })
     }
 
-    /// Builds from a dense matrix; aborts if it is not square.
-    #[deprecated(since = "0.2.0", note = "use `try_from_matrix`")]
-    pub fn from_matrix(rows: &[Vec<Complex64>]) -> Self {
-        Self::try_from_matrix(rows).expect("from_matrix")
-    }
-
-    /// Builds from diagonals; aborts on malformed input.
-    #[deprecated(since = "0.2.0", note = "use `try_from_diagonals`")]
-    pub fn from_diagonals(slots: usize, diagonals: BTreeMap<usize, Vec<Complex64>>) -> Self {
-        Self::try_from_diagonals(slots, diagonals).expect("from_diagonals")
-    }
-
     /// Number of non-zero diagonals (= rotations per application).
     pub fn diagonal_count(&self) -> usize {
         self.diagonals.len()
@@ -147,21 +135,6 @@ impl LinearTransform {
         }
         let acc = acc.ok_or_else(|| NeoError::invalid_params("transform has no diagonals"))?;
         ops::try_rescale(ctx, &acc)
-    }
-
-    /// Deprecated panicking form of [`Self::try_apply`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `try_apply` or `FheEngine::apply_transform`"
-    )]
-    pub fn apply(
-        &self,
-        chest: &KeyChest,
-        enc: &Encoder,
-        ct: &Ciphertext,
-        method: KsMethod,
-    ) -> Ciphertext {
-        self.try_apply(chest, enc, ct, method).expect("apply")
     }
 
     fn check_slots(&self, enc: &Encoder) -> Result<(), NeoError> {
@@ -253,23 +226,6 @@ impl LinearTransform {
         let acc = acc.ok_or_else(|| NeoError::invalid_params("transform has no diagonals"))?;
         ops::try_rescale(ctx, &acc)
     }
-
-    /// Deprecated panicking form of [`Self::try_apply_bsgs`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `try_apply_bsgs` or `FheEngine::apply_transform_bsgs`"
-    )]
-    pub fn apply_bsgs(
-        &self,
-        chest: &KeyChest,
-        enc: &Encoder,
-        ct: &Ciphertext,
-        baby: usize,
-        method: KsMethod,
-    ) -> Ciphertext {
-        self.try_apply_bsgs(chest, enc, ct, baby, method)
-            .expect("apply_bsgs")
-    }
 }
 
 /// Evaluates a real-coefficient polynomial `p(x) = c_0 + c_1 x + …` on a
@@ -319,21 +275,6 @@ pub fn try_eval_polynomial(
         acc = ops::try_padd(ctx, &acc, &constant(coeffs[i], acc.level(), acc.scale()))?;
     }
     Ok(acc)
-}
-
-/// Deprecated panicking form of [`try_eval_polynomial`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `try_eval_polynomial` or `FheEngine::eval_polynomial`"
-)]
-pub fn eval_polynomial(
-    chest: &KeyChest,
-    enc: &Encoder,
-    ct: &Ciphertext,
-    coeffs: &[f64],
-    method: KsMethod,
-) -> Ciphertext {
-    try_eval_polynomial(chest, enc, ct, coeffs, method).expect("eval_polynomial")
 }
 
 #[cfg(test)]

@@ -454,91 +454,3 @@ pub fn try_level_reduce(ct: &Ciphertext, level: usize) -> Result<Ciphertext, Neo
     c1.truncate_limbs(level + 1);
     Ok(Ciphertext::new(c0, c1, ct.scale(), level))
 }
-
-// --- Deprecated panicking wrappers (one-release migration window). ---
-
-/// Encrypts a plaintext under the public key.
-#[deprecated(since = "0.2.0", note = "use `try_encrypt` or `FheEngine::encrypt`")]
-pub fn encrypt<R: Rng + ?Sized>(
-    ctx: &CkksContext,
-    pk: &PublicKey,
-    pt: &Plaintext,
-    rng: &mut R,
-) -> Ciphertext {
-    try_encrypt(ctx, pk, pt, rng).expect("encrypt")
-}
-
-/// Decrypts: `m = c0 + c1·s`.
-#[deprecated(since = "0.2.0", note = "use `try_decrypt` or `FheEngine::decrypt`")]
-pub fn decrypt(ctx: &CkksContext, sk: &SecretKey, ct: &Ciphertext) -> Plaintext {
-    try_decrypt(ctx, sk, ct).expect("decrypt")
-}
-
-/// HADD: ciphertext + ciphertext; aborts on level/scale mismatch.
-#[deprecated(since = "0.2.0", note = "use `try_hadd` or `FheEngine::hadd`")]
-pub fn hadd(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-    try_hadd(ctx, a, b).expect("hadd")
-}
-
-/// HSUB: ciphertext − ciphertext; aborts on level/scale mismatch.
-#[deprecated(since = "0.2.0", note = "use `try_hsub` or `FheEngine::hsub`")]
-pub fn hsub(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-    try_hsub(ctx, a, b).expect("hsub")
-}
-
-/// PADD: ciphertext + plaintext; aborts on level/scale mismatch.
-#[deprecated(since = "0.2.0", note = "use `try_padd` or `FheEngine::padd`")]
-pub fn padd(ctx: &CkksContext, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-    try_padd(ctx, a, pt).expect("padd")
-}
-
-/// PMULT: ciphertext × plaintext; aborts on level mismatch.
-#[deprecated(since = "0.2.0", note = "use `try_pmult` or `FheEngine::pmult`")]
-pub fn pmult(ctx: &CkksContext, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-    try_pmult(ctx, a, pt).expect("pmult")
-}
-
-/// HMULT with relinearization; aborts on level mismatch or key failure.
-#[deprecated(since = "0.2.0", note = "use `try_hmult` or `FheEngine::hmult`")]
-pub fn hmult(chest: &KeyChest, a: &Ciphertext, b: &Ciphertext, method: KsMethod) -> Ciphertext {
-    try_hmult(chest, a, b, method).expect("hmult")
-}
-
-/// HROTATE by `steps` slots; aborts on key failure.
-#[deprecated(since = "0.2.0", note = "use `try_hrotate` or `FheEngine::hrotate`")]
-pub fn hrotate(chest: &KeyChest, a: &Ciphertext, steps: usize, method: KsMethod) -> Ciphertext {
-    try_hrotate(chest, a, steps, method).expect("hrotate")
-}
-
-/// Complex conjugation of all slots; aborts on key failure.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `try_hconjugate` or `FheEngine::hconjugate`"
-)]
-pub fn hconjugate(chest: &KeyChest, a: &Ciphertext, method: KsMethod) -> Ciphertext {
-    try_hconjugate(chest, a, method).expect("hconjugate")
-}
-
-/// Rescale by the last chain prime; aborts at level 0.
-#[deprecated(since = "0.2.0", note = "use `try_rescale` or `FheEngine::rescale`")]
-pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Ciphertext {
-    try_rescale(ctx, ct).expect("rescale")
-}
-
-/// Two consecutive rescales; aborts below level 2.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `try_double_rescale` or `FheEngine::double_rescale`"
-)]
-pub fn double_rescale(ctx: &CkksContext, ct: &Ciphertext) -> Ciphertext {
-    try_double_rescale(ctx, ct).expect("double_rescale")
-}
-
-/// Drops limbs to bring `ct` down to `level`; aborts on a raise attempt.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `try_level_reduce` or `FheEngine::level_reduce`"
-)]
-pub fn level_reduce(ct: &Ciphertext, level: usize) -> Ciphertext {
-    try_level_reduce(ct, level).expect("level_reduce")
-}

@@ -8,7 +8,7 @@ use neo_math::{BackendKind, MathError};
 use serde::{Deserialize, Serialize};
 
 /// KLSS key-switching configuration (Section 2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct KlssConfig {
     /// Bit width of the auxiliary `R_T` primes (`WordSize_T`).
     pub word_size_t: u32,
@@ -17,7 +17,7 @@ pub struct KlssConfig {
 }
 
 /// Which key-switching method an evaluation uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum KsMethod {
     /// The conventional Hybrid method.
     Hybrid,

@@ -24,9 +24,12 @@
 
 use crate::tenant::TenantId;
 use neo_ckks::cost::CostConfig;
-use neo_ckks::{BatchProgram, Ciphertext, NeoError};
+use neo_ckks::{BatchProgram, Ciphertext, ExecPlan, NeoError, VerifyPolicy};
 use neo_gpu_sim::DeviceModel;
+use neo_plan::{param_fingerprint, program_shape, PlanKey, PlanStore};
 use neo_sched::{estimate_makespan, estimate_makespan_best, OpGraph};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Prices one request: the simulated single-stream makespan of its
@@ -73,6 +76,14 @@ pub struct AdmissionConfig {
     /// from the top of the chain: a request `d` levels below the
     /// functional ceiling prices `d` levels below the pricing ceiling.
     pub pricing_params: Option<neo_ckks::CkksParams>,
+    /// Plan cache shared with the `neo-plan` autotuner. When set, a
+    /// coalesced batch whose (pricing fingerprint, shape) key hits the
+    /// cache reuses the cached stream choice and predicted makespan
+    /// instead of re-running the [`estimate_makespan_best`] sweep — the
+    /// sweep the planner already paid for. Misses run the sweep and
+    /// populate the cache. Cache-served admissions are counted by
+    /// `serve_plan_admissions_total`.
+    pub plan_store: Option<Arc<PlanStore>>,
 }
 
 impl Default for AdmissionConfig {
@@ -85,6 +96,7 @@ impl Default for AdmissionConfig {
             max_streams: 4,
             cost: CostConfig::neo(),
             pricing_params: None,
+            plan_store: None,
         }
     }
 }
@@ -251,7 +263,42 @@ impl AdmissionQueue {
             req.program
                 .append_kernel_graph(&mut graph, pricing, lvl, &self.cfg.cost, i);
         }
+        // Plan-cache fast path: an identically-shaped batch under the
+        // same pricing parameters was already swept (by the planner or a
+        // previous coalesce) — reuse its stream choice and estimate
+        // rather than paying the sweep again.
+        let key = self
+            .cfg
+            .plan_store
+            .as_ref()
+            .map(|_| batch_plan_key(pricing, params, &requests));
+        if let (Some(store), Some(key)) = (&self.cfg.plan_store, key) {
+            if let Some(plan) = store.get(&key) {
+                crate::metrics::note_plan_admission();
+                return Some(CoalescedBatch {
+                    requests,
+                    graph,
+                    streams: plan.streams,
+                    est_makespan: Duration::from_secs_f64(plan.predicted_makespan_s),
+                    total_ops,
+                });
+            }
+        }
         let (streams, est) = estimate_makespan_best(&graph, dev, self.cfg.max_streams);
+        if let (Some(store), Some(key)) = (&self.cfg.plan_store, key) {
+            store.insert(
+                key,
+                ExecPlan {
+                    method: self.cfg.cost.method,
+                    word_size_t: pricing.klss.map(|k| k.word_size_t),
+                    fusion: false,
+                    streams,
+                    verify: VerifyPolicy::Off,
+                    backend: pricing.backend,
+                    predicted_makespan_s: est.as_secs_f64(),
+                },
+            );
+        }
         Some(CoalescedBatch {
             requests,
             graph,
@@ -259,6 +306,25 @@ impl AdmissionQueue {
             est_makespan: est,
             total_ops,
         })
+    }
+}
+
+/// Cache key of a coalesced batch: the pricing-parameter fingerprint
+/// plus the combined shape of the admitted programs at their mapped
+/// pricing levels, in priority order.
+fn batch_plan_key(
+    pricing: &neo_ckks::CkksParams,
+    functional: &neo_ckks::CkksParams,
+    requests: &[QueuedRequest],
+) -> PlanKey {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for req in requests {
+        let lvl = pricing_level(req.level, functional, pricing);
+        program_shape(&req.program, lvl).hash(&mut h);
+    }
+    PlanKey {
+        fingerprint: param_fingerprint(pricing),
+        shape: h.finish(),
     }
 }
 
@@ -351,6 +417,38 @@ mod tests {
         let batch = q.coalesce(&params, &dev).expect("batch");
         assert_eq!(batch.requests.len(), 1, "budget cuts after the head");
         assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn plan_cache_serves_repeat_batches_without_resweep() {
+        let params = CkksParams::test_tiny();
+        let dev = DeviceModel::a100();
+        let store = Arc::new(PlanStore::new());
+        let cfg = AdmissionConfig {
+            plan_store: Some(Arc::clone(&store)),
+            ..AdmissionConfig::default()
+        };
+        let mut q = AdmissionQueue::new(cfg);
+        q.try_enqueue(req(0, 1, 50.0, 3, 2)).expect("enqueue");
+        let first = q.coalesce(&params, &dev).expect("batch");
+        assert_eq!(store.misses(), 1, "first batch sweeps and caches");
+        assert_eq!(store.len(), 1);
+
+        // An identically-shaped batch must be served from the cache.
+        q.try_enqueue(req(1, 1, 50.0, 3, 2)).expect("enqueue");
+        let second = q.coalesce(&params, &dev).expect("batch");
+        assert_eq!(store.hits(), 1, "repeat shape hits the cache");
+        assert_eq!(second.streams, first.streams);
+        assert!(
+            (second.est_makespan.as_secs_f64() - first.est_makespan.as_secs_f64()).abs() < 1e-9,
+            "cached estimate must round-trip"
+        );
+
+        // A differently-shaped batch (more ops) must miss and re-sweep.
+        q.try_enqueue(req(2, 1, 50.0, 3, 4)).expect("enqueue");
+        q.coalesce(&params, &dev).expect("batch");
+        assert_eq!(store.misses(), 2, "perturbed shape misses");
+        assert_eq!(store.len(), 2);
     }
 
     #[test]

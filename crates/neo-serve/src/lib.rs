@@ -16,7 +16,9 @@
 //!   [`neo_sched`] discrete-event simulator — each candidate's kernel
 //!   graph is appended to the forming batch and the merged graph's
 //!   [`neo_sched::estimate_makespan_best`] verdict decides the cut-off
-//!   and the stream count.
+//!   and the stream count. With a shared `neo-plan` cache attached
+//!   ([`AdmissionConfig::plan_store`]), repeat batch shapes reuse the
+//!   cached stream choice instead of re-running the sweep.
 //! * [`executor`] — bridges coalesced batches onto the engines:
 //!   deterministic serial key warm-up, then bit-identical concurrent
 //!   per-request execution.

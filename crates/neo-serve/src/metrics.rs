@@ -10,6 +10,8 @@
 //! * `serve_batch_exec_ns` / `serve_batch_requests` /
 //!   `serve_batch_est_makespan_us` — per-batch wall time, size, and the
 //!   cost oracle's simulated makespan;
+//! * `serve_plan_admissions_total` — batches whose stream choice was
+//!   served from the shared plan cache instead of a fresh sim sweep;
 //! * `serve_queue_depth` — pending requests (gauge).
 //!
 //! Everything follows the gate discipline: one relaxed load and no work
@@ -43,6 +45,8 @@ static BATCH_EST: LazyLock<Arc<Histogram>> =
     LazyLock::new(|| neo_metrics::histogram("serve_batch_est_makespan_us", &[]));
 static QUEUE_DEPTH: LazyLock<Arc<GaugeHandle>> =
     LazyLock::new(|| neo_metrics::gauge("serve_queue_depth", &[]));
+static PLAN_ADMISSIONS: LazyLock<Arc<CounterHandle>> =
+    LazyLock::new(|| neo_metrics::counter("serve_plan_admissions_total", &[]));
 
 /// One admitted request.
 pub(crate) fn note_request() {
@@ -80,6 +84,13 @@ pub(crate) fn note_response(queue_ns: u64, total_ns: u64) {
     }
     QUEUE_WAIT.record(queue_ns);
     LATENCY.record(total_ns);
+}
+
+/// One batch admitted off the plan cache (no sim sweep paid).
+pub(crate) fn note_plan_admission() {
+    if neo_metrics::enabled() {
+        PLAN_ADMISSIONS.inc();
+    }
 }
 
 /// Current admission-queue depth.

@@ -7,7 +7,7 @@
 //! registering ten thousand tenants costs ten thousand key generations,
 //! not ten thousand parameter setups.
 
-use neo_ckks::{CkksContext, CkksParams, FheEngine, KsMethod, NeoError, OpPolicy};
+use neo_ckks::{CkksContext, CkksParams, ExecPlan, FheEngine, KsMethod, NeoError, OpPolicy};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -25,7 +25,19 @@ pub struct TenantConfig {
     pub policy: OpPolicy,
     /// Key-switching method override; `None` keeps the parameter set's
     /// default (KLSS when configured, Hybrid otherwise).
+    #[deprecated(
+        since = "0.3.0",
+        note = "install a tuned `ExecPlan` via the `plan` field (the planned \
+                surface replaces per-knob setters)"
+    )]
     pub method: Option<KsMethod>,
+    /// Tuned execution plan installed on the tenant's engine via
+    /// [`FheEngine::with_plan`] at registration. The plan must have been
+    /// tuned for this registry's backend — a mismatch fails registration
+    /// with [`NeoError::ParameterMismatch`]. Produce one with the
+    /// `neo-plan` autotuner. Takes precedence over the deprecated
+    /// `method` override.
+    pub plan: Option<ExecPlan>,
     /// Per-request retry ceiling handed to
     /// [`neo_ckks::BatchProgram::execute_with_report`].
     pub max_retries: u32,
@@ -44,9 +56,11 @@ pub struct TenantConfig {
 
 impl Default for TenantConfig {
     fn default() -> Self {
+        #[allow(deprecated)]
         Self {
             policy: OpPolicy::default(),
             method: None,
+            plan: None,
             max_retries: neo_ckks::DEFAULT_MAX_RETRIES,
             fault_budget: 64,
             max_inflight: 64,
@@ -209,10 +223,15 @@ impl TenantRegistry {
     }
 
     /// Registers a tenant: fresh keys seeded from `seed`, shared context.
+    /// A [`TenantConfig::plan`] is installed via [`FheEngine::with_plan`];
+    /// the deprecated `method` override is honored for one more release
+    /// but loses to `plan` when both are set.
     ///
     /// # Errors
     ///
-    /// [`NeoError::InvalidParams`] if `id` is already registered.
+    /// [`NeoError::InvalidParams`] if `id` is already registered;
+    /// [`NeoError::ParameterMismatch`] if `cfg.plan` was tuned for a
+    /// different backend than this registry runs.
     pub fn register(
         &self,
         id: TenantId,
@@ -221,8 +240,12 @@ impl TenantRegistry {
     ) -> Result<Arc<TenantSession>, NeoError> {
         let mut engine = FheEngine::with_context(Arc::clone(&self.ctx), seed);
         engine.set_policy(cfg.policy);
+        #[allow(deprecated)]
         if let Some(m) = cfg.method {
             engine = engine.with_method(m);
+        }
+        if let Some(p) = cfg.plan.as_ref() {
+            engine = engine.with_plan(p)?;
         }
         let session = Arc::new(TenantSession::new(id, engine, cfg));
         let mut map = self.tenants.write();
@@ -294,6 +317,39 @@ mod tests {
             (wrong[0] - 1.0).abs() > 1e-3,
             "tenant B's key must not decrypt tenant A's ciphertext"
         );
+    }
+
+    #[test]
+    fn plan_installed_on_registration() {
+        let params = CkksParams::test_tiny();
+        let reg = TenantRegistry::new(params.clone()).expect("params");
+        let plan = ExecPlan {
+            streams: 3,
+            ..ExecPlan::unplanned(&params)
+        };
+        let cfg = TenantConfig {
+            plan: Some(plan),
+            ..TenantConfig::default()
+        };
+        let s = reg.register(1, 11, cfg).expect("register");
+        assert_eq!(s.engine().plan(), Some(&plan));
+    }
+
+    #[test]
+    fn backend_mismatched_plan_fails_registration() {
+        let params = CkksParams::test_tiny();
+        let reg = TenantRegistry::new(params.clone()).expect("params");
+        let mut plan = ExecPlan::unplanned(&params);
+        plan.backend = match plan.backend {
+            neo_ckks::BackendKind::Portable => neo_ckks::BackendKind::Simd,
+            neo_ckks::BackendKind::Simd => neo_ckks::BackendKind::Portable,
+        };
+        let cfg = TenantConfig {
+            plan: Some(plan),
+            ..TenantConfig::default()
+        };
+        let err = reg.register(1, 11, cfg).expect_err("mismatch");
+        assert_eq!(err.kind().name(), "parameter_mismatch");
     }
 
     #[test]

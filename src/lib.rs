@@ -35,6 +35,9 @@ pub use neo_math as math;
 pub use neo_metrics as metrics;
 /// Negacyclic NTTs: radix-2, four-step, and radix-16 (ten-step) matrix form.
 pub use neo_ntt as ntt;
+/// Sim-driven execution-plan autotuner: sweeps the knob space through the
+/// scheduler's simulator and caches winning [`ckks::ExecPlan`]s.
+pub use neo_plan as plan;
 /// Kernel-DAG scheduling: fusion rewrites, the discrete-event multi-stream
 /// simulator, and the rayon wavefront batch executor.
 pub use neo_sched as sched;
