@@ -26,12 +26,13 @@ use neo_bench::measure::{self, MeasureConfig, Measurement};
 use neo_bench::{emit, fmt_time};
 use neo_ckks::cost::{CostConfig, Operation};
 use neo_ckks::sched::batch_op_graph;
-use neo_ckks::{BatchOp, BatchProgram, ParamSet, Slot};
+use neo_ckks::{BatchOp, BatchProgram, CkksParams, FheEngine, KeyTarget, ParamSet, Slot};
 use neo_gpu_sim::DeviceModel;
 use neo_math::{BackendKind, Modulus, RnsBasis};
 use neo_ntt::{radix2, NttPlan};
 use neo_sched::{publish_utilization, simulate, SimConfig};
 use neo_serve::{price_request, AdmissionConfig, AdmissionQueue, QueuedRequest};
+use neo_store::SessionStore;
 use neo_tcu::{BackendGemm, GemmEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -181,6 +182,35 @@ fn main() {
         .plan_program(&plan_prog, 35)
         .expect("plan space has feasible candidates");
 
+    // Persistent-store kernel: warm-starting one session (recovery scan
+    // + b-part decode + a-part regeneration from the key seed) from a
+    // committed store file. A regression here means hydration got slower
+    // than the cold keygen it exists to beat.
+    let store_path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("neo-bench-guard-{}.neostore", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+    let store_ctx =
+        std::sync::Arc::new(neo_ckks::CkksContext::new(CkksParams::test_tiny()).expect("params"));
+    let store_level = store_ctx.params().max_level;
+    {
+        let engine = FheEngine::with_context(store_ctx.clone(), 0xbe);
+        engine
+            .chest()
+            .warm(store_level, KeyTarget::Relin, engine.method())
+            .expect("cold keygen");
+        let mut ss = SessionStore::open(&store_path, store_ctx.clone()).expect("open store");
+        ss.save_engine(0, &engine, 0xbe);
+        ss.commit().expect("commit");
+    }
+    let store_warm = measure::time(&cfg, || {
+        let mut ss = SessionStore::open(&store_path, store_ctx.clone()).expect("reopen");
+        ss.warm_start(0).expect("warm start").expect("persisted")
+    });
+    let _ = std::fs::remove_file(&store_path);
+
     // --- Guard evaluation. ---
     let baselines = match Baselines::load(Path::new(BASELINE_PATH)) {
         Ok(b) => b.unwrap_or_default(),
@@ -204,6 +234,10 @@ fn main() {
         (
             "plan_hmult8_makespan",
             guard::apply_injection(hmult_plan.predicted_makespan_s),
+        ),
+        (
+            "store_warm_start_1tenant",
+            guard::apply_injection(store_warm.median_ns),
         ),
     ];
     let results: Vec<GuardResult> = measured

@@ -129,6 +129,36 @@ impl FheEngine {
         }
     }
 
+    /// Builds a session over an existing context from a *rehydrated*
+    /// secret key — the warm-start seam for a persistent store. Given the
+    /// same `seed` the original session was built with, the derived
+    /// public key and every key-switching key are bit-identical to that
+    /// session's, so ciphertexts and seed-compressed KSK records written
+    /// before a restart remain valid after it.
+    pub fn with_secret_key(ctx: Arc<CkksContext>, sk: SecretKey, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Burn the draws `with_context` spends sampling the secret key, so
+        // the public key (and everything after) replays bit-exactly.
+        let _ = ctx.sample_ternary(&mut rng);
+        let pk = PublicKey::generate(&ctx, &sk, &mut rng);
+        let encoder = Encoder::new(ctx.degree());
+        let method = if ctx.params().klss.is_some() {
+            KsMethod::Klss
+        } else {
+            KsMethod::Hybrid
+        };
+        let chest = KeyChest::new(ctx, sk, seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+        Self {
+            chest,
+            encoder,
+            pk,
+            method,
+            policy: OpPolicy::default(),
+            plan: None,
+            rng: Mutex::new(rng),
+        }
+    }
+
     /// Pre-generates every key-switching key `prog` will need at
     /// `input_level`, in deterministic issue order (see
     /// [`BatchProgram::warm_keys`]) — the warm-up a serving layer runs at
@@ -141,24 +171,12 @@ impl FheEngine {
         prog.warm_keys(&self.chest, input_level, self.method)
     }
 
-    /// Overrides the key-switching method (defaults to KLSS when the
-    /// parameter set carries a KLSS configuration, Hybrid otherwise).
-    #[deprecated(
-        since = "0.3.0",
-        note = "install an `ExecPlan` via `with_plan` (the planned surface \
-                replaces per-knob setters)"
-    )]
-    pub fn with_method(mut self, method: KsMethod) -> Self {
-        self.method = method;
-        self
-    }
-
     /// Installs an execution plan: the session adopts the plan's
     /// key-switching method and verify policy, and
     /// [`Self::execute_batch_planned`] honors its stream choice. The
-    /// single planned entry point replacing the per-knob setters
-    /// (`with_method`, manual `OpPolicy.verify` edits, ad-hoc
-    /// parallelism flags).
+    /// single planned entry point replacing the removed per-knob setters
+    /// (the 0.3.0-deprecated `with_method`, manual `OpPolicy.verify`
+    /// edits, ad-hoc parallelism flags).
     ///
     /// # Errors
     ///

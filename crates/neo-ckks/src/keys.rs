@@ -10,8 +10,9 @@
 use crate::context::CkksContext;
 use crate::params::KsMethod;
 use neo_error::NeoError;
+use neo_fault::splitmix64;
 use neo_math::{Domain, Modulus, RnsBasis, RnsPoly};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -30,6 +31,26 @@ impl SecretKey {
         Self {
             coeffs: ctx.sample_ternary(rng),
         }
+    }
+
+    /// Rehydrates a secret key from stored ternary coefficients (the
+    /// persistent-store path). The caller is responsible for having
+    /// integrity-checked the bytes; this only revalidates the ternary
+    /// range so a corrupt-but-checksummed record cannot smuggle large
+    /// coefficients into the noise analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::FaultDetected`] if any coefficient is outside
+    /// `{-1, 0, 1}`.
+    pub fn from_coeffs(coeffs: Vec<i64>) -> Result<Self, NeoError> {
+        if let Some(c) = coeffs.iter().find(|c| c.abs() > 1) {
+            return Err(NeoError::fault_detected(
+                "store_record",
+                format!("secret-key coefficient {c} outside the ternary range"),
+            ));
+        }
+        Ok(Self { coeffs })
     }
 
     /// The ternary coefficients.
@@ -90,6 +111,29 @@ pub enum KeyTarget {
     Relin,
     /// `τ_g(s)` for the Galois exponent `g` — HROTATE / conjugation.
     Galois(usize),
+}
+
+impl KeyTarget {
+    /// Stable integer encoding for persistence: `0` is [`KeyTarget::Relin`],
+    /// odd codes are [`KeyTarget::Galois`] with the exponent in the high
+    /// bits. Even non-zero codes are unused (and rejected by
+    /// [`KeyTarget::from_code`]) so a single flipped bit cannot silently
+    /// turn one valid target into another of a different kind.
+    pub fn code(self) -> u64 {
+        match self {
+            KeyTarget::Relin => 0,
+            KeyTarget::Galois(g) => 1 | ((g as u64) << 1),
+        }
+    }
+
+    /// Decodes [`KeyTarget::code`]; `None` for unused encodings.
+    pub fn from_code(code: u64) -> Option<Self> {
+        match code {
+            0 => Some(KeyTarget::Relin),
+            c if c & 1 == 1 => Some(KeyTarget::Galois((c >> 1) as usize)),
+            _ => None,
+        }
+    }
 }
 
 /// Human-readable form of a key target for error messages.
@@ -172,11 +216,27 @@ pub(crate) fn digit_ranges(alpha: usize, limbs: usize) -> Vec<Range<usize>> {
         .collect()
 }
 
+/// Salt separating the public `a`-part sampling stream from the error
+/// stream, so `a`-parts can be regenerated without replaying error
+/// sampling (the seed-compressed store path).
+const A_STREAM_SALT: u64 = 0x517c_c1b7_2722_0a95;
+/// Salt for the (secret) error sampling stream.
+const E_STREAM_SALT: u64 = 0x2545_f491_4f6c_dd1d;
+
 /// Holds the secret key and caches per-level key-switching material.
+///
+/// Every key-switching key is a *pure function* of
+/// `(context, secret key, key_seed, level, target)`: each `(level,
+/// target)` pair gets its own derived RNG streams (one for the public
+/// `a`-parts, one for the errors), so generation order never changes the
+/// material. This is what makes seed-compressed persistence possible —
+/// a store can hold only the `b`-parts plus `key_seed` and regenerate the
+/// `a`-parts bit-exactly, and a damaged record is always re-derivable
+/// from seed while the secret key is alive.
 pub struct KeyChest {
     ctx: Arc<CkksContext>,
     sk: SecretKey,
-    rng: Mutex<StdRng>,
+    key_seed: u64,
     hybrid: RwLock<HashMap<(usize, KeyTarget), Arc<HybridKey>>>,
     klss: RwLock<HashMap<(usize, KeyTarget), Arc<KlssKey>>>,
 }
@@ -193,7 +253,7 @@ impl KeyChest {
         Self {
             ctx,
             sk,
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            key_seed: seed,
             hybrid: RwLock::new(HashMap::new()),
             klss: RwLock::new(HashMap::new()),
         }
@@ -207,6 +267,21 @@ impl KeyChest {
     /// The secret key (tests and decryption).
     pub fn secret_key(&self) -> &SecretKey {
         &self.sk
+    }
+
+    /// The seed all per-key RNG streams derive from. A store persists
+    /// this next to the `b`-parts; a chest rebuilt with the same seed
+    /// (and secret key) regenerates every key bit-exactly.
+    pub fn key_seed(&self) -> u64 {
+        self.key_seed
+    }
+
+    /// The derived RNG for one `(level, target, stream)` triple.
+    fn stream_rng(&self, level: usize, target: KeyTarget, salt: u64) -> StdRng {
+        let mut z = self.key_seed ^ salt;
+        z = splitmix64(z ^ (level as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = splitmix64(z ^ target.code().wrapping_mul(0xff51_afd7_ed55_8ccd));
+        StdRng::seed_from_u64(z)
     }
 
     /// The key-switch target polynomial in NTT domain over `moduli`.
@@ -294,13 +369,14 @@ impl KeyChest {
         let g = gadget_factors(q_primes, &ranges, &qp);
         let s = self.sk.poly_ntt(ctx, &qp);
         let tgt = self.target_poly(target, &qp);
-        let mut rng = self.rng.lock();
+        let mut a_rng = self.stream_rng(level, target, A_STREAM_SALT);
+        let mut e_rng = self.stream_rng(level, target, E_STREAM_SALT);
         ranges
             .iter()
             .enumerate()
             .map(|(j, _)| {
-                let a = ctx.sample_uniform(&mut *rng, &qp);
-                let mut e = RnsPoly::from_signed(&ctx.sample_gaussian(&mut *rng), &qp);
+                let a = ctx.sample_uniform(&mut a_rng, &qp);
+                let mut e = RnsPoly::from_signed(&ctx.sample_gaussian(&mut e_rng), &qp);
                 ctx.ntt_forward(&mut e, &qp);
                 // evk0 = -a*s + e + (P*g_j)·tgt
                 let mut k0 = a.clone();
@@ -332,6 +408,19 @@ impl KeyChest {
     }
 
     fn gen_klss(&self, level: usize, target: KeyTarget) -> Result<KlssKey, NeoError> {
+        let raw = self.gen_digit_keys(level, target);
+        self.klss_from_raw(level, target, raw)
+    }
+
+    /// Decomposes raw digit key pairs (NTT domain over `R_PQ_l`) into the
+    /// KLSS `β × β̃` form — shared by on-demand generation and
+    /// rebuild-from-store.
+    fn klss_from_raw(
+        &self,
+        level: usize,
+        target: KeyTarget,
+        mut raw: Vec<[RnsPoly; 2]>,
+    ) -> Result<KlssKey, NeoError> {
         let ctx = &self.ctx;
         let params = ctx.params();
         let kcfg = params.klss.ok_or_else(|| {
@@ -346,7 +435,6 @@ impl KeyChest {
         let t_primes = ctx.t_primes().to_vec();
         let t_moduli = ctx.t_moduli().to_vec();
         // Raw digit keys, moved to coefficient domain for decomposition.
-        let mut raw = self.gen_digit_keys(level, target);
         for pair in raw.iter_mut() {
             for k in pair.iter_mut() {
                 ctx.ntt_inverse(k, &qp);
@@ -390,6 +478,140 @@ impl KeyChest {
             KsMethod::Hybrid => self.hybrid.write().clear(),
             KsMethod::Klss => self.klss.write().clear(),
         }
+    }
+
+    /// The `(level, target)` pairs currently cached for `method` — what a
+    /// persistence layer enumerates when flushing warm keys to disk.
+    pub fn cached_keys(&self, method: KsMethod) -> Vec<(usize, KeyTarget)> {
+        let mut keys: Vec<_> = match method {
+            KsMethod::Hybrid => self.hybrid.read().keys().copied().collect(),
+            KsMethod::Klss => self.klss.read().keys().copied().collect(),
+        };
+        keys.sort_by_key(|&(level, target)| (level, target.code()));
+        keys
+    }
+
+    /// Regenerates the public `a`-parts for `(level, target)` from the
+    /// chest's seed alone — the other half of a seed-compressed KSK
+    /// record. Bit-exact across processes: the `a`-stream is derived per
+    /// `(key_seed, level, target)` and never consumed by anything else.
+    pub fn regen_a_parts(&self, level: usize, target: KeyTarget) -> Vec<RnsPoly> {
+        let ctx = &self.ctx;
+        let qp = ctx.qp_moduli(level);
+        let beta = digit_ranges(ctx.params().alpha(), level + 1).len();
+        let mut a_rng = self.stream_rng(level, target, A_STREAM_SALT);
+        (0..beta)
+            .map(|_| ctx.sample_uniform(&mut a_rng, &qp))
+            .collect()
+    }
+
+    /// The `b`-parts (`evk_j0`) of the raw digit keys for
+    /// `(level, target)` — the only polynomials a seed-compressed store
+    /// record has to persist. Served from the hybrid cache when warm;
+    /// regenerated deterministically otherwise (KLSS keys cache only the
+    /// decomposed form, so their raw `b`-parts are always regenerated).
+    pub fn export_b_parts(&self, level: usize, target: KeyTarget) -> Vec<RnsPoly> {
+        if let Some(k) = self.hybrid.read().get(&(level, target)) {
+            return k.digits.iter().map(|pair| pair[0].clone()).collect();
+        }
+        self.gen_digit_keys(level, target)
+            .into_iter()
+            .map(|[k0, _]| k0)
+            .collect()
+    }
+
+    /// Validates stored `b`-parts against the shape the context demands
+    /// for `(level, target)`.
+    fn check_b_parts(
+        &self,
+        level: usize,
+        target: KeyTarget,
+        b_parts: &[RnsPoly],
+    ) -> Result<(), NeoError> {
+        let ctx = &self.ctx;
+        let qp = ctx.qp_moduli(level);
+        let beta = digit_ranges(ctx.params().alpha(), level + 1).len();
+        if b_parts.len() != beta {
+            return Err(NeoError::fault_detected(
+                "store_record",
+                format!(
+                    "{} level-{level} record has {} digits, context demands {beta}",
+                    describe_target(target),
+                    b_parts.len()
+                ),
+            ));
+        }
+        for (j, b) in b_parts.iter().enumerate() {
+            if b.limb_count() != qp.len() || b.degree() != ctx.degree() || b.domain() != Domain::Ntt
+            {
+                return Err(NeoError::fault_detected(
+                    "store_record",
+                    format!(
+                        "{} level-{level} digit {j}: {} limbs of degree {} in {:?} domain, \
+                         context demands {} limbs of degree {} in Ntt domain",
+                        describe_target(target),
+                        b.limb_count(),
+                        b.degree(),
+                        b.domain(),
+                        qp.len(),
+                        ctx.degree()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds and caches the Hybrid key for `(level, target)` from
+    /// stored `b`-parts, regenerating the `a`-parts from seed — the
+    /// warm-start path that skips the secret-key multiplications of full
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::FaultDetected`] if the `b`-parts do not match the
+    /// shape the context demands (a damaged or foreign record).
+    pub fn rebuild_hybrid(
+        &self,
+        level: usize,
+        target: KeyTarget,
+        b_parts: Vec<RnsPoly>,
+    ) -> Result<Arc<HybridKey>, NeoError> {
+        self.check_b_parts(level, target, &b_parts)?;
+        let digits = b_parts
+            .into_iter()
+            .zip(self.regen_a_parts(level, target))
+            .map(|(k0, a)| [k0, a])
+            .collect();
+        let key = Arc::new(HybridKey { digits, level });
+        self.hybrid.write().insert((level, target), key.clone());
+        Ok(key)
+    }
+
+    /// Rebuilds and caches the KLSS key for `(level, target)` from stored
+    /// raw `b`-parts: regenerates the `a`-parts from seed, then reruns
+    /// the `β × β̃` decomposition.
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::FaultDetected`] on a shape mismatch;
+    /// [`NeoError::KeySwitchKeyMissing`] if the parameter set has no KLSS
+    /// configuration.
+    pub fn rebuild_klss(
+        &self,
+        level: usize,
+        target: KeyTarget,
+        b_parts: Vec<RnsPoly>,
+    ) -> Result<Arc<KlssKey>, NeoError> {
+        self.check_b_parts(level, target, &b_parts)?;
+        let raw: Vec<[RnsPoly; 2]> = b_parts
+            .into_iter()
+            .zip(self.regen_a_parts(level, target))
+            .map(|(k0, a)| [k0, a])
+            .collect();
+        let key = Arc::new(self.klss_from_raw(level, target, raw)?);
+        self.klss.write().insert((level, target), key.clone());
+        Ok(key)
     }
 }
 
@@ -479,6 +701,80 @@ mod tests {
         assert_eq!(key.digits.len(), p.beta(level));
         assert_eq!(key.digits[0].len(), p.beta_tilde(level));
         assert_eq!(key.digits[0][0][0].limb_count(), p.alpha_prime());
+    }
+
+    #[test]
+    fn key_target_code_roundtrips() {
+        for t in [KeyTarget::Relin, KeyTarget::Galois(5), KeyTarget::Galois(0)] {
+            assert_eq!(KeyTarget::from_code(t.code()), Some(t));
+        }
+        assert_eq!(KeyTarget::from_code(2), None, "even non-zero is unused");
+    }
+
+    #[test]
+    fn key_generation_is_order_independent() {
+        // Each (level, target) has its own derived stream: generating keys
+        // in different orders yields bit-identical material.
+        let a = chest();
+        let b = chest();
+        let ka2 = a.hybrid_key(2, KeyTarget::Relin);
+        let ka3 = a.hybrid_key(3, KeyTarget::Galois(5));
+        let kb3 = b.hybrid_key(3, KeyTarget::Galois(5));
+        let kb2 = b.hybrid_key(2, KeyTarget::Relin);
+        assert_eq!(ka2.digits, kb2.digits);
+        assert_eq!(ka3.digits, kb3.digits);
+    }
+
+    #[test]
+    fn rebuild_hybrid_from_b_parts_is_bit_identical() {
+        let cold = chest();
+        let full = cold.hybrid_key(3, KeyTarget::Relin);
+        let b_parts = cold.export_b_parts(3, KeyTarget::Relin);
+        // A fresh chest (same sk + seed) rebuilds from b-parts alone.
+        let warm = chest();
+        let rebuilt = warm.rebuild_hybrid(3, KeyTarget::Relin, b_parts).unwrap();
+        assert_eq!(full.digits, rebuilt.digits);
+        // And the rebuilt key is served from the cache afterwards.
+        assert!(warm.has_key(3, KeyTarget::Relin, KsMethod::Hybrid));
+    }
+
+    #[test]
+    fn rebuild_klss_from_b_parts_is_bit_identical() {
+        let cold = chest();
+        let full = cold.klss_key(2, KeyTarget::Relin).unwrap();
+        let b_parts = cold.export_b_parts(2, KeyTarget::Relin);
+        let warm = chest();
+        let rebuilt = warm.rebuild_klss(2, KeyTarget::Relin, b_parts).unwrap();
+        assert_eq!(full.digits, rebuilt.digits);
+    }
+
+    #[test]
+    fn rebuild_rejects_misshapen_b_parts() {
+        let c = chest();
+        let mut b_parts = c.export_b_parts(2, KeyTarget::Relin);
+        b_parts.pop();
+        let err = c.rebuild_hybrid(2, KeyTarget::Relin, b_parts).unwrap_err();
+        assert!(
+            format!("{err}").contains("digits"),
+            "typed shape error: {err}"
+        );
+    }
+
+    #[test]
+    fn cached_keys_enumerates_in_stable_order() {
+        let c = chest();
+        c.hybrid_key(3, KeyTarget::Galois(5));
+        c.hybrid_key(2, KeyTarget::Relin);
+        c.hybrid_key(3, KeyTarget::Relin);
+        assert_eq!(
+            c.cached_keys(KsMethod::Hybrid),
+            vec![
+                (2, KeyTarget::Relin),
+                (3, KeyTarget::Relin),
+                (3, KeyTarget::Galois(5)),
+            ]
+        );
+        assert!(c.cached_keys(KsMethod::Klss).is_empty());
     }
 
     #[test]

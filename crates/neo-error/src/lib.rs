@@ -62,11 +62,15 @@ pub enum ErrorKind {
     /// A numeric-substrate error (modulus construction, prime
     /// generation, RNS basis mismatch) surfaced through the CKKS layer.
     Math,
+    /// A persistent-store filesystem operation failed (open, write,
+    /// rename). Distinct from [`ErrorKind::FaultDetected`]: the
+    /// environment refused the I/O, nothing claims the data is corrupt.
+    StoreIo,
 }
 
 impl ErrorKind {
     /// Every kind, in declaration order.
-    pub const ALL: [ErrorKind; 11] = [
+    pub const ALL: [ErrorKind; 12] = [
         ErrorKind::InvalidParams,
         ErrorKind::ParameterMismatch,
         ErrorKind::LevelMismatch,
@@ -78,6 +82,7 @@ impl ErrorKind {
         ErrorKind::Overloaded,
         ErrorKind::FaultDetected,
         ErrorKind::Math,
+        ErrorKind::StoreIo,
     ];
 
     /// Stable snake_case name — the telemetry key in
@@ -95,6 +100,7 @@ impl ErrorKind {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::FaultDetected => "fault_detected",
             ErrorKind::Math => "math",
+            ErrorKind::StoreIo => "store_io",
         }
     }
 }
@@ -199,6 +205,18 @@ pub enum NeoError {
     },
     /// A wrapped numeric-substrate error.
     Math(MathError),
+    /// A persistent-store filesystem operation failed. The store's
+    /// in-memory state is unchanged; the caller may retry the commit or
+    /// fall back to cold-start generation.
+    StoreIo {
+        /// The filesystem operation that failed (`"open"`, `"write"`,
+        /// `"rename"`, …).
+        op: &'static str,
+        /// The path involved.
+        path: String,
+        /// The OS error, rendered.
+        detail: String,
+    },
 }
 
 impl NeoError {
@@ -216,6 +234,7 @@ impl NeoError {
             NeoError::Overloaded { .. } => ErrorKind::Overloaded,
             NeoError::FaultDetected { .. } => ErrorKind::FaultDetected,
             NeoError::Math(_) => ErrorKind::Math,
+            NeoError::StoreIo { .. } => ErrorKind::StoreIo,
         }
     }
 
@@ -299,6 +318,16 @@ impl NeoError {
         }
         .tallied()
     }
+
+    /// A persistent-store filesystem operation failed.
+    pub fn store_io(op: &'static str, path: impl Into<String>, detail: impl Into<String>) -> Self {
+        NeoError::StoreIo {
+            op,
+            path: path.into(),
+            detail: detail.into(),
+        }
+        .tallied()
+    }
 }
 
 impl fmt::Display for NeoError {
@@ -351,6 +380,9 @@ impl fmt::Display for NeoError {
                 "fault detected at {site}: {detail} — result discarded, retry or quarantine"
             ),
             NeoError::Math(e) => write!(f, "math error: {e}"),
+            NeoError::StoreIo { op, path, detail } => {
+                write!(f, "store {op} failed on {path}: {detail}")
+            }
         }
     }
 }
@@ -421,6 +453,10 @@ mod tests {
                 ErrorKind::FaultDetected,
             ),
             (NeoError::from(MathError::InvalidDegree(7)), ErrorKind::Math),
+            (
+                NeoError::store_io("rename", "/tmp/chest.neostore", "permission denied"),
+                ErrorKind::StoreIo,
+            ),
         ];
         for (e, kind) in cases {
             assert_eq!(e.kind(), kind, "{e}");

@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 /// Number of named injection sites.
-pub const N_SITES: usize = 5;
+pub const N_SITES: usize = 8;
 
 /// A named fault-injection site in the stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,6 +41,18 @@ pub enum FaultSite {
     SchedCompletion = 3,
     /// Spurious `FaultDetected` error surfaced from a `neo-ckks` op.
     CkksOp = 4,
+    /// Bytes corrupted between serialization and the disk in a
+    /// `neo-store` commit (a write-path bit flip the recovery scan must
+    /// catch on the next open).
+    StoreWrite = 5,
+    /// Bytes corrupted between the disk and deserialization in a
+    /// `neo-store` read (bit-rot the per-record checksum must catch at
+    /// `get` time).
+    StoreRead = 6,
+    /// A store commit truncated at a seeded offset (a torn write /
+    /// crashed filesystem; the recovery scan must classify the tail
+    /// instead of serving it).
+    StoreTorn = 7,
 }
 
 impl FaultSite {
@@ -51,6 +63,9 @@ impl FaultSite {
         FaultSite::NttPlan,
         FaultSite::SchedCompletion,
         FaultSite::CkksOp,
+        FaultSite::StoreWrite,
+        FaultSite::StoreRead,
+        FaultSite::StoreTorn,
     ];
 
     /// Stable snake_case name, used in error details and fault reports.
@@ -61,6 +76,9 @@ impl FaultSite {
             FaultSite::NttPlan => "ntt_plan",
             FaultSite::SchedCompletion => "sched_completion",
             FaultSite::CkksOp => "ckks_op",
+            FaultSite::StoreWrite => "store_write",
+            FaultSite::StoreRead => "store_read",
+            FaultSite::StoreTorn => "store_torn",
         }
     }
 
@@ -74,6 +92,9 @@ impl FaultSite {
             FaultSite::NttPlan => 0x94d0_49bb_1331_11eb,
             FaultSite::SchedCompletion => 0xd6e8_feb8_6659_fd93,
             FaultSite::CkksOp => 0xa076_1d64_78bd_642f,
+            FaultSite::StoreWrite => 0xe703_7ed1_b185_33db,
+            FaultSite::StoreRead => 0xc4ce_b9fe_1a85_ec53,
+            FaultSite::StoreTorn => 0x8ebc_6af0_9c88_c6e3,
         }
     }
 }
@@ -438,6 +459,37 @@ pub fn corrupt_i32(site: FaultSite, xs: &mut [i32]) -> bool {
     }
 }
 
+/// Flips one bit of one byte of `xs` if the site fires. Returns `true`
+/// iff a fault was injected. This is the store-path analogue of
+/// [`corrupt_limb`]: it models bit-rot on a serialized record, either on
+/// the write path ([`FaultSite::StoreWrite`]) or the read path
+/// ([`FaultSite::StoreRead`]).
+pub fn corrupt_bytes(site: FaultSite, xs: &mut [u8]) -> bool {
+    if xs.is_empty() {
+        return false;
+    }
+    match active_draw(site) {
+        Some(h) => {
+            let idx = (h >> 32) as usize % xs.len();
+            let bit = (h >> 8) % 8;
+            xs[idx] ^= 1 << bit;
+            true
+        }
+        None => false,
+    }
+}
+
+/// Draws a torn-write length for a buffer of `len` bytes if
+/// [`FaultSite::StoreTorn`] fires: the commit is truncated to the returned
+/// prefix length (always `< len`), modelling a crash mid-write after the
+/// filesystem persisted only a prefix.
+pub fn torn_len(len: usize) -> Option<usize> {
+    if len == 0 {
+        return None;
+    }
+    active_draw(FaultSite::StoreTorn).map(|h| (h >> 16) as usize % len)
+}
+
 /// What happens to a kernel-completion signal in the scheduler simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CompletionFault {
@@ -567,7 +619,10 @@ mod tests {
                 "ntt_stage",
                 "ntt_plan",
                 "sched_completion",
-                "ckks_op"
+                "ckks_op",
+                "store_write",
+                "store_read",
+                "store_torn"
             ]
         );
         for (i, s) in FaultSite::ALL.iter().enumerate() {
@@ -649,6 +704,35 @@ mod tests {
                 assert!(xs[0] >= 0.0 && xs[0] < 9_007_199_254_740_992.0);
                 assert_eq!(xs[0].fract(), 0.0, "must stay an exact integer");
             }
+        });
+    }
+
+    #[test]
+    fn corrupt_bytes_flips_exactly_one_bit() {
+        let plan = FaultPlan::new(13).with_site(FaultSite::StoreWrite, FaultSpec::always());
+        with_scope(plan, |p| {
+            let orig = [0xA5u8, 0x5A, 0xFF, 0x00, 0x42];
+            let mut xs = orig;
+            assert!(corrupt_bytes(FaultSite::StoreWrite, &mut xs));
+            let flipped: u32 = orig
+                .iter()
+                .zip(&xs)
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(flipped, 1);
+            assert_eq!(p.injected(FaultSite::StoreWrite), 1);
+        });
+    }
+
+    #[test]
+    fn torn_len_is_a_strict_prefix() {
+        let plan = FaultPlan::new(17).with_site(FaultSite::StoreTorn, FaultSpec::always());
+        with_scope(plan, |_| {
+            for len in [1usize, 2, 64, 4096] {
+                let torn = torn_len(len).expect("always-armed site must fire");
+                assert!(torn < len, "torn length {torn} must be < {len}");
+            }
+            assert!(torn_len(0).is_none(), "empty buffer cannot tear");
         });
     }
 

@@ -79,6 +79,16 @@ impl PlanStore {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// A snapshot of every cached `(key, plan)` pair, sorted by key for
+    /// deterministic iteration — what a persistence layer enumerates when
+    /// flushing the cache to disk.
+    pub fn entries(&self) -> Vec<(PlanKey, ExecPlan)> {
+        let mut out: Vec<(PlanKey, ExecPlan)> =
+            self.map.read().iter().map(|(k, v)| (*k, *v)).collect();
+        out.sort_by_key(|(k, _)| (k.fingerprint, k.shape));
+        out
+    }
 }
 
 #[cfg(test)]

@@ -3,8 +3,11 @@
 //!
 //! Queued requests are ordered by urgency — lowest remaining noise
 //! budget first (closest to exhaustion), then deepest level consumed,
-//! then FIFO — and coalesced greedily in that order. Pricing is
-//! two-tier so admission stays cheap at high request rates:
+//! then FIFO — and coalesced greedily in that order. The noise term is
+//! *aged* by queue wait ([`AdmissionConfig::aging_bits_per_sec`]), so a
+//! healthy request cannot be starved indefinitely by a stream of
+//! noise-poor arrivals. Pricing is two-tier so admission stays cheap at
+//! high request rates:
 //!
 //! 1. at submission each request is priced **once** with a
 //!    single-stream run of the discrete-event simulator over its own
@@ -76,6 +79,13 @@ pub struct AdmissionConfig {
     /// from the top of the chain: a request `d` levels below the
     /// functional ceiling prices `d` levels below the pricing ceiling.
     pub pricing_params: Option<neo_ckks::CkksParams>,
+    /// Priority aging: bits of urgency credit per second of queue wait.
+    /// Each coalesce sorts by *effective* noise budget —
+    /// `noise_bits − aging_bits_per_sec × waited` — so a healthy request
+    /// stuck behind a stream of noise-starved arrivals eventually
+    /// becomes the most urgent itself instead of starving. `0.0`
+    /// disables aging (the pre-0.4 static ordering).
+    pub aging_bits_per_sec: f64,
     /// Plan cache shared with the `neo-plan` autotuner. When set, a
     /// coalesced batch whose (pricing fingerprint, shape) key hits the
     /// cache reuses the cached stream choice and predicted makespan
@@ -95,6 +105,7 @@ impl Default for AdmissionConfig {
             makespan_budget: Duration::from_secs(30),
             max_streams: 4,
             cost: CostConfig::neo(),
+            aging_bits_per_sec: 1.0,
             pricing_params: None,
             plan_store: None,
         }
@@ -139,11 +150,17 @@ pub struct QueuedRequest {
 
 impl QueuedRequest {
     /// Priority key: lower sorts first. Noise-starved requests, then
-    /// deeper (more-consumed) levels, then FIFO order.
-    fn priority(&self) -> (u64, usize, u64) {
+    /// deeper (more-consumed) levels, then FIFO order. Queue wait ages
+    /// the noise term down at `aging_bits_per_sec`, so long-waiting
+    /// requests converge on the front of the queue; `now` is captured
+    /// once per coalesce so one sort sees one consistent clock.
+    fn priority(&self, now: Instant, aging_bits_per_sec: f64) -> (u64, usize, u64) {
+        let waited = now.saturating_duration_since(self.submitted).as_secs_f64();
         // f64 → order-preserving u64 for a total order without NaN traps
         // (budgets are finite and non-negative).
-        let bits = self.noise_bits.max(0.0).to_bits();
+        let bits = (self.noise_bits - aging_bits_per_sec * waited)
+            .max(0.0)
+            .to_bits();
         (bits, self.level, self.id)
     }
 }
@@ -234,7 +251,9 @@ impl AdmissionQueue {
         if self.pending.is_empty() {
             return None;
         }
-        self.pending.sort_by_key(QueuedRequest::priority);
+        let now = Instant::now();
+        let aging = self.cfg.aging_bits_per_sec;
+        self.pending.sort_by_key(|r| r.priority(now, aging));
 
         // Head of queue: always admitted, even over budget (it would
         // otherwise starve forever).
@@ -400,6 +419,46 @@ mod tests {
         assert_eq!(q.depth(), 1, "one left behind");
         assert!(batch.streams >= 1 && batch.est_makespan > Duration::ZERO);
         assert_eq!(batch.total_ops, 4);
+    }
+
+    #[test]
+    fn aging_prevents_starvation_of_healthy_requests() {
+        let params = CkksParams::test_tiny();
+        let dev = DeviceModel::a100();
+        let cfg = AdmissionConfig {
+            coalesce_window: 1,
+            aging_bits_per_sec: 1.0,
+            ..AdmissionConfig::default()
+        };
+        let mut q = AdmissionQueue::new(cfg);
+        // A healthy request (80 bits of budget) that has waited 100s,
+        // against a freshly-arrived noise-starved one (10 bits). Without
+        // aging the fresh request wins every round and the healthy one
+        // starves; with aging the effective budget 80 − 100 < 10 puts
+        // the old request in front.
+        let mut old = req(0, 1, 80.0, 3, 1);
+        old.submitted = Instant::now() - Duration::from_secs(100);
+        q.try_enqueue(old).expect("enqueue");
+        q.try_enqueue(req(1, 2, 10.0, 3, 1)).expect("enqueue");
+        let batch = q.coalesce(&params, &dev).expect("batch");
+        assert_eq!(
+            batch.requests[0].id, 0,
+            "the long-waiting request must be served first"
+        );
+
+        // With aging disabled, the static order reasserts itself.
+        let cfg = AdmissionConfig {
+            coalesce_window: 1,
+            aging_bits_per_sec: 0.0,
+            ..AdmissionConfig::default()
+        };
+        let mut q = AdmissionQueue::new(cfg);
+        let mut old = req(0, 1, 80.0, 3, 1);
+        old.submitted = Instant::now() - Duration::from_secs(100);
+        q.try_enqueue(old).expect("enqueue");
+        q.try_enqueue(req(1, 2, 10.0, 3, 1)).expect("enqueue");
+        let batch = q.coalesce(&params, &dev).expect("batch");
+        assert_eq!(batch.requests[0].id, 1, "no aging: raw noise order");
     }
 
     #[test]

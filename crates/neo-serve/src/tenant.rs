@@ -7,7 +7,7 @@
 //! registering ten thousand tenants costs ten thousand key generations,
 //! not ten thousand parameter setups.
 
-use neo_ckks::{CkksContext, CkksParams, ExecPlan, FheEngine, KsMethod, NeoError, OpPolicy};
+use neo_ckks::{CkksContext, CkksParams, ExecPlan, FheEngine, NeoError, OpPolicy};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -23,20 +23,13 @@ pub struct TenantConfig {
     /// Guardrail policy installed on the tenant's engine (auto-rescale,
     /// level alignment, noise floor, warm-key requirement, verification).
     pub policy: OpPolicy,
-    /// Key-switching method override; `None` keeps the parameter set's
-    /// default (KLSS when configured, Hybrid otherwise).
-    #[deprecated(
-        since = "0.3.0",
-        note = "install a tuned `ExecPlan` via the `plan` field (the planned \
-                surface replaces per-knob setters)"
-    )]
-    pub method: Option<KsMethod>,
     /// Tuned execution plan installed on the tenant's engine via
     /// [`FheEngine::with_plan`] at registration. The plan must have been
     /// tuned for this registry's backend — a mismatch fails registration
     /// with [`NeoError::ParameterMismatch`]. Produce one with the
-    /// `neo-plan` autotuner. Takes precedence over the deprecated
-    /// `method` override.
+    /// `neo-plan` autotuner; to pin a key-switching method, pin it in the
+    /// plan ([`ExecPlan::pinned`] — the per-knob `method` override was
+    /// removed in 0.4.0 after its one-release deprecation window).
     pub plan: Option<ExecPlan>,
     /// Per-request retry ceiling handed to
     /// [`neo_ckks::BatchProgram::execute_with_report`].
@@ -56,10 +49,8 @@ pub struct TenantConfig {
 
 impl Default for TenantConfig {
     fn default() -> Self {
-        #[allow(deprecated)]
         Self {
             policy: OpPolicy::default(),
-            method: None,
             plan: None,
             max_retries: neo_ckks::DEFAULT_MAX_RETRIES,
             fault_budget: 64,
@@ -223,9 +214,7 @@ impl TenantRegistry {
     }
 
     /// Registers a tenant: fresh keys seeded from `seed`, shared context.
-    /// A [`TenantConfig::plan`] is installed via [`FheEngine::with_plan`];
-    /// the deprecated `method` override is honored for one more release
-    /// but loses to `plan` when both are set.
+    /// A [`TenantConfig::plan`] is installed via [`FheEngine::with_plan`].
     ///
     /// # Errors
     ///
@@ -238,12 +227,19 @@ impl TenantRegistry {
         seed: u64,
         cfg: TenantConfig,
     ) -> Result<Arc<TenantSession>, NeoError> {
-        let mut engine = FheEngine::with_context(Arc::clone(&self.ctx), seed);
+        let engine = FheEngine::with_context(Arc::clone(&self.ctx), seed);
+        self.install(id, engine, cfg)
+    }
+
+    /// Shared tail of [`Self::register`] and warm-start registration:
+    /// applies the config to a built engine and publishes the session.
+    pub(crate) fn install(
+        &self,
+        id: TenantId,
+        mut engine: FheEngine,
+        cfg: TenantConfig,
+    ) -> Result<Arc<TenantSession>, NeoError> {
         engine.set_policy(cfg.policy);
-        #[allow(deprecated)]
-        if let Some(m) = cfg.method {
-            engine = engine.with_method(m);
-        }
         if let Some(p) = cfg.plan.as_ref() {
             engine = engine.with_plan(p)?;
         }
@@ -256,6 +252,48 @@ impl TenantRegistry {
         }
         map.insert(id, Arc::clone(&session));
         Ok(session)
+    }
+
+    /// Registers a tenant from a persisted session, falling back to a
+    /// cold [`Self::register`] when `store` holds no session for `id`.
+    ///
+    /// On a warm start the secret key is decoded from its record, the
+    /// public key is replayed bit-identically from the recorded seed,
+    /// and every persisted KSK is hydrated from its seed-compressed
+    /// `b`-parts — skipping the secret-key multiplications of full
+    /// generation. On a cold start the fresh session (keys only; KSKs
+    /// are persisted as they warm) is saved back to `store` so the next
+    /// boot is warm; the caller decides when to
+    /// [`neo_store::SessionStore::commit`].
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::InvalidParams`] if `id` is already registered or
+    /// `store` was opened over a different context than this registry;
+    /// [`NeoError::FaultDetected`] if the tenant's records are
+    /// quarantined or fail integrity checks (see
+    /// [`neo_store::SessionStore::warm_start`]);
+    /// [`NeoError::ParameterMismatch`] on a backend-mismatched plan.
+    pub fn register_warm(
+        &self,
+        id: TenantId,
+        store: &mut neo_store::SessionStore,
+        seed: u64,
+        cfg: TenantConfig,
+    ) -> Result<Arc<TenantSession>, NeoError> {
+        if !Arc::ptr_eq(store.context(), &self.ctx) {
+            return Err(NeoError::invalid_params(
+                "session store and registry must share one context",
+            ));
+        }
+        match store.warm_start(id)? {
+            Some(engine) => self.install(id, engine, cfg),
+            None => {
+                let session = self.register(id, seed, cfg)?;
+                store.save_engine(id, session.engine(), seed);
+                Ok(session)
+            }
+        }
     }
 
     /// [`Self::register`] with the default [`TenantConfig`].
@@ -358,6 +396,45 @@ mod tests {
         reg.register_default(7, 1).expect("first");
         let err = reg.register_default(7, 2).expect_err("duplicate");
         assert_eq!(err.kind().name(), "invalid_params");
+    }
+
+    #[test]
+    fn warm_registration_replays_the_cold_session() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("neo-serve-warm-{}.neostore", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let reg = TenantRegistry::new(CkksParams::test_tiny()).expect("params");
+        let mut store =
+            neo_store::SessionStore::open(&path, Arc::clone(reg.context())).expect("open store");
+        // First boot: cold start, persisted behind the scenes.
+        let cold = reg
+            .register_warm(1, &mut store, 77, TenantConfig::default())
+            .expect("cold register");
+        let level = cold.engine().max_level();
+        let ct = cold.engine().encrypt_f64(&[4.5], level).expect("enc");
+        store.commit().expect("commit");
+
+        // Second boot: fresh registry, warm start from the store.
+        let reg2 = TenantRegistry::with_context(Arc::clone(reg.context()));
+        let mut store2 =
+            neo_store::SessionStore::open(&path, Arc::clone(reg2.context())).expect("reopen store");
+        let warm = reg2
+            .register_warm(1, &mut store2, 0, TenantConfig::default())
+            .expect("warm register");
+        let got = warm.engine().decrypt_f64(&ct).expect("dec");
+        assert!(
+            (got[0] - 4.5).abs() < 1e-3,
+            "warm session must decrypt the cold session's ciphertext"
+        );
+
+        // A store over a different context is refused.
+        let foreign = TenantRegistry::new(CkksParams::test_tiny()).expect("params");
+        let err = foreign
+            .register_warm(2, &mut store2, 0, TenantConfig::default())
+            .expect_err("foreign context");
+        assert_eq!(err.kind().name(), "invalid_params");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Content checksums for store records.
+//!
+//! An xxhash-style 64-bit digest: 8-byte lanes folded through the
+//! splitmix64 finalizer with a running state, plus a length-and-tail
+//! finalization so truncations and extensions always change the digest.
+//! Not cryptographic — the threat model is bit-rot and torn writes, not
+//! an adversary forging records (the store lives inside the trust
+//! boundary that already holds the secret key).
+
+use neo_fault::splitmix64;
+
+/// Seed folded into every digest so a zero-filled region never
+/// checksums to zero.
+const SEED: u64 = 0x9e6c_63d0_876a_7a35;
+
+/// 64-bit content checksum of `bytes`.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut state = splitmix64(SEED ^ bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let mut lane = [0u8; 8];
+        lane.copy_from_slice(chunk);
+        state = splitmix64(state ^ u64::from_le_bytes(lane));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut lane = [0u8; 8];
+        lane[..rem.len()].copy_from_slice(rem);
+        // Tag the tail with its length so "abc" and "abc\0" differ.
+        state = splitmix64(state ^ u64::from_le_bytes(lane) ^ ((rem.len() as u64) << 56));
+    }
+    splitmix64(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_length_sensitive() {
+        let a = checksum64(b"neo-store");
+        assert_eq!(a, checksum64(b"neo-store"));
+        assert_ne!(a, checksum64(b"neo-storf"));
+        assert_ne!(checksum64(b"abc"), checksum64(b"abc\0"));
+        assert_ne!(checksum64(&[]), 0, "empty input has a nonzero digest");
+        assert_ne!(checksum64(&[0u8; 64]), 0, "zero fill has a nonzero digest");
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let base: Vec<u8> = (0..=255u8).collect();
+        let d0 = checksum64(&base);
+        for byte in [0usize, 17, 128, 255] {
+            for bit in 0..8 {
+                let mut mutated = base.clone();
+                mutated[byte] ^= 1 << bit;
+                assert_ne!(d0, checksum64(&mutated), "byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_change_the_digest() {
+        let base: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let d0 = checksum64(&base);
+        for cut in [0usize, 1, 7, 8, 999] {
+            assert_ne!(d0, checksum64(&base[..cut]), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! The crash-safe record store.
+//!
+//! A [`Store`] is an in-memory map of checksummed records mirrored to
+//! one file. Mutations (`put`/`remove`) touch only memory; [`Store::commit`]
+//! serializes the whole map and publishes it atomically —
+//! write-to-temp, fsync, rename — so a crash at any instant leaves
+//! either the old file or the new file, never a blend. What a torn
+//! write *can* leave is a truncated tail, and bit-rot can corrupt any
+//! byte at rest; [`Store::open`] therefore runs a recovery scan that
+//! classifies every record as valid, recoverable-from-seed (damaged key
+//! material whose header survived — regenerable by a live
+//! [`neo_ckks::KeyChest`]), or quarantined (refused, surfaced as a
+//! typed error, never served).
+
+use crate::checksum::checksum64;
+use crate::format::{Header, HeaderError, RecordId, FILE_MAGIC, HEADER_LEN, RECORD_VERSION};
+use crate::metrics;
+use neo_error::NeoError;
+use neo_fault::FaultSite;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One resident record.
+#[derive(Debug, Clone)]
+struct Record {
+    seed: u64,
+    fingerprint: u64,
+    checksum: u64,
+    payload: Vec<u8>,
+}
+
+/// Classification of one record id inside an open store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordStatus {
+    /// No record under this id.
+    Missing,
+    /// Present with a verified checksum.
+    Valid,
+    /// Damaged payload but intact header of a seed-recoverable kind —
+    /// a key chest can regenerate it from the header's seed.
+    Recoverable,
+    /// Damaged beyond recovery; `get` refuses with a typed error.
+    Quarantined,
+}
+
+/// What the recovery scan found at open.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records with verified checksums.
+    pub valid: usize,
+    /// Damaged records re-derivable from seed (key material).
+    pub recoverable: usize,
+    /// Records (or unscannable byte ranges) refused outright.
+    pub quarantined: usize,
+    /// Whether the scan hit a torn/corrupt tail and stopped early.
+    pub lost_tail: bool,
+}
+
+/// A crash-safe, checksummed record store bound to one file.
+#[derive(Debug)]
+pub struct Store {
+    path: PathBuf,
+    records: BTreeMap<RecordId, Record>,
+    recoverable: BTreeMap<RecordId, Header>,
+    quarantined: BTreeSet<RecordId>,
+    report: RecoveryReport,
+}
+
+fn io_err(op: &'static str, path: &Path, e: std::io::Error) -> NeoError {
+    NeoError::store_io(op, path.display().to_string(), e.to_string())
+}
+
+impl Store {
+    /// Opens (or initializes) the store at `path`, running the recovery
+    /// scan over any existing file. A missing file is an empty store; a
+    /// present file is scanned record by record and every record is
+    /// classified — corrupt content never fails the open, it lands in
+    /// the [`RecoveryReport`] instead.
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::StoreIo`] if the file exists but cannot be read.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, NeoError> {
+        let path = path.as_ref().to_path_buf();
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err("read", &path, e)),
+        };
+        let mut store = Self {
+            path,
+            records: BTreeMap::new(),
+            recoverable: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
+            report: RecoveryReport::default(),
+        };
+        store.scan(&bytes);
+        metrics::note_quarantined(store.report.quarantined as u64);
+        Ok(store)
+    }
+
+    fn scan(&mut self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        if bytes.len() < FILE_MAGIC.len() || bytes[..FILE_MAGIC.len()] != FILE_MAGIC {
+            // Not a store file (or its head was destroyed): nothing is
+            // scannable, the whole blob is one quarantined region.
+            self.report.quarantined += 1;
+            self.report.lost_tail = true;
+            return;
+        }
+        let mut offset = FILE_MAGIC.len();
+        while offset < bytes.len() {
+            let header = match Header::decode(&bytes[offset..]) {
+                Ok(h) => h,
+                Err(HeaderError::Short) | Err(HeaderError::Corrupt) => {
+                    // Framing lost: nothing downstream can be trusted.
+                    self.report.quarantined += 1;
+                    self.report.lost_tail = true;
+                    return;
+                }
+                Err(HeaderError::UnknownKindOrVersion) => {
+                    // The header checksum held, so the length field is
+                    // trustworthy: skip the payload and keep scanning.
+                    let len = Header::raw_payload_len(&bytes[offset..]) as usize;
+                    self.report.quarantined += 1;
+                    offset = offset
+                        .saturating_add(HEADER_LEN)
+                        .saturating_add(len)
+                        .min(bytes.len());
+                    continue;
+                }
+            };
+            let payload_start = offset + HEADER_LEN;
+            let Some(payload_end) = payload_start
+                .checked_add(header.payload_len as usize)
+                .filter(|&e| e <= bytes.len())
+            else {
+                // Torn write: the payload never fully reached the disk.
+                self.classify_damaged(header);
+                self.report.lost_tail = true;
+                return;
+            };
+            let payload = &bytes[payload_start..payload_end];
+            if checksum64(payload) != header.payload_checksum {
+                self.classify_damaged(header);
+            } else {
+                self.report.valid += 1;
+                self.records.insert(
+                    header.id,
+                    Record {
+                        seed: header.seed,
+                        fingerprint: header.fingerprint,
+                        checksum: header.payload_checksum,
+                        payload: payload.to_vec(),
+                    },
+                );
+            }
+            offset = payload_end;
+        }
+    }
+
+    fn classify_damaged(&mut self, header: Header) {
+        if header.id.kind.seed_recoverable() {
+            self.report.recoverable += 1;
+            self.recoverable.insert(header.id, header);
+        } else {
+            self.report.quarantined += 1;
+            self.quarantined.insert(header.id);
+        }
+    }
+
+    /// The file this store mirrors to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// What the recovery scan found when this store was opened.
+    pub fn report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// Classification of `id` in this store.
+    pub fn status(&self, id: RecordId) -> RecordStatus {
+        if self.records.contains_key(&id) {
+            RecordStatus::Valid
+        } else if self.recoverable.contains_key(&id) {
+            RecordStatus::Recoverable
+        } else if self.quarantined.contains(&id) {
+            RecordStatus::Quarantined
+        } else {
+            RecordStatus::Missing
+        }
+    }
+
+    /// Inserts (or replaces) a record, clearing any damage marker under
+    /// the same id. Memory only — call [`Self::commit`] to persist.
+    pub fn put(&mut self, id: RecordId, seed: u64, fingerprint: u64, payload: Vec<u8>) {
+        self.recoverable.remove(&id);
+        self.quarantined.remove(&id);
+        self.records.insert(
+            id,
+            Record {
+                seed,
+                fingerprint,
+                checksum: checksum64(&payload),
+                payload,
+            },
+        );
+    }
+
+    /// Removes a record (memory only).
+    pub fn remove(&mut self, id: RecordId) {
+        self.records.remove(&id);
+        self.recoverable.remove(&id);
+        self.quarantined.remove(&id);
+    }
+
+    /// The payload under `id`, with its checksum re-verified on every
+    /// read (the [`FaultSite::StoreRead`] injection point — read-path
+    /// bit-rot is caught here, not served).
+    ///
+    /// Returns `Ok(None)` for missing *and* recoverable records — the
+    /// caller distinguishes via [`Self::status`] when it wants to
+    /// regenerate instead of cold-start.
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::FaultDetected`] if the record is quarantined or the
+    /// read-back fails its checksum.
+    pub fn get(&self, id: RecordId) -> Result<Option<Vec<u8>>, NeoError> {
+        if self.quarantined.contains(&id) {
+            metrics::note_lookup(false);
+            return Err(NeoError::fault_detected(
+                "store_record",
+                format!("{} record is quarantined", id.kind.name()),
+            ));
+        }
+        let Some(rec) = self.records.get(&id) else {
+            metrics::note_lookup(false);
+            return Ok(None);
+        };
+        let mut payload = rec.payload.clone();
+        if neo_fault::armed() {
+            neo_fault::corrupt_bytes(FaultSite::StoreRead, &mut payload);
+        }
+        if checksum64(&payload) != rec.checksum {
+            neo_fault::note_recovery(FaultSite::StoreRead);
+            metrics::note_lookup(false);
+            return Err(NeoError::fault_detected(
+                "store_read",
+                format!("{} record failed its read-back checksum", id.kind.name()),
+            ));
+        }
+        metrics::note_lookup(true);
+        Ok(Some(payload))
+    }
+
+    /// The seed recorded for `id` — present for valid records and for
+    /// damaged-but-recoverable ones (their headers survived).
+    pub fn seed_of(&self, id: RecordId) -> Option<u64> {
+        self.records
+            .get(&id)
+            .map(|r| r.seed)
+            .or_else(|| self.recoverable.get(&id).map(|h| h.seed))
+    }
+
+    /// The parameter fingerprint recorded for `id`.
+    pub fn fingerprint_of(&self, id: RecordId) -> Option<u64> {
+        self.records
+            .get(&id)
+            .map(|r| r.fingerprint)
+            .or_else(|| self.recoverable.get(&id).map(|h| h.fingerprint))
+    }
+
+    /// Ids of all valid records, in deterministic (sorted) order.
+    pub fn ids(&self) -> Vec<RecordId> {
+        self.records.keys().copied().collect()
+    }
+
+    /// Ids of damaged records awaiting seed regeneration, sorted.
+    pub fn recoverable_ids(&self) -> Vec<RecordId> {
+        self.recoverable.keys().copied().collect()
+    }
+
+    /// Number of valid resident records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no valid record is resident.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serialized byte size of the current record set (header + payload
+    /// per record, plus the file magic) — what [`Self::commit`] writes.
+    pub fn serialized_len(&self) -> usize {
+        FILE_MAGIC.len()
+            + self
+                .records
+                .values()
+                .map(|r| HEADER_LEN + r.payload.len())
+                .sum::<usize>()
+    }
+
+    fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len());
+        out.extend_from_slice(&FILE_MAGIC);
+        for (id, rec) in &self.records {
+            Header {
+                id: *id,
+                version: RECORD_VERSION,
+                seed: rec.seed,
+                fingerprint: rec.fingerprint,
+                payload_len: rec.payload.len() as u64,
+                payload_checksum: rec.checksum,
+            }
+            .encode_to(&mut out);
+            out.extend_from_slice(&rec.payload);
+        }
+        out
+    }
+
+    /// Atomically publishes the current record set to the store file:
+    /// serialize, write to a temp file, fsync, rename over the old
+    /// image. [`FaultSite::StoreWrite`] (bit flips in the serialized
+    /// image) and [`FaultSite::StoreTorn`] (truncation at a seeded
+    /// offset, modelling a crashed write the rename protocol cannot
+    /// see) are injected here when a fault plan is armed — the damage
+    /// is only ever *detected* by the next open's recovery scan.
+    ///
+    /// # Errors
+    ///
+    /// [`NeoError::StoreIo`] if any filesystem step fails; the previous
+    /// on-disk image is untouched in that case.
+    pub fn commit(&self) -> Result<(), NeoError> {
+        let mut image = self.serialize();
+        if neo_fault::armed() {
+            neo_fault::corrupt_bytes(FaultSite::StoreWrite, &mut image);
+            if let Some(cut) = neo_fault::torn_len(image.len()) {
+                image.truncate(cut);
+            }
+        }
+        let tmp = self.path.with_extension("tmp");
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        f.write_all(&image).map_err(|e| io_err("write", &tmp, e))?;
+        f.sync_all().map_err(|e| io_err("sync", &tmp, e))?;
+        drop(f);
+        std::fs::rename(&tmp, &self.path).map_err(|e| io_err("rename", &self.path, e))?;
+        metrics::set_commit_bytes(image.len());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::RecordKind;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "neo-store-test-{}-{name}.neostore",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn id(kind: RecordKind, aux: u64) -> RecordId {
+        RecordId {
+            kind,
+            tenant: 7,
+            level: 2,
+            aux,
+        }
+    }
+
+    #[test]
+    fn put_commit_open_roundtrips() {
+        let path = tmp("roundtrip");
+        let mut s = Store::open(&path).expect("open empty");
+        assert!(s.is_empty());
+        s.put(id(RecordKind::Ciphertext, 1), 0, 99, vec![1, 2, 3]);
+        s.put(id(RecordKind::HybridKsk, 0), 42, 99, vec![4; 1000]);
+        s.commit().expect("commit");
+
+        let s2 = Store::open(&path).expect("reopen");
+        assert_eq!(
+            s2.report(),
+            &RecoveryReport {
+                valid: 2,
+                ..Default::default()
+            }
+        );
+        assert_eq!(
+            s2.get(id(RecordKind::Ciphertext, 1)).expect("get"),
+            Some(vec![1, 2, 3])
+        );
+        assert_eq!(s2.seed_of(id(RecordKind::HybridKsk, 0)), Some(42));
+        assert_eq!(s2.fingerprint_of(id(RecordKind::HybridKsk, 0)), Some(99));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_rot_quarantines_or_recovers_by_kind() {
+        let path = tmp("bitrot");
+        let mut s = Store::open(&path).expect("open");
+        s.put(id(RecordKind::Ciphertext, 1), 0, 9, vec![7; 64]);
+        s.put(id(RecordKind::HybridKsk, 0), 5, 9, vec![8; 64]);
+        s.commit().expect("commit");
+
+        // Flip one payload bit of each record on disk.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let n = bytes.len();
+        bytes[n - 10] ^= 1; // inside the last record's payload
+        bytes[FILE_MAGIC.len() + HEADER_LEN + 3] ^= 0x10; // first record's payload
+        std::fs::write(&path, &bytes).expect("write");
+
+        let s2 = Store::open(&path).expect("reopen");
+        // BTreeMap order: Ciphertext (kind 5) sorts after HybridKsk (kind 2),
+        // so the first record on disk is the KSK.
+        assert_eq!(
+            s2.status(id(RecordKind::HybridKsk, 0)),
+            RecordStatus::Recoverable
+        );
+        assert_eq!(
+            s2.status(id(RecordKind::Ciphertext, 1)),
+            RecordStatus::Quarantined
+        );
+        assert_eq!(s2.seed_of(id(RecordKind::HybridKsk, 0)), Some(5));
+        assert!(
+            s2.get(id(RecordKind::Ciphertext, 1)).is_err(),
+            "quarantined"
+        );
+        assert_eq!(
+            s2.get(id(RecordKind::HybridKsk, 0)).expect("recoverable"),
+            None
+        );
+        assert_eq!(s2.report().recoverable, 1);
+        assert_eq!(s2.report().quarantined, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_never_serves_corrupt_bytes() {
+        let path = tmp("trunc");
+        let mut s = Store::open(&path).expect("open");
+        s.put(id(RecordKind::Ciphertext, 1), 0, 9, vec![7; 256]);
+        s.put(id(RecordKind::Ciphertext, 2), 0, 9, vec![9; 256]);
+        s.commit().expect("commit");
+        let full = std::fs::read(&path).expect("read");
+
+        for cut in [0, 4, 8, 40, 100, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).expect("truncate");
+            let s2 = Store::open(&path).expect("open survives truncation");
+            // Whatever survived is bit-identical to what was written;
+            // everything else is classified, not served.
+            for rid in [id(RecordKind::Ciphertext, 1), id(RecordKind::Ciphertext, 2)] {
+                if let Ok(Some(p)) = s2.get(rid) {
+                    let want = if rid.aux == 1 {
+                        vec![7; 256]
+                    } else {
+                        vec![9; 256]
+                    };
+                    assert_eq!(p, want, "cut {cut}: served bytes must be exact");
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn commit_is_atomic_over_the_old_image() {
+        let path = tmp("atomic");
+        let mut s = Store::open(&path).expect("open");
+        s.put(id(RecordKind::Ciphertext, 1), 0, 9, vec![1; 32]);
+        s.commit().expect("commit");
+
+        // A failed commit (unwritable temp dir) must leave the old image.
+        let bad = Store {
+            path: PathBuf::from("/nonexistent-dir/foo.neostore"),
+            records: s.records.clone(),
+            recoverable: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
+            report: RecoveryReport::default(),
+        };
+        let err = bad.commit().expect_err("unwritable path");
+        assert_eq!(err.kind().name(), "store_io");
+
+        let s2 = Store::open(&path).expect("reopen");
+        assert_eq!(s2.len(), 1, "old image intact");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_blob_is_quarantined_not_parsed() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"definitely not a neo store file").expect("write");
+        let s = Store::open(&path).expect("open");
+        assert!(s.is_empty());
+        assert_eq!(s.report().quarantined, 1);
+        assert!(s.report().lost_tail);
+        let _ = std::fs::remove_file(&path);
+    }
+}

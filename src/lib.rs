@@ -44,6 +44,9 @@ pub use neo_sched as sched;
 /// Multi-tenant serving: per-tenant sessions over a shared context,
 /// sim-priced admission and batch coalescing, typed backpressure.
 pub use neo_serve as serve;
+/// Crash-safe persistent key & plan store: checksummed records, atomic
+/// commits, integrity quarantine, and seed-compressed KSK warm starts.
+pub use neo_store as store;
 /// Tensor-core fragment emulation (FP64 / INT8) and splitting schemes.
 pub use neo_tcu as tcu;
 /// Runtime telemetry: work counters, spans, and trace exporters.

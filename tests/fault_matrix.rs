@@ -34,6 +34,9 @@ const NTT_PLAN_TRIALS: u64 = 100;
 const SCHED_TRIALS: u64 = 250;
 const CKKS_TRIALS: u64 = 100;
 const SERVE_TRIALS: u64 = 50;
+const STORE_WRITE_TRIALS: u64 = 400;
+const STORE_READ_TRIALS: u64 = 300;
+const STORE_TORN_TRIALS: u64 = 350;
 
 fn test_lock() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
@@ -43,13 +46,15 @@ fn test_lock() -> MutexGuard<'static, ()> {
 }
 
 /// Detection sites an error may legitimately name.
-const DETECTION_SITES: [&str; 6] = [
+const DETECTION_SITES: [&str; 8] = [
     "tcu_gemm",
     "ntt_forward",
     "ntt_inverse",
     "ntt_plan",
     "ckks_op",
     "sched_completion",
+    "store_record",
+    "store_read",
 ];
 
 fn assert_detected(err: &NeoError, trial: u64, seed: u64) {
@@ -87,6 +92,10 @@ fn the_matrix_covers_at_least_1000_trials() {
         TCU_TRIALS + NTT_STAGE_TRIALS + NTT_PLAN_TRIALS + SCHED_TRIALS + CKKS_TRIALS + SERVE_TRIALS
             >= 1000,
         "fault matrix shrank below the 1000-trial floor"
+    );
+    assert!(
+        STORE_WRITE_TRIALS + STORE_READ_TRIALS + STORE_TORN_TRIALS >= 1000,
+        "store fault matrix shrank below its own 1000-trial floor"
     );
 }
 
@@ -357,7 +366,166 @@ fn serve_layer_matrix() {
     );
 }
 
+/// Bit flips in the serialized store image at commit time: the next
+/// open's recovery scan must classify every damaged record — whatever a
+/// later `get` serves must be bit-identical to what was written.
+#[test]
+fn store_write_matrix() {
+    let _l = test_lock();
+    let path = store_matrix_path("write");
+    let mut injected = 0u64;
+    for trial in 0..STORE_WRITE_TRIALS {
+        let seed = 0x0005_704e_0000 + trial;
+        let (store, clean) = store_fixture(seed, &path);
+        let plan =
+            Arc::new(FaultPlan::new(seed).with_site(FaultSite::StoreWrite, FaultSpec::once()));
+        let scope = FaultScope::install(plan.clone());
+        store.commit().unwrap();
+        drop(scope);
+        injected += plan.injected(FaultSite::StoreWrite);
+        assert_store_sound(&path, &clean, trial, seed);
+    }
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        injected >= STORE_WRITE_TRIALS / 2,
+        "matrix is vacuous: only {injected} injections over {STORE_WRITE_TRIALS} trials"
+    );
+}
+
+/// Truncation of the committed image at a seeded offset — the torn-write
+/// crash model: the scan keeps the intact prefix and classifies the
+/// tail, never parses past the cut.
+#[test]
+fn store_torn_matrix() {
+    let _l = test_lock();
+    let path = store_matrix_path("torn");
+    let mut injected = 0u64;
+    for trial in 0..STORE_TORN_TRIALS {
+        let seed = 0x0005_704e_1000 + trial;
+        let (store, clean) = store_fixture(seed, &path);
+        let plan =
+            Arc::new(FaultPlan::new(seed).with_site(FaultSite::StoreTorn, FaultSpec::once()));
+        let scope = FaultScope::install(plan.clone());
+        store.commit().unwrap();
+        drop(scope);
+        injected += plan.injected(FaultSite::StoreTorn);
+        assert_store_sound(&path, &clean, trial, seed);
+    }
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        injected >= STORE_TORN_TRIALS / 2,
+        "matrix is vacuous: only {injected} injections over {STORE_TORN_TRIALS} trials"
+    );
+}
+
+/// Bit rot on the read path: every `get` re-verifies the payload
+/// checksum, so a flipped bit surfaces as a typed error, never as
+/// corrupt bytes.
+#[test]
+fn store_read_matrix() {
+    let _l = test_lock();
+    let path = store_matrix_path("read");
+    let (store, clean) = store_fixture(0x5704e, &path);
+    store.commit().unwrap();
+    let reopened = neo::store::Store::open(&path).unwrap();
+    let mut injected = 0u64;
+    for trial in 0..STORE_READ_TRIALS {
+        let seed = 0x0005_704e_2000 + trial;
+        let plan =
+            Arc::new(FaultPlan::new(seed).with_site(FaultSite::StoreRead, FaultSpec::once()));
+        let scope = FaultScope::install(plan.clone());
+        for (id, want) in &clean {
+            match reopened.get(*id) {
+                Ok(Some(got)) => assert_eq!(
+                    &got, want,
+                    "trial {trial} (seed {seed}): SILENT CORRUPTION reading {:?}",
+                    id
+                ),
+                Ok(None) => panic!("trial {trial} (seed {seed}): clean record vanished"),
+                Err(e) => assert_detected(&e, trial, seed),
+            }
+        }
+        drop(scope);
+        injected += plan.injected(FaultSite::StoreRead);
+    }
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        injected >= STORE_READ_TRIALS / 2,
+        "matrix is vacuous: only {injected} injections over {STORE_READ_TRIALS} trials"
+    );
+}
+
 // --- fixtures -------------------------------------------------------------
+
+fn store_matrix_path(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "neo-fault-matrix-store-{tag}-{}.neostore",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// A store with a deterministic mixed-kind record set (seed-recoverable
+/// KSK material plus quarantine-only ciphertext/plan records), ready to
+/// commit, paired with the exact bytes each record must serve.
+fn store_fixture(
+    seed: u64,
+    path: &std::path::Path,
+) -> (neo::store::Store, Vec<(neo::store::RecordId, Vec<u8>)>) {
+    use neo::store::{RecordId, RecordKind, Store};
+    let _ = std::fs::remove_file(path);
+    let mut store = Store::open(path).unwrap();
+    let mut clean = Vec::new();
+    for (i, kind) in [
+        RecordKind::SecretKey,
+        RecordKind::HybridKsk,
+        RecordKind::KlssKsk,
+        RecordKind::ExecPlan,
+        RecordKind::Ciphertext,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let h = neo::fault::splitmix64(seed ^ ((i as u64 + 1) << 12));
+        let len = 32 + (h % 224) as usize;
+        let payload: Vec<u8> = (0..len)
+            .map(|j| (neo::fault::splitmix64(h ^ j as u64) & 0xFF) as u8)
+            .collect();
+        let id = RecordId {
+            kind,
+            tenant: 1,
+            level: i as u64,
+            aux: i as u64,
+        };
+        store.put(id, h, 0xF1F1, payload.clone());
+        clean.push((id, payload));
+    }
+    (store, clean)
+}
+
+/// Reopens the store file and demands exact-or-classified for every
+/// record: a served payload must be bit-identical to what was written;
+/// anything else must be an absence or a typed error.
+fn assert_store_sound(
+    path: &std::path::Path,
+    clean: &[(neo::store::RecordId, Vec<u8>)],
+    trial: u64,
+    seed: u64,
+) {
+    let store = neo::store::Store::open(path).unwrap();
+    for (id, want) in clean {
+        // Ok(None)/Err is classified: recoverable, quarantined, or lost tail.
+        if let Ok(Some(got)) = store.get(*id) {
+            assert_eq!(
+                &got, want,
+                "trial {trial} (seed {seed}): SILENT CORRUPTION in {:?}",
+                id
+            );
+        }
+    }
+}
 
 /// Engine seed shared by the engine-level matrices (clean baselines are
 /// computed once per test against this seed).
